@@ -1,0 +1,201 @@
+package repro_test
+
+// Benchmark harness: one bench per table/figure of the paper, plus the
+// ablation benches called out in DESIGN.md (D1-D5). Table II cells run
+// under tools.FastBudgets so a bench iteration stays tractable; the
+// full-budget numbers in EXPERIMENTS.md come from cmd/evaltable.
+
+import (
+	"testing"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/solver"
+	"repro/internal/symexec"
+	"repro/internal/tools"
+)
+
+// BenchmarkTableI regenerates the challenge/error-stage mapping.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if eval.RenderTableI() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// runCellBench runs one Table II cell with fast budgets.
+func runCellBench(b *testing.B, profile tools.Profile, bomb string) {
+	b.Helper()
+	p := tools.FastBudgets(profile)
+	bm, ok := bombs.ByName(bomb)
+	if !ok {
+		b.Fatalf("no bomb %s", bomb)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en := core.New(bm.Image(), bm.BombAddr(), p.Caps)
+		out := en.Explore(bm.Benign)
+		_ = eval.Classify(out)
+	}
+}
+
+// BenchmarkTableII covers a representative row per challenge for each
+// tool column (the full grid is cmd/evaltable -table2).
+func BenchmarkTableII(b *testing.B) {
+	rows := []string{"time", "arglen", "stack", "file", "thread", "array1", "jump", "filename"}
+	for _, p := range []tools.Profile{tools.BAP(), tools.Triton(), tools.Angr(), tools.AngrNoLib()} {
+		p := p
+		for _, row := range rows {
+			row := row
+			b.Run(p.Name()+"/"+row, func(b *testing.B) {
+				runCellBench(b, p, row)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the printf constraint-growth comparison.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunFig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.PrintfTainted <= r.PlainTainted {
+			b.Fatal("figure 3 shape violated")
+		}
+	}
+}
+
+// BenchmarkNegativeBomb regenerates the §V-C false-positive probe
+// (Angr-NoLib side only; the reference side is exercised in tests).
+func BenchmarkNegativeBomb(b *testing.B) {
+	p := tools.FastBudgets(tools.AngrNoLib())
+	bm, _ := bombs.ByName("negpow")
+	for i := 0; i < b.N; i++ {
+		en := core.New(bm.Image(), bm.BombAddr(), p.Caps)
+		out := en.Explore(bm.Benign)
+		if out.Verdict == core.VerdictSolved {
+			b.Fatal("negative bomb must not be solvable")
+		}
+	}
+}
+
+// BenchmarkReferenceEngine measures a full reference-engine crack of a
+// representative bomb (the extension study's unit of work).
+func BenchmarkReferenceEngine(b *testing.B) {
+	p := tools.FastBudgets(tools.Reference())
+	bm, _ := bombs.ByName("array1")
+	for i := 0; i < b.N; i++ {
+		en := core.New(bm.Image(), bm.BombAddr(), p.Caps)
+		if out := en.Explore(bm.Benign); out.Verdict != core.VerdictSolved {
+			b.Fatalf("verdict %v", out.Verdict)
+		}
+	}
+}
+
+// ── Ablations (DESIGN.md D1-D5) ──────────────────────────────────────
+
+// BenchmarkAblationMemoryModel (D1): the symbolic-array bomb under the
+// three memory models.
+func BenchmarkAblationMemoryModel(b *testing.B) {
+	models := map[string]symexec.MemModel{
+		"concrete": symexec.MemConcrete,
+		"onelevel": symexec.MemOneLevel,
+		"full":     symexec.MemFull,
+	}
+	for name, model := range models {
+		model := model
+		b.Run(name, func(b *testing.B) {
+			p := tools.FastBudgets(tools.Reference())
+			p.Caps.Sym.Mem = model
+			bm, _ := bombs.ByName("array1")
+			for i := 0; i < b.N; i++ {
+				en := core.New(bm.Image(), bm.BombAddr(), p.Caps)
+				en.Explore(bm.Benign)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExternalCalls (D2): tracing into sin vs summarizing it.
+func BenchmarkAblationExternalCalls(b *testing.B) {
+	run := func(b *testing.B, ext map[string]symexec.ExtKind) {
+		p := tools.FastBudgets(tools.Reference())
+		p.Caps.Sym.Externals = ext
+		bm, _ := bombs.ByName("sin")
+		for i := 0; i < b.N; i++ {
+			en := core.New(bm.Image(), bm.BombAddr(), p.Caps)
+			en.Explore(bm.Benign)
+		}
+	}
+	b.Run("trace", func(b *testing.B) { run(b, nil) })
+	b.Run("summary", func(b *testing.B) {
+		run(b, map[string]symexec.ExtKind{"fsin": symexec.ExtUnconstrained})
+	})
+}
+
+// BenchmarkAblationShadowFS (D3): the covert file channel with and
+// without shadow propagation.
+func BenchmarkAblationShadowFS(b *testing.B) {
+	run := func(b *testing.B, policy symexec.ChanPolicy) {
+		p := tools.FastBudgets(tools.Reference())
+		p.Caps.Sym.Spec.Files = policy
+		bm, _ := bombs.ByName("file")
+		for i := 0; i < b.N; i++ {
+			en := core.New(bm.Image(), bm.BombAddr(), p.Caps)
+			en.Explore(bm.Benign)
+		}
+	}
+	b.Run("shadow", func(b *testing.B) { run(b, symexec.ChanShadow) })
+	b.Run("concrete", func(b *testing.B) { run(b, symexec.ChanConcrete) })
+}
+
+// BenchmarkAblationFPSolver (D4): the float bomb with the stochastic FP
+// solver vs no FP theory.
+func BenchmarkAblationFPSolver(b *testing.B) {
+	run := func(b *testing.B, mode solver.FPMode) {
+		p := tools.FastBudgets(tools.Reference())
+		p.Caps.FP = mode
+		bm, _ := bombs.ByName("float")
+		for i := 0; i < b.N; i++ {
+			en := core.New(bm.Image(), bm.BombAddr(), p.Caps)
+			en.Explore(bm.Benign)
+		}
+	}
+	b.Run("search", func(b *testing.B) { run(b, solver.FPSearch) })
+	b.Run("none", func(b *testing.B) { run(b, solver.FPNone) })
+}
+
+// BenchmarkAblationSearch (D5): generational (breadth-first) vs
+// depth-first scheduling on the iterative-lengthening bomb.
+func BenchmarkAblationSearch(b *testing.B) {
+	run := func(b *testing.B, strategy core.SearchStrategy) {
+		p := tools.FastBudgets(tools.Reference())
+		p.Caps.Search = strategy
+		bm, _ := bombs.ByName("arglen")
+		for i := 0; i < b.N; i++ {
+			en := core.New(bm.Image(), bm.BombAddr(), p.Caps)
+			en.Explore(bm.Benign)
+		}
+	}
+	b.Run("generational", func(b *testing.B) { run(b, core.SearchGenerational) })
+	b.Run("dfs", func(b *testing.B) { run(b, core.SearchDFS) })
+}
+
+// TestHarnessSmoke keeps the root benchmark harness honest: one fast
+// Table II cell end to end, without benchmarking.
+func TestHarnessSmoke(t *testing.T) {
+	p := tools.FastBudgets(tools.Angr())
+	b, ok := bombs.ByName("array1")
+	if !ok {
+		t.Fatal("array1 missing")
+	}
+	en := core.New(b.Image(), b.BombAddr(), p.Caps)
+	out := en.Explore(b.Benign)
+	if got := eval.Classify(out); got != bombs.OK {
+		t.Fatalf("Angr/array1 = %s, want OK", got)
+	}
+}

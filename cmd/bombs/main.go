@@ -1,0 +1,55 @@
+// Command bombs lists, inspects and detonates the logic-bomb benchmark:
+// the 22 challenge programs of the paper's Table II plus the extras.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bombs"
+)
+
+func main() {
+	show := flag.String("show", "", "print the named bomb's assembly source (Figure 2 listings)")
+	run := flag.String("run", "", "run the named bomb")
+	trigger := flag.Bool("trigger", false, "use the trigger input instead of the benign seed")
+	flag.Parse()
+
+	switch {
+	case *show != "":
+		b, ok := bombs.ByName(*show)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bombs: no bomb named %q\n", *show)
+			os.Exit(1)
+		}
+		fmt.Printf("; %s — %s\n; challenge: %s\n", b.Name, b.Description, b.Challenge)
+		fmt.Println(b.Source)
+
+	case *run != "":
+		b, ok := bombs.ByName(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bombs: no bomb named %q\n", *run)
+			os.Exit(1)
+		}
+		in := b.Benign
+		if *trigger {
+			in = b.Trigger
+		}
+		res, err := b.Run(in, bombs.WithMaxSteps(5_000_000))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bombs:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Stdout)
+		fmt.Printf("input %+v -> status %d (%s), triggered=%v\n",
+			in, res.ExitStatus, res.Reason, bombs.Triggered(res))
+
+	default:
+		fmt.Printf("%-10s %-12s %-28s %-10s %s\n", "NAME", "CATEGORY", "CHALLENGE", "TRIGGER", "DESCRIPTION")
+		for _, b := range bombs.All() {
+			fmt.Printf("%-10s %-12s %-28s %-10q %s\n",
+				b.Name, b.Category, b.Challenge, b.Trigger.Argv1, b.Description)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command concolic runs a concolic-execution tool profile against a logic
+// bomb (or any LBF image with a `bomb` symbol), directed at detonating it,
+// and reports the verdict with the paper's outcome labels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/tools"
+)
+
+func main() {
+	tool := flag.String("tool", "reference", "profile: bap, triton, angr, angr-nolib, reference")
+	verbose := flag.Bool("v", false, "print incidents and per-round progress")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: concolic [-tool name] <bomb-name>")
+		os.Exit(2)
+	}
+	b, ok := bombs.ByName(flag.Arg(0))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "concolic: no bomb named %q (see cmd/bombs)\n", flag.Arg(0))
+		os.Exit(1)
+	}
+	var p tools.Profile
+	switch *tool {
+	case "bap":
+		p = tools.BAP()
+	case "triton":
+		p = tools.Triton()
+	case "angr":
+		p = tools.Angr()
+	case "angr-nolib":
+		p = tools.AngrNoLib()
+	case "reference":
+		p = tools.Reference()
+	default:
+		fmt.Fprintf(os.Stderr, "concolic: unknown tool %q\n", *tool)
+		os.Exit(1)
+	}
+
+	en := core.New(b.Image(), b.BombAddr(), p.Caps)
+	out := en.Explore(b.Benign)
+
+	fmt.Printf("tool=%s bomb=%s verdict=%s rounds=%d\n",
+		p.Name(), b.Name, out.Verdict, out.Rounds)
+	if out.Verdict == core.VerdictSolved {
+		fmt.Printf("solving input: argv=%q", out.Input.Argv1)
+		if out.Input.TimeNow != 0 {
+			fmt.Printf(" time=%d", out.Input.TimeNow)
+		}
+		if out.Input.Pid != 0 {
+			fmt.Printf(" pid=%d", out.Input.Pid)
+		}
+		for u, c := range out.Input.Web {
+			fmt.Printf(" web[%s]=%q", u, c)
+		}
+		fmt.Println()
+		res, err := b.Run(out.Input, bombs.WithMaxSteps(5_000_000))
+		if err == nil {
+			fmt.Printf("replay: triggered=%v stdout=%q\n", bombs.Triggered(res), res.Stdout)
+		}
+	}
+	fmt.Printf("paper label: %s\n", cellLabel(out))
+	if *verbose {
+		for _, in := range out.Incidents {
+			fmt.Println("incident:", in)
+		}
+		for _, c := range out.Claims {
+			fmt.Printf("claim: pc=%#x syscall-sim=%v\n", c.PC, c.Syscall)
+		}
+		if out.CrashDetail != "" {
+			fmt.Println("detail:", out.CrashDetail)
+		}
+	}
+}
+
+func cellLabel(out *core.Outcome) string {
+	o := eval.Classify(out)
+	if o == "" {
+		return "- (correctly unreachable)"
+	}
+	if o == bombs.OK {
+		return "OK (solved)"
+	}
+	return string(o)
+}

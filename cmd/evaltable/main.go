@@ -1,0 +1,61 @@
+// Command evaltable regenerates the paper's tables and figures: Table I
+// (challenge/error-stage mapping), Table II (tool performance on the 22
+// logic bombs), the Figure 3 external-call comparison, the §V-C negative
+// bomb study, and the reference-engine extension table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "render Table I")
+	table2 := flag.Bool("table2", false, "render Table II")
+	fig3 := flag.Bool("fig3", false, "render the Figure 3 comparison")
+	negative := flag.Bool("negative", false, "render the negative-bomb study")
+	reference := flag.Bool("reference", false, "render the reference-engine extension table")
+	extras := flag.Bool("extras", false, "render the extension-bomb study (loop, retjump, array3)")
+	diag := flag.Bool("diag", false, "with -table2: print per-cell root-cause diagnostics")
+	all := flag.Bool("all", false, "render everything")
+	flag.Parse()
+
+	if !*table1 && !*table2 && !*fig3 && !*negative && !*reference && !*extras {
+		*all = true
+	}
+	if *all || *table1 {
+		fmt.Println(eval.RenderTableI())
+	}
+	if *all || *table2 {
+		g := eval.RunTableII()
+		fmt.Println(eval.RenderTableII(g))
+		if *diag {
+			fmt.Println(eval.RenderDiagnostics(g))
+		}
+	}
+	if *all || *fig3 {
+		r, err := eval.RunFig3()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig3:", err)
+			os.Exit(1)
+		}
+		fmt.Println(eval.RenderFig3(r))
+	}
+	if *all || *negative {
+		fmt.Println(eval.RenderNegativeStudy(eval.RunNegativeStudy()))
+	}
+	if *all || *reference {
+		fmt.Println(eval.RenderReference(eval.RunReference()))
+	}
+	if *all || *extras {
+		rows := eval.RunExtensionBombs()
+		fmt.Println("EXTENSION BOMBS (beyond the paper's benchmark)")
+		fmt.Println()
+		for _, r := range rows {
+			fmt.Printf("%-10s %-8s rounds=%-3d input=%q\n", r.Bomb, string(r.Outcome), r.Rounds, r.Input.Argv1)
+		}
+	}
+}

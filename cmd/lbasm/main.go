@@ -1,0 +1,96 @@
+// Command lbasm assembles LB64 assembly source files into an LBF binary
+// image, optionally linking the guest C library, and can disassemble
+// existing images.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/bin"
+	"repro/internal/isa"
+	"repro/internal/libc"
+)
+
+func main() {
+	out := flag.String("o", "a.lbf", "output image path")
+	withLibc := flag.Bool("libc", true, "link the guest C library")
+	disasm := flag.String("d", "", "disassemble the given image instead of assembling")
+	flag.Parse()
+
+	if *disasm != "" {
+		if err := disassemble(*disasm); err != nil {
+			fmt.Fprintln(os.Stderr, "lbasm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lbasm [-o out.lbf] [-libc=false] file.s ...")
+		os.Exit(2)
+	}
+	var units []asm.Source
+	if *withLibc {
+		units = libc.All()
+	}
+	for _, path := range flag.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbasm:", err)
+			os.Exit(1)
+		}
+		units = append(units, asm.Source{Name: path, Text: string(text)})
+	}
+	img, err := asm.Assemble(units...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbasm:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, img.Encode(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "lbasm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d bytes, entry %#x, %d symbols\n",
+		*out, img.Size(), img.Entry, len(img.Symbols))
+}
+
+func disassemble(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	img, err := bin.Decode(data)
+	if err != nil {
+		return err
+	}
+	sec, ok := img.Section(".text")
+	if !ok {
+		return fmt.Errorf("no .text section")
+	}
+	off := 0
+	for off < len(sec.Data) {
+		addr := sec.Addr + uint64(off)
+		if name, found := symbolAt(img, addr); found {
+			fmt.Printf("%s:\n", name)
+		}
+		in, n, err := isa.Decode(sec.Data[off:])
+		if err != nil {
+			return fmt.Errorf("at %#x: %w", addr, err)
+		}
+		fmt.Printf("  %#06x  %s\n", addr, in)
+		off += n
+	}
+	return nil
+}
+
+func symbolAt(img *bin.Image, addr uint64) (string, bool) {
+	for _, s := range img.Symbols {
+		if s.Addr == addr {
+			return s.Name, true
+		}
+	}
+	return "", false
+}

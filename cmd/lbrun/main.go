@@ -1,0 +1,80 @@
+// Command lbrun executes an LBF image on the guest machine, with
+// configurable environment (arguments, clock, pid, files, web content)
+// and optional trace dumping.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bin"
+	"repro/internal/gos"
+)
+
+func main() {
+	timeNow := flag.Uint64("time", 1111111111, "value returned by the time system call")
+	pid := flag.Uint64("pid", 4242, "pid reported by getpid")
+	stdin := flag.String("stdin", "", "bytes served on stdin")
+	maxSteps := flag.Int("max-steps", 0, "instruction budget (0 = default)")
+	dumpTrace := flag.Bool("trace", false, "dump the executed instruction trace")
+	web := flag.String("web", "", "web content as url=body,url=body")
+	files := flag.String("files", "", "pre-existing files as path=content,path=content")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lbrun [flags] image.lbf [args...]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbrun:", err)
+		os.Exit(1)
+	}
+	img, err := bin.Decode(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbrun:", err)
+		os.Exit(1)
+	}
+	cfg := gos.Config{
+		Argv:       append([]string{flag.Arg(0)}, flag.Args()[1:]...),
+		Stdin:      []byte(*stdin),
+		TimeNow:    *timeNow,
+		Pid:        *pid,
+		MaxSteps:   *maxSteps,
+		Record:     *dumpTrace,
+		WebContent: parseKV(*web),
+	}
+	if f := parseKV(*files); f != nil {
+		cfg.Files = make(map[string][]byte, len(f))
+		for k, v := range f {
+			cfg.Files[k] = []byte(v)
+		}
+	}
+	m, err := gos.New(img, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbrun:", err)
+		os.Exit(1)
+	}
+	res := m.Run()
+	fmt.Print(res.Stdout)
+	fmt.Fprintf(os.Stderr, "[%s] status=%d steps=%d\n", res.Reason, res.ExitStatus, res.Steps)
+	if *dumpTrace && res.Trace != nil {
+		fmt.Fprint(os.Stderr, res.Trace.Dump(false))
+	}
+	os.Exit(res.ExitStatus & 0xff)
+}
+
+func parseKV(s string) map[string]string {
+	if s == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			out[pair[:i]] = pair[i+1:]
+		}
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Concolic Execution
+// on Small-Size Binaries: Challenges and Empirical Study" (DSN 2017): an
+// LB64 binary substrate (ISA, assembler, VM, guest OS, guest libc), a
+// concolic execution engine with its own bitvector/SAT solver, the
+// 22-bomb benchmark, and capability profiles reproducing the evaluated
+// tools. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the measured results.
+package repro

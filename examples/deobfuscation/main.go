@@ -1,0 +1,84 @@
+// Deobfuscation (the paper's §V-D scenario 2): use the concolic engine to
+// separate real branches from opaque predicates. An obfuscated program
+// guards bogus code behind a constant-false predicate (x*x+x is always
+// even, so `(x*x+x) & 1 == 1` never holds); the engine proves the bogus
+// branch infeasible while still cracking the live guard.
+//
+// Run with: go run ./examples/deobfuscation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/libc"
+	"repro/internal/tools"
+)
+
+// The obfuscated program: an opaque predicate guards dead code; a real
+// predicate guards the payload.
+const obfuscated = `
+main:
+    cmp r1, 2
+    jl obf_out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r12, r0
+    ; opaque predicate: (x*x + x) is always even
+    mov r3, r12
+    mul r3, r12
+    add r3, r12
+    and r3, 1
+    cmp r3, 1
+    jne obf_live
+bogus:                     ; dead code the deobfuscator should eliminate
+    mov r4, 0xdead
+    mov r5, 0xbeef
+    add r4, r5
+obf_live:
+    cmp r12, 77            ; the real guard
+    jne obf_out
+    call bomb
+obf_out:
+    mov r0, 0
+    ret
+`
+
+func main() {
+	units := append(libc.All(), asm.Source{Name: "obf.s", Text: obfuscated})
+	img, err := asm.Assemble(units...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bogusAddr, ok := img.Symbol("bogus")
+	if !ok {
+		log.Fatal("no bogus symbol")
+	}
+	payload, _ := img.Symbol("bomb")
+
+	caps := tools.Reference().Caps
+	caps.MaxRounds = 12
+	caps.TotalBudget = 30 * time.Second
+
+	// 1. Is the bogus block reachable? Direct the engine at it.
+	en := core.New(img, bogusAddr, caps)
+	out := en.Explore(bombs.Input{Argv1: "3"})
+	fmt.Printf("opaque-predicate block: verdict=%s after %d rounds\n", out.Verdict, out.Rounds)
+	if out.Verdict == core.VerdictSolved {
+		log.Fatal("engine wrongly reached the dead block")
+	}
+	fmt.Println("  -> dead code: the guard (x*x+x)&1 == 1 is unsatisfiable; eliminate it")
+
+	// 2. The live payload must still be crackable.
+	en2 := core.New(img, payload, caps)
+	out2 := en2.Explore(bombs.Input{Argv1: "3"})
+	fmt.Printf("live payload: verdict=%s input=%q\n", out2.Verdict, out2.Input.Argv1)
+	if out2.Verdict != core.VerdictSolved {
+		log.Fatal("engine failed on the live branch")
+	}
+	fmt.Println("  -> real control flow recovered: the payload triggers on", out2.Input.Argv1)
+}

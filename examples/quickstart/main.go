@@ -1,0 +1,70 @@
+// Quickstart: assemble a small guarded program, point the concolic engine
+// at its hidden payload, and let it derive the input that reaches it.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/gos"
+	"repro/internal/libc"
+	"repro/internal/tools"
+)
+
+// A tiny "crackme": the payload fires only for atoi(argv[1]) == 31337.
+const program = `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 31337
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`
+
+func main() {
+	// 1. Assemble the program against the guest libc.
+	units := append(libc.All(), asm.Source{Name: "crackme.s", Text: program})
+	img, err := asm.Assemble(units...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, ok := img.Symbol("bomb")
+	if !ok {
+		log.Fatal("no bomb symbol")
+	}
+
+	// 2. Run it concretely with a wrong guess: nothing happens.
+	m, err := gos.New(img, gos.Config{Argv: []string{"crackme", "12345"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := m.Run()
+	fmt.Printf("concrete run with %q: status=%d stdout=%q\n", "12345", res.ExitStatus, res.Stdout)
+
+	// 3. Point the concolic engine at the payload.
+	engine := core.New(img, target, tools.Reference().Caps)
+	out := engine.Explore(bombs.Input{Argv1: "12345"})
+	fmt.Printf("engine verdict: %s after %d rounds\n", out.Verdict, out.Rounds)
+	if out.Verdict != core.VerdictSolved {
+		log.Fatal("expected the engine to crack the guard")
+	}
+	fmt.Printf("derived input: %q\n", out.Input.Argv1)
+
+	// 4. Replay it to confirm.
+	m2, err := gos.New(img, gos.Config{Argv: []string{"crackme", out.Input.Argv1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2 := m2.Run()
+	fmt.Printf("replay: status=%d stdout=%q\n", res2.ExitStatus, res2.Stdout)
+}

@@ -1,0 +1,54 @@
+// Toolcompare: run every modeled tool profile against one logic bomb and
+// print the per-stage diagnosis — a one-row slice of the paper's Table II
+// with the reasoning errors made visible.
+//
+// Run with: go run ./examples/toolcompare [bomb-name]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/tools"
+)
+
+func main() {
+	name := "array1"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, ok := bombs.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no bomb named %q\n", name)
+		os.Exit(1)
+	}
+	fmt.Printf("bomb: %s — %s\n", b.Name, b.Description)
+	fmt.Printf("trigger input: %q; benign seed: %q\n\n", b.Trigger.Argv1, b.Benign.Argv1)
+
+	profiles := append(tools.TableII(), tools.Reference())
+	for _, p := range profiles {
+		en := core.New(b.Image(), b.BombAddr(), p.Caps)
+		out := en.Explore(b.Benign)
+		labelled := eval.Classify(out)
+		display := string(labelled)
+		if labelled == bombs.OK {
+			display = fmt.Sprintf("OK (input %q)", out.Input.Argv1)
+		}
+		if labelled == "" {
+			display = "- (deemed unreachable)"
+		}
+		fmt.Printf("%-12s %-22s rounds=%-3d\n", p.Name(), display, out.Rounds)
+		for _, in := range out.Incidents {
+			fmt.Printf("             %s\n", in)
+		}
+		for _, c := range out.Claims {
+			fmt.Printf("             claim at %#x (syscall simulation: %v)\n", c.PC, c.Syscall)
+		}
+		if out.CrashDetail != "" {
+			fmt.Printf("             abort: %s\n", out.CrashDetail)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+// Package asm implements a two-pass assembler for LB64 assembly text.
+//
+// The logic bombs, the guest C library and the runtime stub are all written
+// in this dialect and assembled into bin.Image binaries, mirroring how the
+// paper's programs are compiled C binaries.
+//
+// Syntax overview:
+//
+//	; comment                  # comment
+//	.text                      switch to the text section
+//	.data                      switch to the data section
+//	label:                     global label (exported as a symbol)
+//	.local:                    local label, scoped to the previous global
+//	mov   r1, 42               register/immediate operands
+//	mov   r1, 'A'              character immediate
+//	mov   r1, message          label immediate (address)
+//	movf  r1, 3.25             pseudo: float64 immediate as IEEE bits
+//	lea   r1, buf+8            pseudo: mov with label arithmetic
+//	ld.q  r1, [r2+8]           sized loads: .b .w .d .q
+//	st.b  [r3-1], r4           sized stores
+//	jne   .loop                branches take label or numeric targets
+//	jmp   r5                   register-indirect jump
+//	.asciz "text\n"            NUL-terminated string data
+//	.ascii "text"              raw string data
+//	.byte 1, 2, 0x1f           data bytes
+//	.quad 7, label, label+16   8-byte words (labels allowed)
+//	.double 1024.0             IEEE-754 float64 data
+//	.space 64                  zero-filled bytes
+//	.align 8                   pad to alignment
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/bin"
+	"repro/internal/isa"
+)
+
+// Source is one named unit of assembly text. Units are assembled together
+// into a single image and share one symbol namespace, which is how bombs
+// "link" against the guest libc.
+type Source struct {
+	Name string
+	Text string
+}
+
+// Error describes an assembly failure with its source position.
+type Error struct {
+	Unit string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Unit, e.Line, e.Msg)
+}
+
+// Assemble assembles the given units into a loadable image. The entry point
+// is the `_start` symbol, which must be defined by exactly one unit.
+func Assemble(units ...Source) (*bin.Image, error) {
+	a := &assembler{
+		symbols: make(map[string]uint64),
+		textPos: bin.TextBase,
+		dataPos: bin.DataBase,
+	}
+	// Pass 1: parse every line, lay out sections, record label addresses.
+	for _, u := range units {
+		if err := a.scanUnit(u); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: emit bytes with all symbols known.
+	if err := a.emit(); err != nil {
+		return nil, err
+	}
+	entry, ok := a.symbols["_start"]
+	if !ok {
+		return nil, fmt.Errorf("asm: no _start symbol defined")
+	}
+	im := &bin.Image{
+		Entry: entry,
+		Sections: []bin.Section{
+			{Name: ".text", Addr: bin.TextBase, Data: a.text},
+			{Name: ".data", Addr: bin.DataBase, Data: a.data},
+		},
+	}
+	for name, addr := range a.symbols {
+		if strings.Contains(name, localSep) {
+			continue // local labels stay private
+		}
+		im.Symbols = append(im.Symbols, bin.Symbol{Name: name, Addr: addr})
+	}
+	sortSymbols(im.Symbols)
+	return im, nil
+}
+
+// MustAssemble is Assemble for known-good embedded sources; it panics on
+// error and is intended for package initialization of the bomb suite.
+func MustAssemble(units ...Source) *bin.Image {
+	im, err := Assemble(units...)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}
+
+const localSep = "\x00" // joins scope and local label name internally
+
+// item is one parsed source line that occupies space.
+type item struct {
+	unit    string
+	line    int
+	section string // ".text" or ".data"
+	addr    uint64
+
+	// Exactly one of the following is set.
+	instr *parsedInstr
+	data  *parsedData
+}
+
+type parsedInstr struct {
+	op        isa.Op
+	mode      isa.Mode
+	size      uint8
+	r1, r2    isa.Reg
+	imm       int64
+	immRef    string // unresolved symbol reference, "" if numeric
+	immAddend int64
+}
+
+type parsedData struct {
+	bytes []byte    // literal bytes (ascii/byte/space/double/align padding)
+	quads []quadVal // for .quad entries
+}
+
+type quadVal struct {
+	val    int64
+	ref    string
+	addend int64
+}
+
+type assembler struct {
+	symbols map[string]uint64
+	items   []item
+	textPos uint64
+	dataPos uint64
+	text    []byte
+	data    []byte
+}
+
+type unitState struct {
+	name    string
+	section string
+	scope   string // current global label for local-label resolution
+}
+
+func (a *assembler) scanUnit(u Source) error {
+	st := &unitState{name: u.Name, section: ".text"}
+	lines := strings.Split(u.Text, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// A line may carry a label prefix and then a statement.
+		for {
+			label, rest, ok := splitLabel(line)
+			if !ok {
+				break
+			}
+			if err := a.defineLabel(st, label, lineNo); err != nil {
+				return err
+			}
+			line = strings.TrimSpace(rest)
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.scanStatement(st, line, lineNo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			// Track quotes so ';' inside strings survives. Handle \" escapes.
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';', '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// splitLabel detects a leading `name:` label. Returns ok=false when the
+// line does not start with a label.
+func splitLabel(line string) (label, rest string, ok bool) {
+	idx := strings.IndexByte(line, ':')
+	if idx < 0 {
+		return "", "", false
+	}
+	cand := strings.TrimSpace(line[:idx])
+	if cand == "" || !isIdent(cand) {
+		return "", "", false
+	}
+	return cand, line[idx+1:], true
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '.':
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func (a *assembler) defineLabel(st *unitState, label string, line int) error {
+	name := label
+	if strings.HasPrefix(label, ".") {
+		if st.scope == "" {
+			return a.errf(st, line, "local label %s before any global label", label)
+		}
+		name = st.scope + localSep + label
+	} else {
+		st.scope = label
+	}
+	if _, dup := a.symbols[name]; dup {
+		return a.errf(st, line, "duplicate label %s", label)
+	}
+	a.symbols[name] = a.pos(st.section)
+	return nil
+}
+
+func (a *assembler) pos(section string) uint64 {
+	if section == ".data" {
+		return a.dataPos
+	}
+	return a.textPos
+}
+
+func (a *assembler) advance(section string, n uint64) {
+	if section == ".data" {
+		a.dataPos += n
+	} else {
+		a.textPos += n
+	}
+}
+
+func (a *assembler) errf(st *unitState, line int, format string, args ...any) error {
+	return &Error{Unit: st.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) scanStatement(st *unitState, line string, lineNo int) error {
+	if strings.HasPrefix(line, ".") {
+		word := line
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			word = line[:i]
+		}
+		switch word {
+		case ".text", ".data":
+			st.section = word
+			return nil
+		}
+		return a.scanDirective(st, line, lineNo)
+	}
+	return a.scanInstr(st, line, lineNo)
+}
+
+func (a *assembler) addItem(st *unitState, lineNo int, size uint64, it item) {
+	it.unit = st.name
+	it.line = lineNo
+	it.section = st.section
+	it.addr = a.pos(st.section)
+	a.items = append(a.items, it)
+	a.advance(st.section, size)
+}
+
+func (a *assembler) scanDirective(st *unitState, line string, lineNo int) error {
+	word, rest := splitWord(line)
+	rest = strings.TrimSpace(rest)
+	switch word {
+	case ".asciz", ".ascii":
+		s, err := parseString(rest)
+		if err != nil {
+			return a.errf(st, lineNo, "%s: %v", word, err)
+		}
+		b := []byte(s)
+		if word == ".asciz" {
+			b = append(b, 0)
+		}
+		a.addItem(st, lineNo, uint64(len(b)), item{data: &parsedData{bytes: b}})
+		return nil
+	case ".byte", ".word", ".dword":
+		width := map[string]int{".byte": 1, ".word": 2, ".dword": 4}[word]
+		vals, err := splitOperands(rest)
+		if err != nil {
+			return a.errf(st, lineNo, "%s: %v", word, err)
+		}
+		var b []byte
+		for _, v := range vals {
+			n, err := parseInt(v)
+			if err != nil {
+				return a.errf(st, lineNo, "%s: %v", word, err)
+			}
+			for k := 0; k < width; k++ {
+				b = append(b, byte(uint64(n)>>(8*k)))
+			}
+		}
+		a.addItem(st, lineNo, uint64(len(b)), item{data: &parsedData{bytes: b}})
+		return nil
+	case ".quad":
+		vals, err := splitOperands(rest)
+		if err != nil {
+			return a.errf(st, lineNo, ".quad: %v", err)
+		}
+		pd := &parsedData{}
+		for _, v := range vals {
+			qv := quadVal{}
+			if n, err := parseInt(v); err == nil {
+				qv.val = n
+			} else {
+				ref, addend, rerr := parseSymRef(v)
+				if rerr != nil {
+					return a.errf(st, lineNo, ".quad: %v", rerr)
+				}
+				qv.ref, qv.addend = ref, addend
+			}
+			pd.quads = append(pd.quads, qv)
+		}
+		a.addItem(st, lineNo, uint64(8*len(pd.quads)), item{data: pd})
+		return nil
+	case ".double":
+		vals, err := splitOperands(rest)
+		if err != nil {
+			return a.errf(st, lineNo, ".double: %v", err)
+		}
+		var b []byte
+		for _, v := range vals {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return a.errf(st, lineNo, ".double: %v", err)
+			}
+			bits := math.Float64bits(f)
+			for k := 0; k < 8; k++ {
+				b = append(b, byte(bits>>(8*k)))
+			}
+		}
+		a.addItem(st, lineNo, uint64(len(b)), item{data: &parsedData{bytes: b}})
+		return nil
+	case ".space":
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			return a.errf(st, lineNo, ".space: bad size %q", rest)
+		}
+		a.addItem(st, lineNo, uint64(n), item{data: &parsedData{bytes: make([]byte, n)}})
+		return nil
+	case ".align":
+		n, err := parseInt(rest)
+		if err != nil || n <= 0 || (n&(n-1)) != 0 {
+			return a.errf(st, lineNo, ".align: bad alignment %q", rest)
+		}
+		pos := a.pos(st.section)
+		pad := (uint64(n) - pos%uint64(n)) % uint64(n)
+		if pad > 0 {
+			a.addItem(st, lineNo, pad, item{data: &parsedData{bytes: make([]byte, pad)}})
+		}
+		return nil
+	case ".global", ".globl":
+		// All global labels are exported already; accepted for familiarity.
+		return nil
+	}
+	return a.errf(st, lineNo, "unknown directive %s", word)
+}
+
+func splitWord(line string) (word, rest string) {
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		return line[:i], line[i+1:]
+	}
+	return line, ""
+}

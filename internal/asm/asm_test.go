@@ -1,0 +1,357 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bin"
+	"repro/internal/isa"
+)
+
+func assemble(t *testing.T, text string) *bin.Image {
+	t.Helper()
+	im, err := Assemble(Source{Name: "test.s", Text: text})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return im
+}
+
+func decodeText(t *testing.T, im *bin.Image) []isa.Instr {
+	t.Helper()
+	sec, ok := im.Section(".text")
+	if !ok {
+		t.Fatal("no .text section")
+	}
+	ins, err := isa.DecodeProgram(sec.Data)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	return ins
+}
+
+func TestAssembleMinimal(t *testing.T) {
+	im := assemble(t, `
+_start:
+    mov r0, 1
+    halt
+`)
+	if im.Entry != bin.TextBase {
+		t.Errorf("Entry = %#x, want %#x", im.Entry, bin.TextBase)
+	}
+	ins := decodeText(t, im)
+	if len(ins) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(ins))
+	}
+	want0 := isa.Instr{Op: isa.OpMov, Mode: isa.ModeRI, Size: 8, R1: isa.R0, Imm: 1}
+	if ins[0] != want0 {
+		t.Errorf("ins[0] = %+v, want %+v", ins[0], want0)
+	}
+	if ins[1].Op != isa.OpHalt {
+		t.Errorf("ins[1] = %+v, want halt", ins[1])
+	}
+}
+
+func TestAssembleAllOperandShapes(t *testing.T) {
+	im := assemble(t, `
+_start:
+    mov   r1, r2
+    mov   r3, -7
+    mov   r4, 0x10
+    mov   r5, 'A'
+    ld.q  r1, [r2+8]
+    ld.b  r1, [r2-1]
+    ld.w  r1, [r2]
+    st.d  [r3+4], r4
+    push  r1
+    push  42
+    pop   r2
+    neg   r1
+    jmp   r5
+    call  _start
+    ret
+    syscall
+    halt
+`)
+	ins := decodeText(t, im)
+	checks := []struct {
+		i    int
+		want isa.Instr
+	}{
+		{0, isa.Instr{Op: isa.OpMov, Mode: isa.ModeRR, Size: 8, R1: isa.R1, R2: isa.R2}},
+		{1, isa.Instr{Op: isa.OpMov, Mode: isa.ModeRI, Size: 8, R1: isa.R3, Imm: -7}},
+		{2, isa.Instr{Op: isa.OpMov, Mode: isa.ModeRI, Size: 8, R1: isa.R4, Imm: 0x10}},
+		{3, isa.Instr{Op: isa.OpMov, Mode: isa.ModeRI, Size: 8, R1: isa.R5, Imm: 'A'}},
+		{4, isa.Instr{Op: isa.OpLd, Mode: isa.ModeRM, Size: 8, R1: isa.R1, R2: isa.R2, Imm: 8}},
+		{5, isa.Instr{Op: isa.OpLd, Mode: isa.ModeRM, Size: 1, R1: isa.R1, R2: isa.R2, Imm: -1}},
+		{6, isa.Instr{Op: isa.OpLd, Mode: isa.ModeRM, Size: 2, R1: isa.R1, R2: isa.R2}},
+		{7, isa.Instr{Op: isa.OpSt, Mode: isa.ModeMR, Size: 4, R1: isa.R3, R2: isa.R4, Imm: 4}},
+		{8, isa.Instr{Op: isa.OpPush, Mode: isa.ModeR, Size: 8, R1: isa.R1}},
+		{9, isa.Instr{Op: isa.OpPush, Mode: isa.ModeI, Size: 8, Imm: 42}},
+		{10, isa.Instr{Op: isa.OpPop, Mode: isa.ModeR, Size: 8, R1: isa.R2}},
+		{12, isa.Instr{Op: isa.OpJmp, Mode: isa.ModeR, Size: 8, R1: isa.R5}},
+		{13, isa.Instr{Op: isa.OpCall, Mode: isa.ModeI, Size: 8, Imm: bin.TextBase}},
+	}
+	for _, c := range checks {
+		if ins[c.i] != c.want {
+			t.Errorf("ins[%d] = %+v, want %+v", c.i, ins[c.i], c.want)
+		}
+	}
+}
+
+func TestLabelResolution(t *testing.T) {
+	im := assemble(t, `
+_start:
+    jmp end
+middle:
+    nop
+end:
+    halt
+`)
+	ins := decodeText(t, im)
+	endAddr, ok := im.Symbol("end")
+	if !ok {
+		t.Fatal("no end symbol")
+	}
+	if uint64(ins[0].Imm) != endAddr {
+		t.Errorf("jmp target = %#x, want %#x", ins[0].Imm, endAddr)
+	}
+	mid, _ := im.Symbol("middle")
+	// jmp is long form (12 bytes), so middle is at TextBase+12.
+	if mid != bin.TextBase+12 {
+		t.Errorf("middle = %#x, want %#x", mid, bin.TextBase+12)
+	}
+}
+
+func TestLocalLabels(t *testing.T) {
+	im := assemble(t, `
+f1:
+.loop:
+    jmp .loop
+    ret
+f2:
+.loop:
+    jmp .loop
+    ret
+_start:
+    halt
+`)
+	ins := decodeText(t, im)
+	f1, _ := im.Symbol("f1")
+	f2, _ := im.Symbol("f2")
+	if uint64(ins[0].Imm) != f1 {
+		t.Errorf("f1 jmp .loop = %#x, want %#x", ins[0].Imm, f1)
+	}
+	if uint64(ins[2].Imm) != f2 {
+		t.Errorf("f2 jmp .loop = %#x, want %#x", ins[2].Imm, f2)
+	}
+	// Local labels must not leak into the symbol table.
+	for _, s := range im.Symbols {
+		if strings.Contains(s.Name, "loop") {
+			t.Errorf("local label leaked: %q", s.Name)
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	im := assemble(t, `
+_start:
+    halt
+    .data
+msg:
+    .asciz "hi\n"
+raw:
+    .ascii "ab"
+nums:
+    .byte 1, 2, 0xff
+words:
+    .word 0x1234
+quads:
+    .quad 7, msg, msg+1
+flt:
+    .double 1024.0
+gap:
+    .space 3
+    .align 8
+aligned:
+    .byte 9
+`)
+	sec, _ := im.Section(".data")
+	msg, _ := im.Symbol("msg")
+	if msg != bin.DataBase {
+		t.Fatalf("msg = %#x, want %#x", msg, bin.DataBase)
+	}
+	want := []byte{'h', 'i', '\n', 0, 'a', 'b', 1, 2, 0xff, 0x34, 0x12}
+	for i, b := range want {
+		if sec.Data[i] != b {
+			t.Errorf("data[%d] = %#x, want %#x", i, sec.Data[i], b)
+		}
+	}
+	quads, _ := im.Symbol("quads")
+	off := quads - bin.DataBase
+	rd := func(o uint64) uint64 {
+		var v uint64
+		for k := 0; k < 8; k++ {
+			v |= uint64(sec.Data[o+uint64(k)]) << (8 * k)
+		}
+		return v
+	}
+	if got := rd(off); got != 7 {
+		t.Errorf("quad[0] = %d, want 7", got)
+	}
+	if got := rd(off + 8); got != msg {
+		t.Errorf("quad[1] = %#x, want msg %#x", got, msg)
+	}
+	if got := rd(off + 16); got != msg+1 {
+		t.Errorf("quad[2] = %#x, want msg+1", got)
+	}
+	flt, _ := im.Symbol("flt")
+	if got := rd(flt - bin.DataBase); got != math.Float64bits(1024.0) {
+		t.Errorf("double bits = %#x", got)
+	}
+	aligned, _ := im.Symbol("aligned")
+	if aligned%8 != 0 {
+		t.Errorf("aligned = %#x, not 8-aligned", aligned)
+	}
+}
+
+func TestMovfAndLea(t *testing.T) {
+	im := assemble(t, `
+_start:
+    movf r1, 2.5
+    lea  r2, buf+16
+    halt
+    .data
+buf:
+    .space 32
+`)
+	ins := decodeText(t, im)
+	if uint64(ins[0].Imm) != math.Float64bits(2.5) {
+		t.Errorf("movf imm = %#x, want bits of 2.5", ins[0].Imm)
+	}
+	buf, _ := im.Symbol("buf")
+	if uint64(ins[1].Imm) != buf+16 {
+		t.Errorf("lea imm = %#x, want %#x", ins[1].Imm, buf+16)
+	}
+}
+
+func TestMultiUnitLinking(t *testing.T) {
+	lib := Source{Name: "lib.s", Text: `
+double:
+    add r1, r1
+    mov r0, r1
+    ret
+`}
+	prog := Source{Name: "main.s", Text: `
+_start:
+    mov r1, 21
+    call double
+    halt
+`}
+	im, err := Assemble(lib, prog)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	d, ok := im.Symbol("double")
+	if !ok {
+		t.Fatal("double symbol missing")
+	}
+	ins := decodeText(t, im)
+	// lib is first: add, mov, ret, then _start's mov, call, halt.
+	if ins[4].Op != isa.OpCall || uint64(ins[4].Imm) != d {
+		t.Errorf("call = %+v, want target %#x", ins[4], d)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	im := assemble(t, `
+; full-line comment
+# hash comment
+_start:          ; trailing comment
+    mov r0, 1    # other comment
+    halt
+    .data
+s:  .asciz "semi;colon#hash"
+`)
+	sec, _ := im.Section(".data")
+	if got := string(sec.Data[:15]); got != "semi;colon#hash" {
+		t.Errorf("string with comment chars = %q", got)
+	}
+	ins := decodeText(t, im)
+	if len(ins) != 2 {
+		t.Errorf("got %d instructions, want 2", len(ins))
+	}
+}
+
+func TestLabelOnSameLineAsInstr(t *testing.T) {
+	im := assemble(t, `
+_start: mov r0, 5
+target: halt
+`)
+	tgt, ok := im.Symbol("target")
+	if !ok || tgt != bin.TextBase+12 {
+		t.Errorf("target = %#x, %v; want %#x", tgt, ok, bin.TextBase+12)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"no start", "main:\n halt\n", "_start"},
+		{"unknown mnemonic", "_start:\n frobnicate r1\n", "unknown mnemonic"},
+		{"undefined symbol", "_start:\n jmp nowhere\n", "undefined symbol"},
+		{"duplicate label", "_start:\n halt\n_start:\n halt\n", "duplicate"},
+		{"bad register", "_start:\n mov r99, 1\n", "first operand"},
+		{"bad directive", "_start:\n .frob 1\n", "unknown directive"},
+		{"local label no scope", ".loop:\n halt\n", "local label"},
+		{"bad size suffix", "_start:\n ld.x r1, [r2]\n", "size suffix"},
+		{"size suffix on add", "_start:\n add.q r1, r2\n", "size suffix"},
+		{"too many operands", "_start:\n add r1, r2, r3\n", "too many operands"},
+		{"unbalanced bracket", "_start:\n ld.q r1, [r2\n", "unbalanced"},
+		{"bad string", "_start:\n halt\n .data\ns: .asciz hello\n", "quoted string"},
+		{"bad align", "_start:\n .align 3\n", "align"},
+		{"mode not allowed", "_start:\n ret r1\n", "not allowed"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble(Source{Name: "t.s", Text: tt.text})
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Assemble(Source{Name: "unit.s", Text: "_start:\n halt\n bogus r1\n"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "unit.s:3") {
+		t.Errorf("error %q lacks unit:line position", err)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad input")
+		}
+	}()
+	MustAssemble(Source{Name: "bad.s", Text: "nonsense"})
+}
+
+func TestRetWithOperandRejected(t *testing.T) {
+	// `ret r1` parses as one operand; ModeR is not allowed for ret.
+	_, err := Assemble(Source{Name: "t.s", Text: "_start:\n pop\n"})
+	if err == nil {
+		t.Error("pop without operand should fail to encode")
+	}
+}

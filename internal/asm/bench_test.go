@@ -1,0 +1,18 @@
+package asm_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/libc"
+)
+
+// BenchmarkAssembleLibc measures assembling the full guest C library.
+func BenchmarkAssembleLibc(b *testing.B) {
+	units := append(libc.All(), asm.Source{Name: "m.s", Text: "main:\n mov r0, 0\n ret\n"})
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(units...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,515 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bin"
+	"repro/internal/isa"
+)
+
+// mnemonics maps assembler mnemonics to opcodes. Size-suffixed forms
+// (ld.b etc.) and pseudo-instructions are handled in scanInstr.
+var mnemonics = map[string]isa.Op{
+	"nop": isa.OpNop, "mov": isa.OpMov,
+	"push": isa.OpPush, "pop": isa.OpPop,
+	"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul,
+	"div": isa.OpDiv, "mod": isa.OpMod, "sdiv": isa.OpSdiv, "smod": isa.OpSmod,
+	"neg": isa.OpNeg,
+	"and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor, "not": isa.OpNot,
+	"shl": isa.OpShl, "shr": isa.OpShr, "sar": isa.OpSar,
+	"cmp": isa.OpCmp, "test": isa.OpTest,
+	"jmp": isa.OpJmp, "je": isa.OpJe, "jne": isa.OpJne,
+	"jl": isa.OpJl, "jle": isa.OpJle, "jg": isa.OpJg, "jge": isa.OpJge,
+	"jb": isa.OpJb, "jbe": isa.OpJbe, "ja": isa.OpJa, "jae": isa.OpJae,
+	"jz": isa.OpJe, "jnz": isa.OpJne, // aliases
+	"call": isa.OpCall, "ret": isa.OpRet,
+	"fadd": isa.OpFadd, "fsub": isa.OpFsub, "fmul": isa.OpFmul, "fdiv": isa.OpFdiv,
+	"fcmp": isa.OpFcmp, "i2f": isa.OpI2f, "f2i": isa.OpF2i,
+	"syscall": isa.OpSyscall, "halt": isa.OpHalt,
+}
+
+var sizeSuffixes = map[string]uint8{"b": 1, "w": 2, "d": 4, "q": 8}
+
+// operand is one parsed instruction operand.
+type operand struct {
+	kind   operandKind
+	reg    isa.Reg
+	imm    int64
+	ref    string
+	addend int64
+	memReg isa.Reg
+	memOff int64
+}
+
+type operandKind int
+
+const (
+	opndReg operandKind = iota + 1
+	opndImm             // numeric immediate
+	opndRef             // symbol reference (+addend)
+	opndMem             // [reg+off]
+)
+
+func (a *assembler) scanInstr(st *unitState, line string, lineNo int) error {
+	word, rest := splitWord(line)
+	word = strings.ToLower(word)
+
+	// movf: float64 immediate pseudo-instruction. The second operand is a
+	// float literal, so it bypasses the regular operand parser.
+	if word == "movf" {
+		comma := strings.IndexByte(rest, ',')
+		if comma < 0 {
+			return a.errf(st, lineNo, "movf wants `movf rN, <float>`")
+		}
+		r, ok := parseReg(rest[:comma])
+		if !ok {
+			return a.errf(st, lineNo, "movf wants `movf rN, <float>`")
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(rest[comma+1:]), 64)
+		if err != nil {
+			return a.errf(st, lineNo, "movf: bad float: %v", err)
+		}
+		pi := &parsedInstr{op: isa.OpMov, mode: isa.ModeRI, size: 8,
+			r1: r, imm: int64(math.Float64bits(f))}
+		a.addItem(st, lineNo, uint64(instrLen(pi)), item{instr: pi})
+		return nil
+	}
+	// lea: alias for mov reg, symbol.
+	if word == "lea" {
+		word = "mov"
+	}
+
+	size := uint8(8)
+	if dot := strings.IndexByte(word, '.'); dot >= 0 {
+		suffix := word[dot+1:]
+		var ok bool
+		size, ok = sizeSuffixes[suffix]
+		if !ok {
+			return a.errf(st, lineNo, "bad size suffix %q", suffix)
+		}
+		word = word[:dot]
+		if word != "ld" && word != "st" {
+			return a.errf(st, lineNo, "size suffix only valid on ld/st")
+		}
+	}
+	if word == "ld" || word == "st" {
+		return a.scanLdSt(st, word, size, rest, lineNo)
+	}
+
+	op, ok := mnemonics[word]
+	if !ok {
+		return a.errf(st, lineNo, "unknown mnemonic %q", word)
+	}
+	ops, err := parseOperands(rest, st.scope)
+	if err != nil {
+		return a.errf(st, lineNo, "%s: %v", word, err)
+	}
+	pi := &parsedInstr{op: op, size: 8}
+	switch len(ops) {
+	case 0:
+		pi.mode = isa.ModeNone
+	case 1:
+		switch ops[0].kind {
+		case opndReg:
+			pi.mode = isa.ModeR
+			pi.r1 = ops[0].reg
+		case opndImm:
+			pi.mode = isa.ModeI
+			pi.imm = ops[0].imm
+		case opndRef:
+			pi.mode = isa.ModeI
+			pi.immRef = ops[0].ref
+			pi.immAddend = ops[0].addend
+		default:
+			return a.errf(st, lineNo, "%s: bad operand", word)
+		}
+	case 2:
+		if ops[0].kind != opndReg {
+			return a.errf(st, lineNo, "%s: first operand must be a register", word)
+		}
+		pi.r1 = ops[0].reg
+		switch ops[1].kind {
+		case opndReg:
+			pi.mode = isa.ModeRR
+			pi.r2 = ops[1].reg
+		case opndImm:
+			pi.mode = isa.ModeRI
+			pi.imm = ops[1].imm
+		case opndRef:
+			pi.mode = isa.ModeRI
+			pi.immRef = ops[1].ref
+			pi.immAddend = ops[1].addend
+		default:
+			return a.errf(st, lineNo, "%s: bad second operand", word)
+		}
+	default:
+		return a.errf(st, lineNo, "%s: too many operands", word)
+	}
+	a.addItem(st, lineNo, uint64(instrLen(pi)), item{instr: pi})
+	return nil
+}
+
+func (a *assembler) scanLdSt(st *unitState, word string, size uint8, rest string, lineNo int) error {
+	ops, err := parseOperands(rest, st.scope)
+	if err != nil {
+		return a.errf(st, lineNo, "%s: %v", word, err)
+	}
+	if len(ops) != 2 {
+		return a.errf(st, lineNo, "%s wants two operands", word)
+	}
+	pi := &parsedInstr{size: size}
+	if word == "ld" {
+		if ops[0].kind != opndReg || ops[1].kind != opndMem {
+			return a.errf(st, lineNo, "ld wants `ld.SZ rN, [rM+off]`")
+		}
+		pi.op, pi.mode = isa.OpLd, isa.ModeRM
+		pi.r1, pi.r2, pi.imm = ops[0].reg, ops[1].memReg, ops[1].memOff
+	} else {
+		if ops[0].kind != opndMem || ops[1].kind != opndReg {
+			return a.errf(st, lineNo, "st wants `st.SZ [rM+off], rN`")
+		}
+		pi.op, pi.mode = isa.OpSt, isa.ModeMR
+		pi.r1, pi.r2, pi.imm = ops[0].memReg, ops[1].reg, ops[0].memOff
+	}
+	a.addItem(st, lineNo, uint64(instrLen(pi)), item{instr: pi})
+	return nil
+}
+
+func instrLen(pi *parsedInstr) int {
+	if pi.mode.HasImm() {
+		return isa.MaxEncodedLen
+	}
+	return 4
+}
+
+// emit is pass 2: resolve references and produce section bytes.
+func (a *assembler) emit() error {
+	for _, it := range a.items {
+		var b []byte
+		switch {
+		case it.instr != nil:
+			pi := it.instr
+			imm := pi.imm
+			if pi.immRef != "" {
+				addr, err := a.resolve(pi.immRef, it)
+				if err != nil {
+					return err
+				}
+				imm = int64(addr) + pi.immAddend
+			}
+			in := isa.Instr{Op: pi.op, Mode: pi.mode, Size: pi.size,
+				R1: pi.r1, R2: pi.r2, Imm: imm}
+			var err error
+			b, err = isa.Encode(nil, in)
+			if err != nil {
+				return &Error{Unit: it.unit, Line: it.line, Msg: err.Error()}
+			}
+		case it.data != nil:
+			b = append(b, it.data.bytes...)
+			for _, q := range it.data.quads {
+				v := uint64(q.val)
+				if q.ref != "" {
+					addr, err := a.resolve(q.ref, it)
+					if err != nil {
+						return err
+					}
+					v = addr + uint64(q.addend)
+				}
+				for k := 0; k < 8; k++ {
+					b = append(b, byte(v>>(8*k)))
+				}
+			}
+		}
+		if it.section == ".data" {
+			off := it.addr - bin.DataBase
+			a.data = appendAt(a.data, off, b)
+		} else {
+			off := it.addr - bin.TextBase
+			a.text = appendAt(a.text, off, b)
+		}
+	}
+	return nil
+}
+
+func appendAt(buf []byte, off uint64, b []byte) []byte {
+	need := int(off) + len(b)
+	for len(buf) < need {
+		buf = append(buf, 0)
+	}
+	copy(buf[off:], b)
+	return buf
+}
+
+func (a *assembler) resolve(ref string, it item) (uint64, error) {
+	// Local labels were parsed with their scope prefix already attached by
+	// parseOperands; fall back to the global namespace.
+	if addr, ok := a.symbols[ref]; ok {
+		return addr, nil
+	}
+	display := ref
+	if i := strings.Index(ref, localSep); i >= 0 {
+		display = ref[i+1:]
+		// A scoped lookup missed; try as a plain global (e.g. a label that
+		// merely starts with a dot at top level is not supported, so fail).
+	}
+	return 0, &Error{Unit: it.unit, Line: it.line,
+		Msg: fmt.Sprintf("undefined symbol %q", display)}
+}
+
+// parseOperands splits and parses the operand list. scope is the current
+// global label, used to qualify local-label references.
+func parseOperands(rest, scope string) ([]operand, error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil, nil
+	}
+	parts, err := splitOperands(rest)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]operand, 0, len(parts))
+	for _, p := range parts {
+		o, err := parseOperand(p, scope)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func parseOperand(s, scope string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, fmt.Errorf("empty operand")
+	}
+	if s[0] == '[' {
+		if s[len(s)-1] != ']' {
+			return operand{}, fmt.Errorf("unterminated memory operand %q", s)
+		}
+		return parseMemOperand(s[1 : len(s)-1])
+	}
+	if r, ok := parseReg(s); ok {
+		return operand{kind: opndReg, reg: r}, nil
+	}
+	if n, err := parseInt(s); err == nil {
+		return operand{kind: opndImm, imm: n}, nil
+	}
+	ref, addend, err := parseSymRef(s)
+	if err != nil {
+		return operand{}, err
+	}
+	if strings.HasPrefix(ref, ".") {
+		if scope == "" {
+			return operand{}, fmt.Errorf("local label %q outside any scope", ref)
+		}
+		ref = scope + localSep + ref
+	}
+	return operand{kind: opndRef, ref: ref, addend: addend}, nil
+}
+
+func parseMemOperand(inner string) (operand, error) {
+	inner = strings.TrimSpace(inner)
+	reg := inner
+	off := int64(0)
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			reg = strings.TrimSpace(inner[:i])
+			n, err := parseInt(strings.TrimSpace(inner[i:]))
+			if err != nil {
+				return operand{}, fmt.Errorf("bad memory offset in [%s]", inner)
+			}
+			off = n
+			break
+		}
+	}
+	r, ok := parseReg(reg)
+	if !ok {
+		return operand{}, fmt.Errorf("bad base register in [%s]", inner)
+	}
+	return operand{kind: opndMem, memReg: r, memOff: off}, nil
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "sp" {
+		return isa.SP, true
+	}
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, false
+	}
+	return isa.Reg(n), true
+}
+
+// parseInt parses decimal, hex (0x), negative and character ('c')
+// immediates.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if body == "\\n" {
+			return '\n', nil
+		}
+		if body == "\\t" {
+			return '\t', nil
+		}
+		if body == "\\0" {
+			return 0, nil
+		}
+		if body == "\\\\" {
+			return '\\', nil
+		}
+		if body == "\\'" {
+			return '\'', nil
+		}
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		return 0, fmt.Errorf("bad character literal %s", s)
+	}
+	neg := false
+	switch {
+	case strings.HasPrefix(s, "-"):
+		neg = true
+		s = s[1:]
+	case strings.HasPrefix(s, "+"):
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	n := int64(v)
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// parseSymRef parses `name` or `name+imm` / `name-imm`.
+func parseSymRef(s string) (ref string, addend int64, err error) {
+	s = strings.TrimSpace(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			name := strings.TrimSpace(s[:i])
+			if !isIdent(name) {
+				break
+			}
+			n, perr := parseInt(strings.TrimSpace(s[i:]))
+			if perr != nil {
+				return "", 0, fmt.Errorf("bad symbol addend in %q", s)
+			}
+			return name, n, nil
+		}
+	}
+	if !isIdent(s) {
+		return "", 0, fmt.Errorf("bad operand %q", s)
+	}
+	return s, 0, nil
+}
+
+// splitOperands splits a comma-separated operand list, respecting brackets
+// and string quotes.
+func splitOperands(s string) ([]string, error) {
+	var parts []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+				if depth < 0 {
+					return nil, fmt.Errorf("unbalanced brackets in %q", s)
+				}
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 || inStr {
+		return nil, fmt.Errorf("unbalanced brackets or quotes in %q", s)
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		parts = append(parts, last)
+	}
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("empty operand in %q", s)
+		}
+	}
+	return parts, nil
+}
+
+// parseString parses a double-quoted string literal with \n \t \0 \\ \"
+// escapes.
+func parseString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			out.WriteByte('\n')
+		case 't':
+			out.WriteByte('\t')
+		case '0':
+			out.WriteByte(0)
+		case '\\':
+			out.WriteByte('\\')
+		case '"':
+			out.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out.String(), nil
+}
+
+func sortSymbols(syms []bin.Symbol) {
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Addr != syms[j].Addr {
+			return syms[i].Addr < syms[j].Addr
+		}
+		return syms[i].Name < syms[j].Name
+	})
+}

@@ -1,0 +1,166 @@
+package bin
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sampleImage() *Image {
+	return &Image{
+		Entry: TextBase,
+		Sections: []Section{
+			{Name: ".text", Addr: TextBase, Data: []byte{1, 2, 3, 4}},
+			{Name: ".data", Addr: DataBase, Data: []byte("hello")},
+		},
+		Symbols: []Symbol{
+			{Name: "_start", Addr: TextBase},
+			{Name: "main", Addr: TextBase + 4},
+			{Name: "bomb", Addr: TextBase + 100},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	im := sampleImage()
+	data := im.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Entry != im.Entry {
+		t.Errorf("Entry = %#x, want %#x", got.Entry, im.Entry)
+	}
+	if len(got.Sections) != len(im.Sections) || len(got.Symbols) != len(im.Symbols) {
+		t.Fatalf("counts = %d/%d, want %d/%d",
+			len(got.Sections), len(got.Symbols), len(im.Sections), len(im.Symbols))
+	}
+	for i, s := range im.Sections {
+		g := got.Sections[i]
+		if g.Name != s.Name || g.Addr != s.Addr || !bytes.Equal(g.Data, s.Data) {
+			t.Errorf("section %d mismatch: %+v vs %+v", i, g, s)
+		}
+	}
+	for i, s := range im.Symbols {
+		if got.Symbols[i] != s {
+			t.Errorf("symbol %d = %+v, want %+v", i, got.Symbols[i], s)
+		}
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	data := sampleImage().Encode()
+	data[0] = 'X'
+	if _, err := Decode(data); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("Decode bad magic err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	data := sampleImage().Encode()
+	for _, n := range []int{0, 3, 10, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Errorf("Decode of %d-byte prefix should fail", n)
+		}
+	}
+}
+
+func TestDecodeUnreasonableCounts(t *testing.T) {
+	im := &Image{}
+	data := im.Encode()
+	// Corrupt the section count field (offset 12) to a huge value.
+	data[12], data[13], data[14], data[15] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := Decode(data); err == nil {
+		t.Error("Decode with absurd section count should fail")
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	im := sampleImage()
+	addr, ok := im.Symbol("bomb")
+	if !ok || addr != TextBase+100 {
+		t.Errorf("Symbol(bomb) = %#x, %v", addr, ok)
+	}
+	if _, ok := im.Symbol("nope"); ok {
+		t.Error("Symbol(nope) should not be found")
+	}
+}
+
+func TestSectionLookupAndRanges(t *testing.T) {
+	im := sampleImage()
+	s, ok := im.Section(".data")
+	if !ok || s.Addr != DataBase {
+		t.Errorf("Section(.data) = %+v, %v", s, ok)
+	}
+	lo, hi, ok := im.TextRange()
+	if !ok || lo != TextBase || hi != TextBase+4 {
+		t.Errorf("TextRange = %#x..%#x, %v", lo, hi, ok)
+	}
+	empty := &Image{}
+	if _, _, ok := empty.TextRange(); ok {
+		t.Error("TextRange on empty image should fail")
+	}
+	if im.Size() != 4+5 {
+		t.Errorf("Size = %d, want 9", im.Size())
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	im := sampleImage()
+	tests := []struct {
+		addr uint64
+		want string
+		ok   bool
+	}{
+		{TextBase, "_start", true},
+		{TextBase + 5, "main", true},
+		{TextBase + 1000, "bomb", true},
+		{0, "", false},
+	}
+	for _, tt := range tests {
+		got, ok := im.SymbolAt(tt.addr)
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("SymbolAt(%#x) = %q, %v; want %q, %v", tt.addr, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(entry uint64, names []string, blobs [][]byte) bool {
+		im := &Image{Entry: entry}
+		for i, n := range names {
+			if len(n) > 64 {
+				n = n[:64]
+			}
+			var data []byte
+			if i < len(blobs) {
+				data = blobs[i]
+				if len(data) > 4096 {
+					data = data[:4096]
+				}
+			}
+			im.Sections = append(im.Sections, Section{Name: n, Addr: uint64(i) * 0x1000, Data: data})
+			im.Symbols = append(im.Symbols, Symbol{Name: n, Addr: uint64(i)})
+		}
+		got, err := Decode(im.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Entry != im.Entry || len(got.Sections) != len(im.Sections) {
+			return false
+		}
+		for i := range im.Sections {
+			if got.Sections[i].Name != im.Sections[i].Name {
+				return false
+			}
+			if !bytes.Equal(got.Sections[i].Data, im.Sections[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

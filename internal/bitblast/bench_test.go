@@ -1,0 +1,43 @@
+package bitblast
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+	"repro/internal/sym"
+)
+
+// BenchmarkMul64Solve measures solving x*10 == 420 over 64-bit vectors —
+// the hot shape behind atoi-style path constraints.
+func BenchmarkMul64Solve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.New()
+		e := New(s)
+		x := sym.NewVar("x", 64)
+		c := sym.NewBin(sym.OpEq,
+			sym.NewBin(sym.OpMul, x, sym.NewConst(10, 64)),
+			sym.NewConst(420, 64))
+		if err := e.Assert(c); err != nil {
+			b.Fatal(err)
+		}
+		if st := s.Solve(0); st != sat.Sat {
+			b.Fatalf("status %v", st)
+		}
+	}
+}
+
+// BenchmarkDividerEncode measures the restoring-divider circuit build.
+func BenchmarkDividerEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.New()
+		e := New(s)
+		x := sym.NewVar("x", 64)
+		y := sym.NewVar("y", 64)
+		c := sym.NewBin(sym.OpEq,
+			sym.NewBin(sym.OpUDiv, x, y),
+			sym.NewConst(7, 64))
+		if err := e.Assert(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

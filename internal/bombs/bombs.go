@@ -1,0 +1,201 @@
+// Package bombs contains the logic-bomb benchmark: the 22 challenge
+// programs of the paper's Table II, the negative pow bomb of §V-C, the
+// two Figure 3 external-call programs, and three extension bombs (the
+// loop challenge the paper defers, a symbolic return address, and a
+// three-level array). Each bomb is an LB64 assembly program linked
+// against the guest libc; its trigger path prints BOOM and exits with
+// status 42.
+package bombs
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/bin"
+	"repro/internal/gos"
+	"repro/internal/libc"
+)
+
+// Category groups bombs the way the paper's Table II does.
+type Category string
+
+// Categories.
+const (
+	Accuracy    Category = "accuracy"
+	Scalability Category = "scalability"
+	Extra       Category = "extra" // negative bomb, Fig. 3 programs, extensions
+)
+
+// Challenge names, matching the paper's Table I / Table II rows.
+const (
+	ChSymbolicDecl  = "Symbolic Variable Declaration"
+	ChCovertProp    = "Covert Symbolic Propagation"
+	ChParallel      = "Parallel Program"
+	ChSymbolicArray = "Symbolic Array"
+	ChContextual    = "Contextual Symbolic Value"
+	ChSymbolicJump  = "Symbolic Jump"
+	ChFloat         = "Floating-point Number"
+	ChExternalCall  = "External Function Call"
+	ChCrypto        = "Crypto Function"
+	ChNegative      = "Negative Predicate"
+	ChLoop          = "Loop" // extension: the challenge the paper defers
+)
+
+// PaperOutcome is a Table II cell value.
+type PaperOutcome string
+
+// Table II cell values.
+const (
+	OK  PaperOutcome = "ok" // solved (checkmark in the paper)
+	Es0 PaperOutcome = "Es0"
+	Es1 PaperOutcome = "Es1"
+	Es2 PaperOutcome = "Es2"
+	Es3 PaperOutcome = "Es3"
+	E   PaperOutcome = "E" // abnormal exit
+	P   PaperOutcome = "P" // partial success (Angr simulation)
+)
+
+// Input fully specifies one concrete run: the argument string plus every
+// environment facet a bomb can depend on. The benign input is the seed a
+// tool starts from; the trigger input is the ground truth that detonates
+// the bomb.
+type Input struct {
+	Argv1   string
+	TimeNow uint64
+	Pid     uint64
+	Web     map[string]string
+	Files   map[string][]byte
+}
+
+// Default environment values for benign runs.
+const (
+	DefaultTime = 1111111111
+	DefaultPid  = 4242
+)
+
+// Config converts the input into a machine configuration.
+func (in Input) Config() gos.Config {
+	cfg := gos.Config{
+		Argv:       []string{"bomb", in.Argv1},
+		TimeNow:    in.TimeNow,
+		Pid:        in.Pid,
+		WebContent: in.Web,
+		Files:      in.Files,
+	}
+	if cfg.TimeNow == 0 {
+		cfg.TimeNow = DefaultTime
+	}
+	if cfg.Pid == 0 {
+		cfg.Pid = DefaultPid
+	}
+	return cfg
+}
+
+// Bomb is one benchmark program.
+type Bomb struct {
+	Name        string
+	Category    Category
+	Challenge   string
+	Description string // the Table II "Sample Case" text
+
+	Source string // LB64 assembly for the program unit
+
+	Trigger Input // detonates the bomb
+	Benign  Input // seed input; must not detonate
+
+	// Paper is the Table II row: outcomes for BAP, Triton, Angr and
+	// Angr-NoLib, in that order. Zero value for extra bombs.
+	Paper [4]PaperOutcome
+
+	once sync.Once
+	img  *bin.Image
+}
+
+// Image assembles (once) and returns the bomb's binary image.
+func (b *Bomb) Image() *bin.Image {
+	b.once.Do(func() {
+		units := append(libc.All(), asm.Source{Name: b.Name + ".s", Text: b.Source})
+		b.img = asm.MustAssemble(units...)
+	})
+	return b.img
+}
+
+// BombAddr returns the address of the bomb payload symbol.
+func (b *Bomb) BombAddr() uint64 {
+	addr, ok := b.Image().Symbol("bomb")
+	if !ok {
+		panic("bomb image has no bomb symbol: " + b.Name)
+	}
+	return addr
+}
+
+// Run executes the bomb concretely under the given input.
+func (b *Bomb) Run(in Input, opts ...RunOption) (*gos.Result, error) {
+	cfg := in.Config()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := gos.New(b.Image(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}
+
+// RunOption adjusts the machine configuration of a run.
+type RunOption func(*gos.Config)
+
+// WithRecording enables full trace recording.
+func WithRecording() RunOption {
+	return func(c *gos.Config) { c.Record = true }
+}
+
+// WithMaxSteps overrides the instruction budget.
+func WithMaxSteps(n int) RunOption {
+	return func(c *gos.Config) { c.MaxSteps = n }
+}
+
+// Triggered reports whether a run detonated the bomb: the canonical
+// BOOM/42 protocol.
+func Triggered(res *gos.Result) bool {
+	return res.ExitStatus == 42 && strings.Contains(res.Stdout, "BOOM")
+}
+
+// All returns the full benchmark in Table II order followed by the extra
+// programs. The returned bombs are shared singletons; their images are
+// cached.
+func All() []*Bomb { return registry }
+
+// TableII returns only the 22 bombs evaluated in the paper's Table II.
+func TableII() []*Bomb {
+	out := make([]*Bomb, 0, 22)
+	for _, b := range registry {
+		if b.Category != Extra {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName returns the named bomb.
+func ByName(name string) (*Bomb, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// ChallengeStages maps each accuracy challenge to the error stages it can
+// incur — the paper's Table I.
+var ChallengeStages = map[string][]PaperOutcome{
+	ChSymbolicDecl:  {Es0, Es1, Es2, Es3},
+	ChCovertProp:    {Es2, Es3},
+	ChParallel:      {Es2, Es3},
+	ChSymbolicArray: {Es3},
+	ChContextual:    {Es3},
+	ChSymbolicJump:  {Es3},
+	ChFloat:         {Es3},
+}

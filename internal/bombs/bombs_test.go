@@ -1,0 +1,183 @@
+package bombs
+
+import (
+	"testing"
+)
+
+func TestRegistryShape(t *testing.T) {
+	if got := len(TableII()); got != 22 {
+		t.Errorf("Table II bombs = %d, want 22", got)
+	}
+	if got := len(All()); got != 28 {
+		t.Errorf("total bombs = %d, want 28 (22 + negpow + 2 fig3 + 3 extensions)", got)
+	}
+	seen := make(map[string]bool)
+	for _, b := range All() {
+		if seen[b.Name] {
+			t.Errorf("duplicate bomb name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Category != Extra {
+			for _, o := range b.Paper {
+				if o == "" {
+					t.Errorf("%s: missing paper outcome", b.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestCategoryCounts(t *testing.T) {
+	counts := map[string]int{}
+	for _, b := range TableII() {
+		counts[b.Challenge]++
+	}
+	want := map[string]int{
+		ChSymbolicDecl:  4,
+		ChCovertProp:    5,
+		ChParallel:      2,
+		ChSymbolicArray: 2,
+		ChContextual:    2,
+		ChSymbolicJump:  2,
+		ChFloat:         1,
+		ChExternalCall:  2,
+		ChCrypto:        2,
+	}
+	for ch, n := range want {
+		if counts[ch] != n {
+			t.Errorf("%s: %d bombs, want %d", ch, counts[ch], n)
+		}
+	}
+}
+
+// TestAllBombsTriggerAndStayQuiet is the ground-truth check for the whole
+// benchmark: the documented trigger input detonates every bomb (except the
+// deliberately unreachable negpow) and the benign seed never does.
+func TestAllBombsTriggerAndStayQuiet(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			benign, err := b.Run(b.Benign)
+			if err != nil {
+				t.Fatalf("benign run: %v", err)
+			}
+			if Triggered(benign) {
+				t.Errorf("benign input %+v detonated the bomb", b.Benign)
+			}
+			trig, err := b.Run(b.Trigger, WithMaxSteps(5_000_000))
+			if err != nil {
+				t.Fatalf("trigger run: %v", err)
+			}
+			if b.Name == "negpow" {
+				if Triggered(trig) {
+					t.Error("negpow must be unreachable")
+				}
+				return
+			}
+			if !Triggered(trig) {
+				t.Errorf("trigger input %+v did not detonate: reason=%s status=%d stdout=%q",
+					b.Trigger, trig.Reason, trig.ExitStatus, trig.Stdout)
+			}
+		})
+	}
+}
+
+func TestBombAddrWatched(t *testing.T) {
+	b, ok := ByName("arglen")
+	if !ok {
+		t.Fatal("arglen bomb missing")
+	}
+	addr := b.BombAddr()
+	if addr == 0 {
+		t.Fatal("bomb address is zero")
+	}
+	cfg := b.Trigger.Config()
+	cfg.WatchAddrs = []uint64{addr}
+	// Run through the low-level API to check the watch plumbing.
+	res, err := b.Run(b.Trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Triggered(res) {
+		t.Fatal("trigger failed")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("sha1"); !ok {
+		t.Error("sha1 bomb not found")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("nonexistent bomb found")
+	}
+}
+
+func TestImageSizesSmall(t *testing.T) {
+	// The paper's binaries are 10-25 KB; ours should be of the same order
+	// (small binaries, rich libc).
+	for _, b := range All() {
+		size := b.Image().Size()
+		if size > 64*1024 {
+			t.Errorf("%s: image %d bytes, want < 64KB", b.Name, size)
+		}
+		if size < 1024 {
+			t.Errorf("%s: image %d bytes suspiciously small", b.Name, size)
+		}
+	}
+}
+
+func TestTriggerInputConfigDefaults(t *testing.T) {
+	in := Input{Argv1: "x"}
+	cfg := in.Config()
+	if cfg.TimeNow != DefaultTime || cfg.Pid != DefaultPid {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if len(cfg.Argv) != 2 || cfg.Argv[1] != "x" {
+		t.Errorf("argv = %v", cfg.Argv)
+	}
+}
+
+func TestChallengeStagesTableI(t *testing.T) {
+	// Table I: declaration can fail at every stage; arrays/jumps/floats
+	// only at constraint modeling.
+	if got := ChallengeStages[ChSymbolicDecl]; len(got) != 4 {
+		t.Errorf("declaration stages = %v", got)
+	}
+	for _, ch := range []string{ChSymbolicArray, ChContextual, ChSymbolicJump, ChFloat} {
+		got := ChallengeStages[ch]
+		if len(got) != 1 || got[0] != Es3 {
+			t.Errorf("%s stages = %v, want [Es3]", ch, got)
+		}
+	}
+}
+
+func TestFig3ProgramsShareTrigger(t *testing.T) {
+	plain, _ := ByName("fig3_plain")
+	withPrintf, _ := ByName("fig3_printf")
+	for _, b := range []*Bomb{plain, withPrintf} {
+		res, err := b.Run(b.Trigger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Triggered(res) {
+			t.Errorf("%s: trigger failed", b.Name)
+		}
+	}
+	// The printf variant must execute strictly more instructions.
+	rp, _ := plain.Run(plain.Trigger)
+	rf, _ := withPrintf.Run(withPrintf.Trigger)
+	if rf.Steps <= rp.Steps {
+		t.Errorf("printf variant steps %d <= plain %d", rf.Steps, rp.Steps)
+	}
+}
+
+func TestImagesHaveBombSymbol(t *testing.T) {
+	for _, b := range All() {
+		if _, ok := b.Image().Symbol("bomb"); !ok {
+			t.Errorf("%s: no bomb symbol", b.Name)
+		}
+		if _, ok := b.Image().Symbol("main"); !ok {
+			t.Errorf("%s: no main symbol", b.Name)
+		}
+	}
+}

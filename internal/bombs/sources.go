@@ -1,0 +1,1005 @@
+package bombs
+
+// The bomb programs. Each `main` receives argc in r1 and argv in r2 per
+// the crt0 convention; the trigger path calls `bomb` (libc BombRT), which
+// prints BOOM and exits 42. Non-trigger paths return 0.
+
+var registry = []*Bomb{
+	// ── Symbolic Variable Declaration ────────────────────────────────
+	{
+		Name:        "time",
+		Category:    Accuracy,
+		Challenge:   ChSymbolicDecl,
+		Description: "Employ time info in conditions for triggering a bomb",
+		Paper:       [4]PaperOutcome{Es0, Es0, Es0, Es0},
+		Trigger:     Input{Argv1: "1", TimeNow: 1735689600},
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    mov r0, 6              ; time()
+    syscall
+    cmp r0, 1735689600
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "web",
+		Category:    Accuracy,
+		Challenge:   ChSymbolicDecl,
+		Description: "Employ web contents in conditions for triggering a bomb",
+		Paper:       [4]PaperOutcome{Es0, Es0, E, E},
+		Trigger:     Input{Argv1: "1", Web: map[string]string{"http://evil.example/key": "open sesame"}},
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    mov r0, 12             ; web_get(url, buf, 32)
+    mov r1, url
+    mov r2, buf
+    mov r3, 32
+    syscall
+    cmp r0, 4
+    jl .out
+    mov r1, buf
+    ld.b r3, [r1+0]
+    cmp r3, 'o'
+    jne .out
+    ld.b r3, [r1+1]
+    cmp r3, 'p'
+    jne .out
+    ld.b r3, [r1+2]
+    cmp r3, 'e'
+    jne .out
+    ld.b r3, [r1+3]
+    cmp r3, 'n'
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+url: .asciz "http://evil.example/key"
+buf: .space 32
+`,
+	},
+	{
+		Name:        "getpid",
+		Category:    Accuracy,
+		Challenge:   ChSymbolicDecl,
+		Description: "Employ the return values of system calls in conditions",
+		Paper:       [4]PaperOutcome{Es0, Es0, P, P},
+		Trigger:     Input{Argv1: "1", Pid: 4960}, // 4960 % 97 == 13
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    mov r0, 7              ; getpid()
+    syscall
+    mod r0, 97
+    cmp r0, 13
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "arglen",
+		Category:    Accuracy,
+		Challenge:   ChSymbolicDecl,
+		Description: "Employ the length of argv[1] in conditions",
+		Paper:       [4]PaperOutcome{Es2, Es0, OK, OK},
+		Trigger:     Input{Argv1: "abcdef"},
+		Benign:      Input{Argv1: "a"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call strlen
+    cmp r0, 6
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+
+	// ── Covert Symbolic Propagation ──────────────────────────────────
+	{
+		Name:        "stack",
+		Category:    Accuracy,
+		Challenge:   ChCovertProp,
+		Description: "Push symbolic values into the stack and pop out",
+		Paper:       [4]PaperOutcome{Es1, OK, OK, OK},
+		Trigger:     Input{Argv1: "39"},
+		Benign:      Input{Argv1: "10"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    push r0
+    push 17
+    pop r3
+    pop r4
+    cmp r4, 39
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "file",
+		Category:    Accuracy,
+		Challenge:   ChCovertProp,
+		Description: "Save symbolic values to a file and then read back",
+		Paper:       [4]PaperOutcome{Es2, Es2, E, Es2},
+		Trigger:     Input{Argv1: "7"},
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r12, [r2+8]
+    mov r1, r12
+    call strlen
+    mov r13, r0
+    mov r0, 4              ; open("tmp.dat", write)
+    mov r1, path
+    mov r2, 1
+    syscall
+    mov r14, r0
+    mov r0, 3              ; write(fd, argv1, len)
+    mov r1, r14
+    mov r2, r12
+    mov r3, r13
+    syscall
+    mov r0, 5              ; close(fd)
+    mov r1, r14
+    syscall
+    mov r0, 4              ; open("tmp.dat", read)
+    mov r1, path
+    mov r2, 0
+    syscall
+    mov r14, r0
+    mov r0, 2              ; read(fd, buf, 16)
+    mov r1, r14
+    mov r2, buf
+    mov r3, 16
+    syscall
+    mov r1, buf
+    call atoi
+    cmp r0, 7
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+path: .asciz "tmp.dat"
+buf:  .space 17
+`,
+	},
+	{
+		Name:        "kvstore",
+		Category:    Accuracy,
+		Challenge:   ChCovertProp,
+		Description: "Save symbolic values via system call and then read back",
+		Paper:       [4]PaperOutcome{Es2, Es2, P, P},
+		Trigger:     Input{Argv1: "K"},
+		Benign:      Input{Argv1: "A"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r12, [r2+8]
+    mov r0, 17             ; kv_put("slot", argv1, 1)
+    mov r1, key
+    mov r2, r12
+    mov r3, 1
+    syscall
+    mov r0, 18             ; kv_get("slot", buf, 1)
+    mov r1, key
+    mov r2, buf
+    mov r3, 1
+    syscall
+    mov r1, buf
+    ld.b r3, [r1+0]
+    cmp r3, 'K'
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+key: .asciz "slot"
+buf: .space 8
+`,
+	},
+	{
+		Name:        "exception",
+		Category:    Accuracy,
+		Challenge:   ChCovertProp,
+		Description: "Change symbolic values in an exception (argv[1] = 0)",
+		Paper:       [4]PaperOutcome{OK, Es1, E, Es2},
+		Trigger:     Input{Argv1: "0"},
+		Benign:      Input{Argv1: "5"},
+		Source: `
+handler:
+    mov r6, flagcell
+    mov r7, 1
+    st.q [r6+0], r7
+    ret
+
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r12, r0
+    mov r0, 13             ; sighandler(handler)
+    mov r1, handler
+    syscall
+    mov r3, 100
+    div r3, r12            ; faults when argv[1] == 0
+    mov r6, flagcell
+    ld.q r7, [r6+0]
+    cmp r7, 1
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+flagcell: .quad 0
+`,
+	},
+	{
+		Name:        "fileexc",
+		Category:    Accuracy,
+		Challenge:   ChCovertProp,
+		Description: "Change symbolic values in an file operation exception",
+		Paper:       [4]PaperOutcome{Es2, Es2, Es2, Es2},
+		Trigger:     Input{Argv1: "99"},
+		Benign:      Input{Argv1: "55"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r12, [r2+8]
+    mov r0, 4              ; open(argv1, read)
+    mov r1, r12
+    mov r2, 0
+    syscall
+    cmp r0, -1
+    jne .out               ; only the failure path mutates the value
+    mov r1, r12            ; the error handler logs the value covertly
+    call atoi
+    mov r13, r0
+    mov r0, 4              ; open("err.log", write)
+    mov r1, epath
+    mov r2, 1
+    syscall
+    mov r14, r0
+    mov r6, ebuf
+    st.q [r6+0], r13
+    mov r0, 3              ; write(fd, ebuf, 8)
+    mov r1, r14
+    mov r2, ebuf
+    mov r3, 8
+    syscall
+    mov r0, 5              ; close(fd)
+    mov r1, r14
+    syscall
+    mov r0, 4              ; open("err.log", read)
+    mov r1, epath
+    mov r2, 0
+    syscall
+    mov r14, r0
+    mov r0, 2              ; read(fd, ebuf2, 8)
+    mov r1, r14
+    mov r2, ebuf2
+    mov r3, 8
+    syscall
+    mov r6, ebuf2
+    ld.q r7, [r6+0]
+    add r7, 1
+    cmp r7, 100
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+epath: .asciz "err.log"
+ebuf:  .space 8
+ebuf2: .space 8
+`,
+	},
+
+	// ── Parallel Program ─────────────────────────────────────────────
+	{
+		Name:        "thread",
+		Category:    Accuracy,
+		Challenge:   ChParallel,
+		Description: "Change symbolic values in multi-threads via pthread",
+		Paper:       [4]PaperOutcome{OK, Es2, Es2, Es2},
+		Trigger:     Input{Argv1: "13"},
+		Benign:      Input{Argv1: "10"},
+		Source: `
+worker:
+    ld.q r6, [r1+0]
+    add  r6, 29
+    st.q [r1+0], r6
+    ret
+
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r6, cell
+    st.q [r6+0], r0
+    mov r0, 10             ; thread_create(worker, cell)
+    mov r1, worker
+    mov r2, cell
+    syscall
+    mov r1, r0
+    mov r0, 11             ; thread_join(tid)
+    syscall
+    mov r6, cell
+    ld.q r7, [r6+0]
+    cmp r7, 42
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+cell: .quad 0
+`,
+	},
+	{
+		Name:        "fork",
+		Category:    Accuracy,
+		Challenge:   ChParallel,
+		Description: "Change symbolic values in multi-processes via fork/pipe",
+		Paper:       [4]PaperOutcome{Es2, Es2, Es2, OK},
+		Trigger:     Input{Argv1: "49"},
+		Benign:      Input{Argv1: "10"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r12, [r2+8]
+    mov r0, 9              ; pipe(fds)
+    mov r1, fds
+    syscall
+    mov r0, 8              ; fork()
+    syscall
+    cmp r0, 0
+    je .child
+    mov r0, 5              ; parent: close write end
+    mov r1, fds
+    ld.q r1, [r1+8]
+    syscall
+    mov r0, 2              ; read(rfd, buf, 1)
+    mov r1, fds
+    ld.q r1, [r1+0]
+    mov r2, buf
+    mov r3, 1
+    syscall
+    mov r1, buf
+    ld.b r3, [r1+0]
+    cmp r3, 99
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+.child:
+    mov r1, r12
+    call atoi
+    mul r0, 2
+    add r0, 1
+    mov r6, buf
+    st.b [r6+0], r0
+    mov r0, 3              ; write(wfd, buf, 1)
+    mov r1, fds
+    ld.q r1, [r1+8]
+    mov r2, buf
+    mov r3, 1
+    syscall
+    mov r0, 1
+    mov r1, 0
+    syscall
+
+    .data
+fds: .space 16
+buf: .space 8
+`,
+	},
+
+	// ── Symbolic Array ───────────────────────────────────────────────
+	{
+		Name:        "array1",
+		Category:    Accuracy,
+		Challenge:   ChSymbolicArray,
+		Description: "Employ symbolic values as offsets for a level-one array",
+		Paper:       [4]PaperOutcome{Es3, Es3, OK, OK},
+		Trigger:     Input{Argv1: "6"},
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0
+    jl .out
+    cmp r0, 9
+    jg .out
+    mov r6, table
+    add r6, r0
+    ld.b r7, [r6+0]
+    cmp r7, 77
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+table: .byte 11, 22, 33, 44, 55, 66, 77, 88, 99, 10
+`,
+	},
+	{
+		Name:        "array2",
+		Category:    Accuracy,
+		Challenge:   ChSymbolicArray,
+		Description: "Employ symbolic values as offsets for a level-two array",
+		Paper:       [4]PaperOutcome{Es3, Es3, Es3, Es3},
+		Trigger:     Input{Argv1: "3"}, // t1[3] = 7, t2[7] = 88
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0
+    jl .out
+    cmp r0, 9
+    jg .out
+    mov r6, t1
+    add r6, r0
+    ld.b r7, [r6+0]
+    mov r6, t2
+    add r6, r7
+    ld.b r8, [r6+0]
+    cmp r8, 88
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+t1: .byte 4, 2, 9, 7, 0, 1, 3, 5, 8, 6
+t2: .byte 10, 20, 30, 40, 50, 60, 70, 88, 90, 95
+`,
+	},
+
+	// ── Contextual Symbolic Value ────────────────────────────────────
+	{
+		Name:        "filename",
+		Category:    Accuracy,
+		Challenge:   ChContextual,
+		Description: "Employ symbolic values as the name of a file",
+		Paper:       [4]PaperOutcome{Es2, Es3, Es2, Es2},
+		Trigger:     Input{Argv1: "secret.key", Files: map[string][]byte{"secret.key": []byte("k")}},
+		Benign:      Input{Argv1: "nosuch", Files: map[string][]byte{"secret.key": []byte("k")}},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    mov r2, 0
+    mov r0, 4              ; open(argv1, read)
+    syscall
+    cmp r0, -1
+    je .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "sysname",
+		Category:    Accuracy,
+		Challenge:   ChContextual,
+		Description: "Employ symbolic values as the name of a system call",
+		Paper:       [4]PaperOutcome{Es2, Es3, Es2, Es2},
+		Trigger:     Input{Argv1: "6", TimeNow: 987654321},
+		Benign:      Input{Argv1: "0", TimeNow: 987654321},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r1, 0
+    mov r2, 0
+    mov r3, 0
+    syscall                ; syscall number comes from argv[1]
+    cmp r0, 987654321
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+
+	// ── Symbolic Jump ────────────────────────────────────────────────
+	{
+		Name:        "jump",
+		Category:    Accuracy,
+		Challenge:   ChSymbolicJump,
+		Description: "Employ symbolic values as unconditional jump addresses",
+		Paper:       [4]PaperOutcome{Es3, Es3, Es2, Es2},
+		Trigger:     Input{Argv1: "7"},
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r10, r0
+    and r10, 15            ; unchecked dispatch: the mask keeps any value
+    mov r9, .anchor        ; inside the 16 slots without a guard branch
+    mul r10, 12
+    add r9, r10
+    jmp r9
+.anchor:
+    jmp .out
+    jmp .out
+    jmp .out
+    jmp .out
+    jmp .out
+    jmp .out
+    jmp .out
+    call bomb
+    jmp .out
+    jmp .out
+    jmp .out
+    jmp .out
+    jmp .out
+    jmp .out
+    jmp .out
+    jmp .out
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "jumptab",
+		Category:    Accuracy,
+		Challenge:   ChSymbolicJump,
+		Description: "Employ symbolic values as offsets to an address array",
+		Paper:       [4]PaperOutcome{Es3, Es3, Es3, Es3},
+		Trigger:     Input{Argv1: "3"},
+		Benign:      Input{Argv1: "1"},
+		Source: `
+jump_hit:
+    call bomb
+jump_miss:
+    mov r0, 0
+    ret
+
+main:
+    cmp r1, 2
+    jl jump_miss
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0
+    jl jump_miss
+    cmp r0, 4
+    jg jump_miss
+    mov r9, jtab
+    mov r10, r0
+    shl r10, 3
+    add r9, r10
+    ld.q r9, [r9+0]
+    jmp r9
+
+    .data
+jtab: .quad jump_miss, jump_miss, jump_miss, jump_hit, jump_miss
+`,
+	},
+
+	// ── Floating-point Number ────────────────────────────────────────
+	{
+		Name:        "float",
+		Category:    Accuracy,
+		Challenge:   ChFloat,
+		Description: "Employ floating-point numbers in symbolic conditions",
+		Paper:       [4]PaperOutcome{Es1, Es1, E, Es3},
+		Trigger:     Input{Argv1: "0.00000000000001"},
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atof
+    mov r12, r0
+    movf r6, 0.0
+    fcmp r6, r12           ; need 0 < x
+    jge .out
+    movf r7, 1024.0
+    mov r8, r7
+    fadd r8, r12           ; 1024 + x
+    fcmp r8, r7            ; need 1024 + x == 1024
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+
+	// ── External Function Call ───────────────────────────────────────
+	{
+		Name:        "sin",
+		Category:    Scalability,
+		Challenge:   ChExternalCall,
+		Description: "Employ symbolic values as the parameter of sin",
+		Paper:       [4]PaperOutcome{Es1, Es1, E, Es2},
+		Trigger:     Input{Argv1: "0.5"}, // sin(0.5) ≈ 0.479
+		Benign:      Input{Argv1: "0.1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atof
+    mov r1, r0
+    call fsin
+    mov r12, r0
+    movf r6, 0.47
+    fcmp r12, r6           ; need sin(x) > 0.47
+    jle .out
+    movf r6, 0.48
+    fcmp r12, r6           ; need sin(x) < 0.48
+    jge .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "srand",
+		Category:    Scalability,
+		Challenge:   ChExternalCall,
+		Description: "Employ symbolic values as the parameter of srand",
+		Paper:       [4]PaperOutcome{Es2, E, E, Es2},
+		Trigger:     Input{Argv1: "12345"}, // rand() == 235318264
+		Benign:      Input{Argv1: "10000"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r1, r0
+    call srand
+    call rand
+    cmp r0, 235318264
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+
+	// ── Crypto Function ──────────────────────────────────────────────
+	{
+		Name:        "sha1",
+		Category:    Scalability,
+		Challenge:   ChCrypto,
+		Description: "Infer the plain text from an SHA1 result",
+		Paper:       [4]PaperOutcome{E, E, E, Es2},
+		Trigger:     Input{Argv1: "fortytwo"},
+		Benign:      Input{Argv1: "x"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r12, [r2+8]
+    mov r1, r12
+    call strlen
+    cmp r0, 55
+    jg .out
+    mov r2, r0
+    mov r1, r12
+    mov r3, dgst
+    call sha1
+    mov r6, dgst
+    mov r7, want
+    mov r8, 0
+.cmploop:
+    cmp r8, 20
+    je .match
+    ld.b r9, [r6+0]
+    ld.b r10, [r7+0]
+    cmp r9, r10
+    jne .out
+    add r6, 1
+    add r7, 1
+    add r8, 1
+    jmp .cmploop
+.match:
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+dgst: .space 20
+want: .byte 0x75, 0x7b, 0xa6, 0x9f, 0xd1, 0x54, 0xee, 0x1e, 0xbd, 0xf5
+      .byte 0x4b, 0x3e, 0x3f, 0xd0, 0xa2, 0x6d, 0xe3, 0xe0, 0x2d, 0xb2
+`,
+	},
+	{
+		Name:        "aes",
+		Category:    Scalability,
+		Challenge:   ChCrypto,
+		Description: "Infer the key from an AES encryption result",
+		Paper:       [4]PaperOutcome{Es2, Es2, Es2, Es2},
+		Trigger:     Input{Argv1: "sixteen-byte-key"},
+		Benign:      Input{Argv1: "0123456789abcdef"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r12, [r2+8]
+    mov r1, r12
+    call strlen
+    cmp r0, 16
+    jne .out
+    mov r1, r12
+    mov r2, plain
+    mov r3, ct
+    call aes128_encrypt
+    mov r6, ct
+    mov r7, want
+    mov r8, 0
+.cmploop:
+    cmp r8, 16
+    je .match
+    ld.b r9, [r6+0]
+    ld.b r10, [r7+0]
+    cmp r9, r10
+    jne .out
+    add r6, 1
+    add r7, 1
+    add r8, 1
+    jmp .cmploop
+.match:
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+plain: .ascii "attack-at-dawn!!"
+ct:    .space 16
+want:  .byte 0x21, 0x2d, 0xcb, 0x3b, 0x6b, 0xed, 0x18, 0x4a
+       .byte 0xd2, 0x4e, 0x56, 0x87, 0x7a, 0xa0, 0xde, 0x76
+`,
+	},
+
+	// ── Extras: negative bomb (§V-C) and Figure 3 programs ───────────
+	{
+		Name:        "negpow",
+		Category:    Extra,
+		Challenge:   ChNegative,
+		Description: "Unreachable bomb guarded by pow(x,2) == -1 (§V-C false positive probe)",
+		Trigger:     Input{Argv1: "1"}, // no trigger exists; kept for interface symmetry
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atof
+    mov r1, r0
+    mov r2, 2
+    call fpowi             ; x^2 via the external pow routine
+    movf r6, -1.0
+    fcmp r0, r6
+    jne .out
+    call bomb              ; x^2 == -1 has no solution
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "loop",
+		Category:    Extra,
+		Challenge:   ChLoop,
+		Description: "Loop with a symbolic trip count (the challenge the paper defers)",
+		Trigger:     Input{Argv1: "17"}, // 17 iterations x 3 == 51
+		Benign:      Input{Argv1: "2"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r12, r0            ; trip count
+    mov r3, 0              ; acc
+    mov r4, 0              ; i
+.loop:
+    cmp r4, r12
+    jge .check
+    add r3, 3
+    add r4, 1
+    cmp r4, 64             ; bound the loop for sanity
+    jg .check
+    jmp .loop
+.check:
+    cmp r3, 51
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "retjump",
+		Category:    Extra,
+		Challenge:   ChSymbolicJump,
+		Description: "Symbolic return address: the saved slot is overwritten from input",
+		Trigger:     Input{Argv1: "2"}, // slots of 12 bytes; slot 2 detonates
+		Benign:      Input{Argv1: "0"},
+		Source: `
+victim:
+    ; overwrite the saved return address with anchor + v*12
+    mov r9, ret_anchor
+    mov r10, r1
+    mul r10, 12
+    add r9, r10
+    st.q [sp+0], r9
+    ret
+
+main:
+    cmp r1, 2
+    jl ret_out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0
+    jl ret_out
+    cmp r0, 2
+    jg ret_out
+    mov r1, r0
+    call victim
+ret_anchor:
+    jmp ret_out
+    jmp ret_out
+    call bomb
+ret_out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "array3",
+		Category:    Extra,
+		Challenge:   ChSymbolicArray,
+		Description: "Employ symbolic values as offsets for a level-three array",
+		Trigger:     Input{Argv1: "2"}, // u1[2]=5, u2[5]=1, u3[1]=99
+		Benign:      Input{Argv1: "0"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0
+    jl .out
+    cmp r0, 7
+    jg .out
+    mov r6, u1
+    add r6, r0
+    ld.b r7, [r6+0]
+    mov r6, u2
+    add r6, r7
+    ld.b r8, [r6+0]
+    mov r6, u3
+    add r6, r8
+    ld.b r9, [r6+0]
+    cmp r9, 99
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+u1: .byte 3, 6, 5, 0, 2, 7, 4, 1
+u2: .byte 2, 0, 3, 7, 6, 1, 4, 5
+u3: .byte 55, 99, 11, 22, 33, 44, 66, 77
+`,
+	},
+	{
+		Name:        "fig3_plain",
+		Category:    Extra,
+		Challenge:   ChExternalCall,
+		Description: "Figure 3 program with the printf call commented out",
+		Trigger:     Input{Argv1: "60"},
+		Benign:      Input{Argv1: "11"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0x32
+    jl .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "fig3_printf",
+		Category:    Extra,
+		Challenge:   ChExternalCall,
+		Description: "Figure 3 program with the printf call enabled",
+		Trigger:     Input{Argv1: "60"},
+		Benign:      Input{Argv1: "11"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0x32
+    jl .out
+    mov r2, r0
+    mov r1, fmt
+    call printf            ; drags printf's branches into the trace
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+fmt: .asciz "value=%x\n"
+`,
+	},
+}

@@ -1,0 +1,498 @@
+// Package core implements the concolic execution engine — the paper's
+// Figure 1 framework. Each round runs the program concretely, filters and
+// lifts the trace, extracts path constraints symbolically, negates branch
+// constraints to build new models, solves them, and schedules the
+// resulting inputs for the next round, until the directed target (the
+// bomb) is reached or budgets run out.
+//
+// A Capabilities value configures the engine as one of the studied tools;
+// the same loop produces the paper's ✓ / Es0–Es3 / E / P outcomes purely
+// from which capabilities are present.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/bombs"
+	"repro/internal/gos"
+	"repro/internal/solver"
+	"repro/internal/sym"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+)
+
+// Capabilities configures the engine as a particular tool.
+type Capabilities struct {
+	Name string
+
+	// Sym configures the symbolic execution stage (sources, channels,
+	// memory model, lifting gates, ...). Env is filled per run.
+	Sym symexec.Options
+
+	// FP selects the floating-point solving strategy.
+	FP solver.FPMode
+	// SolverConflicts bounds each SAT query; exhaustion contributes to E.
+	SolverConflicts int64
+	// SolverTimeout bounds each query's wall-clock time (the paper's
+	// analysis timeout); exhaustion contributes to E.
+	SolverTimeout time.Duration
+	// FPIterations bounds each FP local search.
+	FPIterations int
+
+	// GrowArgv permits reconstructed arguments longer than the current
+	// one; without it, longer models are truncated (wrong inputs, Es2).
+	GrowArgv bool
+	// MaxArgvLen caps argument growth.
+	MaxArgvLen int
+
+	// Search selects the exploration strategy (zero value: generational).
+	Search SearchStrategy
+
+	// MaxRounds bounds concrete executions; MaxCandidates bounds queued
+	// inputs. StepBudget bounds each concrete run.
+	MaxRounds     int
+	MaxCandidates int
+	StepBudget    int
+
+	// WebSyscall false makes the engine abort (E) when the trace performs
+	// network IO the emulation layer cannot handle.
+	WebSyscall bool
+
+	// TotalBudget bounds one directed-search task's wall-clock time (the
+	// paper's ten-minute per-task timeout, scaled); exhaustion gives E.
+	TotalBudget time.Duration
+}
+
+// SearchStrategy selects how new inputs are scheduled.
+type SearchStrategy int
+
+// Search strategies.
+const (
+	// SearchGenerational negates every unexplored branch of each trace
+	// and schedules breadth-first (SAGE-style; the default).
+	SearchGenerational SearchStrategy = iota
+	// SearchDFS schedules depth-first: newly generated inputs are
+	// explored before older ones, following one path deep.
+	SearchDFS
+)
+
+// Defaults.
+const (
+	DefaultMaxRounds     = 48
+	DefaultMaxCandidates = 256
+	DefaultMaxArgvLen    = 24
+	DefaultStepBudget    = 400_000
+	DefaultTotalBudget   = 60 * time.Second
+)
+
+// Verdict is the engine's conclusion about the target.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictSolved: a generated input reached the target (replay-checked
+	// by construction, since reaching it happens in a concrete run).
+	VerdictSolved Verdict = iota + 1
+	// VerdictUnreachable: exploration exhausted without reaching it.
+	VerdictUnreachable
+	// VerdictCrashed: the engine aborted (paper outcome E).
+	VerdictCrashed
+	// VerdictBudget: a resource budget was exhausted (paper outcome E).
+	VerdictBudget
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSolved:
+		return "solved"
+	case VerdictUnreachable:
+		return "unreachable"
+	case VerdictCrashed:
+		return "crashed"
+	case VerdictBudget:
+		return "budget-exhausted"
+	}
+	return "invalid"
+}
+
+// Claim records a model the engine could not realize as a concrete input
+// (it bound simulation variables): the tool "thinks" the path is feasible.
+type Claim struct {
+	PC      uint64
+	Syscall bool // bound syscall-simulation variables (paper outcome P)
+	Input   bombs.Input
+}
+
+// Outcome is the engine's result for one directed-search task.
+type Outcome struct {
+	Verdict     Verdict
+	Input       bombs.Input // the solving input when Verdict == VerdictSolved
+	Incidents   []symexec.Incident
+	Claims      []Claim
+	CrashDetail string
+
+	// FaultInputs lists generated inputs whose concrete runs ended in an
+	// unhandled fault — discovered bugs, in the paper's bug-detection
+	// application scenario.
+	FaultInputs []bombs.Input
+
+	Rounds          int
+	CandidatesTried int
+	SolverExhausted bool // some query hit its budget
+	SimulationUsed  bool
+	TaintedPerRound []int // Figure 3 metric per round
+}
+
+// MinIncidentStage returns the earliest error stage among incidents.
+func (o *Outcome) MinIncidentStage() (symexec.Stage, bool) {
+	if len(o.Incidents) == 0 {
+		return 0, false
+	}
+	min := o.Incidents[0].Stage
+	for _, in := range o.Incidents {
+		if in.Stage < min {
+			min = in.Stage
+		}
+	}
+	return min, true
+}
+
+// Engine is a directed concolic explorer for one program image.
+type Engine struct {
+	img    *bin.Image
+	caps   Capabilities
+	target uint64
+
+	seenInput map[string]bool
+	seenFlip  map[string]bool
+	queue     []bombs.Input
+	out       *Outcome
+	incSeen   map[string]bool
+	deadline  time.Time
+}
+
+// New builds an engine targeting the given address (the bomb symbol).
+func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
+	if caps.MaxRounds <= 0 {
+		caps.MaxRounds = DefaultMaxRounds
+	}
+	if caps.MaxCandidates <= 0 {
+		caps.MaxCandidates = DefaultMaxCandidates
+	}
+	if caps.MaxArgvLen <= 0 {
+		caps.MaxArgvLen = DefaultMaxArgvLen
+	}
+	if caps.StepBudget <= 0 {
+		caps.StepBudget = DefaultStepBudget
+	}
+	if caps.TotalBudget <= 0 {
+		caps.TotalBudget = DefaultTotalBudget
+	}
+	return &Engine{
+		img:       img,
+		caps:      caps,
+		target:    target,
+		seenInput: make(map[string]bool),
+		seenFlip:  make(map[string]bool),
+		incSeen:   make(map[string]bool),
+		out:       &Outcome{},
+	}
+}
+
+// Explore runs the concolic loop from the seed input.
+func (en *Engine) Explore(seed bombs.Input) *Outcome {
+	en.deadline = time.Now().Add(en.caps.TotalBudget)
+	en.push(seed)
+	for len(en.queue) > 0 && en.out.Rounds < en.caps.MaxRounds {
+		if time.Now().After(en.deadline) {
+			en.out.Verdict = VerdictBudget
+			en.out.CrashDetail = "analysis timeout (task wall-clock budget)"
+			return en.out
+		}
+		var in bombs.Input
+		if en.caps.Search == SearchDFS {
+			in = en.queue[len(en.queue)-1]
+			en.queue = en.queue[:len(en.queue)-1]
+		} else {
+			in = en.queue[0]
+			en.queue = en.queue[1:]
+		}
+		if done := en.round(in); done {
+			return en.out
+		}
+	}
+	if en.out.SolverExhausted {
+		en.out.Verdict = VerdictBudget
+		en.out.CrashDetail = "constraint solving exhausted its budget"
+		return en.out
+	}
+	// Exhausting the round budget with candidates pending is exploration
+	// saturation, not an abnormal exit: the tool simply never found the
+	// path (wall-clock exhaustion above is what maps to E).
+	en.out.Verdict = VerdictUnreachable
+	return en.out
+}
+
+func (en *Engine) push(in bombs.Input) {
+	key := inputKey(in)
+	if en.seenInput[key] || len(en.seenInput) >= en.caps.MaxCandidates {
+		return
+	}
+	en.seenInput[key] = true
+	en.queue = append(en.queue, in)
+}
+
+func inputKey(in bombs.Input) string {
+	webKeys := make([]string, 0, len(in.Web))
+	for k, v := range in.Web {
+		webKeys = append(webKeys, k+"="+v)
+	}
+	sort.Strings(webKeys)
+	return fmt.Sprintf("%q|%d|%d|%v", in.Argv1, in.TimeNow, in.Pid, webKeys)
+}
+
+// round runs one concrete execution plus its symbolic pass and schedules
+// negations. It returns true when exploration should stop.
+func (en *Engine) round(in bombs.Input) bool {
+	en.out.Rounds++
+	en.out.CandidatesTried++
+
+	cfg := in.Config()
+	cfg.Record = true
+	cfg.MaxSteps = en.caps.StepBudget
+	cfg.WatchAddrs = []uint64{en.target}
+	m, err := gos.New(en.img, cfg)
+	if err != nil {
+		en.out.Verdict = VerdictCrashed
+		en.out.CrashDetail = err.Error()
+		return true
+	}
+	res := m.Run()
+
+	if res.Reason == gos.StopFault {
+		en.out.FaultInputs = append(en.out.FaultInputs, in)
+	}
+	// A trace containing a hardware fault is only analyzable by tools
+	// that trace through exception dispatch; the others reject the whole
+	// run (their tracer/emulator cannot process it), so a detonation in
+	// such a run is never observed by the tool.
+	if idx := faultIndex(res.Trace); idx >= 0 {
+		switch en.caps.Sym.Exc {
+		case symexec.ExcCrash:
+			en.out.Verdict = VerdictCrashed
+			en.out.CrashDetail = "emulator fault: exception dispatch unsupported"
+			return true
+		case symexec.ExcEs1:
+			en.incident(symexec.Incident{
+				Stage: symexec.StageEs1, Index: idx,
+				Detail: "exception handler instructions cannot be traced",
+			})
+			return false
+		case symexec.ExcEs2:
+			en.incident(symexec.Incident{
+				Stage: symexec.StageEs2, Index: idx,
+				Detail: "exception handler effect on symbolic state lost",
+			})
+			return false
+		}
+	}
+	if res.Hit(en.target) {
+		en.out.Verdict = VerdictSolved
+		en.out.Input = in
+		return true
+	}
+
+	// Emulation-layer gaps: network IO the engine cannot perform.
+	if !en.caps.WebSyscall && traceUsesWeb(res.Trace) {
+		en.out.Verdict = VerdictCrashed
+		en.out.CrashDetail = "network system call unsupported by the emulation layer"
+		return true
+	}
+
+	opts := en.caps.Sym
+	opts.Env = symexec.EnvInfo{TimeNow: cfg.TimeNow, Pid: cfg.Pid}
+	for f := range cfg.Files {
+		opts.Env.KnownFiles = append(opts.Env.KnownFiles, f)
+	}
+	sort.Strings(opts.Env.KnownFiles)
+	sr := symexec.Run(en.img, res.Trace, res.Argv, cfg.Argv, opts)
+
+	en.mergeIncidents(sr.Incidents)
+	en.out.TaintedPerRound = append(en.out.TaintedPerRound, len(sr.TaintedIdx))
+	if sr.SimulationUsed {
+		en.out.SimulationUsed = true
+	}
+	if sr.Crashed {
+		en.out.Verdict = VerdictCrashed
+		en.out.CrashDetail = sr.CrashDetail
+		return true
+	}
+
+	en.negate(in, sr)
+	return false
+}
+
+// faultIndex returns the index of the first faulting entry, or -1.
+func faultIndex(tr *trace.Trace) int {
+	if tr == nil {
+		return -1
+	}
+	for i := range tr.Entries {
+		if tr.Entries[i].Exc != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+func traceUsesWeb(tr *trace.Trace) bool {
+	if tr == nil {
+		return false
+	}
+	for i := range tr.Entries {
+		if s := tr.Entries[i].Sys; s != nil && s.Num == trace.SysWebGet {
+			return true
+		}
+	}
+	return false
+}
+
+func (en *Engine) mergeIncidents(ins []symexec.Incident) {
+	for _, in := range ins {
+		key := fmt.Sprintf("%d|%#x|%s", in.Stage, in.PC, in.Detail)
+		if en.incSeen[key] {
+			continue
+		}
+		en.incSeen[key] = true
+		en.out.Incidents = append(en.out.Incidents, in)
+	}
+}
+
+// negate builds and solves the negation of each explorable constraint
+// (generational search) and schedules the resulting inputs.
+func (en *Engine) negate(cur bombs.Input, sr *symexec.Result) {
+	// Forward occurrence numbering keeps flip keys stable across rounds
+	// (the n-th execution of a loop branch keeps its identity as traces
+	// lengthen).
+	occurrence := make(map[uint64]int)
+	occ := make([]int, len(sr.Constraints))
+	for i := range sr.Constraints {
+		occ[i] = occurrence[sr.Constraints[i].PC]
+		occurrence[sr.Constraints[i].PC]++
+	}
+	// Ascending order: the deepest branch's candidate is pushed last, so
+	// depth-first scheduling pops it first (negate the deepest unexplored
+	// branch — the classic DFS concolic strategy).
+	for i := 0; i < len(sr.Constraints); i++ {
+		if time.Now().After(en.deadline) {
+			en.out.SolverExhausted = true
+			return
+		}
+		pc := sr.Constraints[i]
+		if pc.Kind == symexec.KindAssume {
+			continue
+		}
+		// Keyed by input length: an UNSAT flip can become satisfiable
+		// once the argument grows (the iterative-lengthening pattern), so
+		// its verdict only holds per length. SAT and UNKNOWN flips are
+		// never retried for the same key.
+		flipKey := fmt.Sprintf("%#x|%v|%d|%d", pc.PC, pc.Kind, occ[i], len(cur.Argv1))
+		if pc.Kind == symexec.KindJump {
+			flipKey = fmt.Sprintf("%#x|jump|%s", pc.PC, pc.Expr)
+		}
+		if en.seenFlip[flipKey] {
+			continue
+		}
+
+		system := make([]sym.Expr, 0, i+1)
+		for j := 0; j < i; j++ {
+			system = append(system, sr.Constraints[j].Expr)
+		}
+		system = append(system, sym.NewBoolNot(pc.Expr))
+
+		resu, err := solver.Solve(system, solver.Options{
+			MaxConflicts: en.caps.SolverConflicts,
+			FP:           en.caps.FP,
+			FPIterations: en.caps.FPIterations,
+			Timeout:      en.caps.SolverTimeout,
+			Seed:         sr.Seed,
+			RandSeed:     int64(en.out.Rounds*1000 + i),
+		})
+		if err != nil {
+			continue
+		}
+		switch resu.Status {
+		case solver.StatusUnknown:
+			en.out.SolverExhausted = true
+			en.seenFlip[flipKey] = true // hopeless within budget; don't retry
+			continue
+		case solver.StatusFloatUnsupported:
+			en.incident(symexec.Incident{
+				Stage: symexec.StageEs3, Index: pc.Index, PC: pc.PC,
+				Detail: "floating-point theory unsupported by the solver",
+			})
+			continue
+		case solver.StatusUnsat:
+			// Branch direction infeasible on this prefix; mark explored.
+			en.seenFlip[flipKey] = true
+			continue
+		}
+
+		// Satisfiable: realize the model as an input.
+		next, realized, truncated := reconstruct(resu.Model, sr.Seed, cur, en.caps)
+		if truncated {
+			en.incident(symexec.Incident{
+				Stage: symexec.StageEs2, Index: pc.Index, PC: pc.PC,
+				Detail: "model requires a longer input than the tool can construct",
+			})
+		}
+		if !realized {
+			// The model binds only unrealizable (simulation) variables:
+			// the tool believes the flipped path is feasible but cannot
+			// build an input for it.
+			if bindsSim(resu.Model) {
+				en.out.Claims = append(en.out.Claims, Claim{
+					PC:      pc.PC,
+					Syscall: bindsSyscallSim(resu.Model),
+					Input:   cur,
+				})
+			}
+			en.seenFlip[flipKey] = true
+			continue
+		}
+		en.seenFlip[flipKey] = true
+		en.push(next)
+	}
+}
+
+func (en *Engine) incident(in symexec.Incident) {
+	en.mergeIncidents([]symexec.Incident{in})
+}
+
+// bindsSim reports whether the model constrains any simulation variable.
+func bindsSim(model map[string]uint64) bool {
+	for name := range model {
+		if symexec.IsSimVar(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// bindsSyscallSim reports whether the model constrains syscall-simulation
+// variables (as opposed to external-function summaries).
+func bindsSyscallSim(model map[string]uint64) bool {
+	for name := range model {
+		if symexec.IsSimVar(name) && !isExtSim(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func isExtSim(name string) bool {
+	return len(name) > 8 && name[4:8] == "ext:"
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bombs"
+	"repro/internal/solver"
+	"repro/internal/symexec"
+)
+
+// referenceCaps is the full-capability engine (the extension column).
+func referenceCaps() Capabilities {
+	return Capabilities{
+		Name: "reference",
+		Sym: symexec.Options{
+			Spec: symexec.Spec{
+				ArgvNUL: true, ArgvPad: 16,
+				Time: symexec.SourceDeclared, Pid: symexec.SourceDeclared, Web: true,
+				Files: symexec.ChanShadow, Pipes: symexec.ChanShadow, Kv: symexec.ChanShadow,
+				TrackThreads: true, TrackProcs: true,
+			},
+			Mem:           symexec.MemFull,
+			Jump:          symexec.JumpEnum,
+			Exc:           symexec.ExcTrace,
+			ContextualFS:  true,
+			ContextualSys: true,
+			ModelDivFault: true,
+		},
+		Search:          SearchDFS,
+		FP:              solver.FPSearch,
+		MaxArgvLen:      24,
+		SolverTimeout:   3 * time.Second,
+		SolverConflicts: 60_000,
+		TotalBudget:     45 * time.Second,
+		GrowArgv:        true,
+		WebSyscall:      true,
+	}
+}
+
+// crack runs the reference engine on a bomb and returns the outcome.
+func crack(t *testing.T, name string, caps Capabilities) *Outcome {
+	t.Helper()
+	b, ok := bombs.ByName(name)
+	if !ok {
+		t.Fatalf("no bomb %s", name)
+	}
+	en := New(b.Image(), b.BombAddr(), caps)
+	return en.Explore(b.Benign)
+}
+
+// verify re-runs the bomb on the engine's input and checks detonation —
+// the paper's replay methodology.
+func verify(t *testing.T, name string, out *Outcome) {
+	t.Helper()
+	b, _ := bombs.ByName(name)
+	res, err := b.Run(out.Input, bombs.WithMaxSteps(5_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bombs.Triggered(res) {
+		t.Errorf("%s: engine input %+v does not detonate on replay", name, out.Input)
+	}
+}
+
+func TestReferenceSolvesCoreBombs(t *testing.T) {
+	// The bombs a full-capability engine must crack, spanning every
+	// accuracy challenge.
+	for _, name := range []string{
+		"fig3_plain", "fig3_printf", // external call (trivial guard)
+		"arglen",   // argv length reasoning
+		"stack",    // push/pop propagation
+		"array1",   // one-level symbolic array
+		"array2",   // two-level symbolic array
+		"jump",     // affine symbolic jump
+		"jumptab",  // jump table
+		"time",     // declared environment input
+		"getpid",   // declared pid
+		"filename", // contextual file name
+		"exception",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out := crack(t, name, referenceCaps())
+			if out.Verdict != VerdictSolved {
+				t.Fatalf("verdict = %v (rounds %d, incidents %v, detail %s)",
+					out.Verdict, out.Rounds, out.Incidents, out.CrashDetail)
+			}
+			verify(t, name, out)
+		})
+	}
+}
+
+func TestReferenceSolvesCovertChannels(t *testing.T) {
+	for _, name := range []string{"file", "kvstore", "thread", "fork", "fileexc", "sysname", "web"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out := crack(t, name, referenceCaps())
+			if out.Verdict != VerdictSolved {
+				t.Fatalf("verdict = %v (rounds %d, incidents %v)",
+					out.Verdict, out.Rounds, out.Incidents)
+			}
+			verify(t, name, out)
+		})
+	}
+}
+
+func TestReferenceSolvesFloatBombs(t *testing.T) {
+	for _, name := range []string{"float", "sin"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			caps := referenceCaps()
+			caps.FPIterations = 200_000
+			caps.MaxRounds = 250
+			caps.TotalBudget = 120 * time.Second
+			out := crack(t, name, caps)
+			if out.Verdict != VerdictSolved {
+				t.Fatalf("verdict = %v (rounds %d)", out.Verdict, out.Rounds)
+			}
+			verify(t, name, out)
+		})
+	}
+}
+
+func TestNegativeBombNotClaimed(t *testing.T) {
+	// The reference engine must NOT claim the unreachable pow bomb.
+	out := crack(t, "negpow", referenceCaps())
+	if out.Verdict == VerdictSolved {
+		t.Fatalf("reference engine claims the unreachable bomb with %+v", out.Input)
+	}
+}
+
+func TestCryptoBombsExhaustBudget(t *testing.T) {
+	caps := referenceCaps()
+	caps.SolverConflicts = 5_000 // keep the test fast
+	caps.SolverTimeout = time.Second
+	caps.TotalBudget = 10 * time.Second
+	caps.MaxRounds = 4
+	for _, name := range []string{"sha1", "aes"} {
+		out := crack(t, name, caps)
+		if out.Verdict == VerdictSolved {
+			t.Errorf("%s: crypto bomb should not be solvable", name)
+		}
+		if out.Verdict != VerdictBudget && !out.SolverExhausted {
+			t.Logf("%s: verdict %v (acceptable: unsat within budget)", name, out.Verdict)
+		}
+	}
+}
+
+func TestBudgetVerdicts(t *testing.T) {
+	caps := referenceCaps()
+	caps.MaxRounds = 1
+	out := crack(t, "arglen", caps)
+	// One round cannot reach length 6; with work pending this is E.
+	if out.Verdict == VerdictSolved {
+		t.Fatal("arglen cannot be solved in one round")
+	}
+}
+
+func TestReconstructTruncation(t *testing.T) {
+	caps := referenceCaps()
+	caps.GrowArgv = false
+	model := map[string]uint64{
+		"argv1[0]": 'a', "argv1[1]": 'b', "argv1[2]": 0,
+	}
+	seed := map[string]uint64{"argv1[0]": 'a', "argv1[1]": 0}
+	cur := bombs.Input{Argv1: "a"}
+	next, realized, truncated := reconstruct(model, seed, cur, caps)
+	if !truncated {
+		t.Error("expected truncation without GrowArgv")
+	}
+	if realized {
+		t.Errorf("truncated input %q should equal the current one", next.Argv1)
+	}
+}
+
+func TestReconstructGrowth(t *testing.T) {
+	caps := referenceCaps()
+	model := map[string]uint64{
+		"argv1[0]": '4', "argv1[1]": '2', "argv1[2]": 0,
+	}
+	seed := map[string]uint64{"argv1[0]": '1', "argv1[1]": 0}
+	next, realized, truncated := reconstruct(model, seed, bombs.Input{Argv1: "1"}, caps)
+	if truncated || !realized || next.Argv1 != "42" {
+		t.Errorf("got %q realized=%v truncated=%v", next.Argv1, realized, truncated)
+	}
+}
+
+func TestReconstructEnvFacets(t *testing.T) {
+	caps := referenceCaps()
+	model := map[string]uint64{
+		"time":             1735689600,
+		"pid":              4960,
+		"web:http://u!ret": 4,
+		"web:http://u[0]":  'o',
+		"web:http://u[1]":  'k',
+		"sim!kv:slot[0]#0": 99, // must be ignored
+		"env!time":         7,  // must be ignored
+	}
+	next, realized, _ := reconstruct(model, nil, bombs.Input{Argv1: "x"}, caps)
+	if !realized {
+		t.Fatal("environment changes should realize")
+	}
+	if next.TimeNow != 1735689600 || next.Pid != 4960 {
+		t.Errorf("time/pid = %d/%d", next.TimeNow, next.Pid)
+	}
+	if got := next.Web["http://u"]; len(got) != 4 || got[:2] != "ok" {
+		t.Errorf("web body = %q", got)
+	}
+}
+
+func TestClaimsOnSimulatedChannel(t *testing.T) {
+	caps := referenceCaps()
+	caps.Sym.Spec.Kv = symexec.ChanUnconstrained
+	out := crack(t, "kvstore", caps)
+	if out.Verdict == VerdictSolved {
+		t.Fatal("kv bomb must not be solvable through an unconstrained channel")
+	}
+	var sysClaim bool
+	for _, c := range out.Claims {
+		if c.Syscall {
+			sysClaim = true
+		}
+	}
+	if !sysClaim {
+		t.Errorf("expected a syscall-simulation claim, got %+v", out.Claims)
+	}
+}
+
+func TestWebCrashWithoutSupport(t *testing.T) {
+	caps := referenceCaps()
+	caps.WebSyscall = false
+	out := crack(t, "web", caps)
+	if out.Verdict != VerdictCrashed {
+		t.Errorf("verdict = %v, want crashed", out.Verdict)
+	}
+}
+
+func TestInputKeyStability(t *testing.T) {
+	a := bombs.Input{Argv1: "x", Web: map[string]string{"a": "1", "b": "2"}}
+	b := bombs.Input{Argv1: "x", Web: map[string]string{"b": "2", "a": "1"}}
+	if inputKey(a) != inputKey(b) {
+		t.Error("input keys must be order independent")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bombs"
+	"repro/internal/symexec"
+)
+
+// reconstruct turns a solver model into a concrete input, starting from
+// the input that produced the constraints. It reports whether the result
+// differs from cur (realized) and whether the model demanded an input the
+// tool cannot build (truncated — the Es2 wrong-test-case situation).
+func reconstruct(model, seed map[string]uint64, cur bombs.Input, caps Capabilities) (next bombs.Input, realized, truncated bool) {
+	next = cur
+	next.Web = cloneStrMap(cur.Web)
+	next.Files = cloneBytesMap(cur.Files)
+
+	// argv[1]: read byte variables until the first NUL.
+	var raw []byte
+	for i := 0; ; i++ {
+		name := "argv1[" + strconv.Itoa(i) + "]"
+		v, inModel := model[name]
+		sv, inSeed := seed[name]
+		if !inModel && !inSeed {
+			break
+		}
+		b := byte(sv)
+		if inModel {
+			b = byte(v)
+		}
+		raw = append(raw, b)
+	}
+	s := string(raw)
+	if k := strings.IndexByte(s, 0); k >= 0 {
+		s = s[:k]
+	}
+	if len(s) > len(cur.Argv1) && !caps.GrowArgv {
+		truncated = true
+		s = s[:len(cur.Argv1)]
+	}
+	if len(s) > caps.MaxArgvLen {
+		truncated = true
+		s = s[:caps.MaxArgvLen]
+	}
+	next.Argv1 = s
+
+	if v, ok := model["time"]; ok {
+		next.TimeNow = v
+	}
+	if v, ok := model["pid"]; ok {
+		next.Pid = v
+	}
+	reconstructWeb(model, seed, &next)
+
+	realized = inputKey(next) != inputKey(cur)
+	return next, realized, truncated
+}
+
+// reconstructWeb rebuilds requested web content from "web:<url>!ret" and
+// "web:<url>[i]" variables.
+func reconstructWeb(model, seed map[string]uint64, next *bombs.Input) {
+	const maxBody = 64
+	urls := make(map[string]bool)
+	for name := range model {
+		if u, ok := webURL(name); ok {
+			urls[u] = true
+		}
+	}
+	if len(urls) == 0 {
+		return
+	}
+	sorted := make([]string, 0, len(urls))
+	for u := range urls {
+		sorted = append(sorted, u)
+	}
+	sort.Strings(sorted)
+	for _, u := range sorted {
+		retName := "web:" + u + "!ret"
+		n := int64(0)
+		if v, ok := model[retName]; ok {
+			n = int64(v)
+		} else if v, ok := seed[retName]; ok {
+			n = int64(v)
+		}
+		if n <= 0 {
+			continue // the model wants the fetch to keep failing
+		}
+		if n > maxBody {
+			n = maxBody
+		}
+		body := make([]byte, n)
+		for i := range body {
+			name := "web:" + u + "[" + strconv.Itoa(i) + "]"
+			switch {
+			case hasKey(model, name):
+				body[i] = byte(model[name])
+			case hasKey(seed, name):
+				body[i] = byte(seed[name])
+			default:
+				body[i] = 'x' // unconstrained filler
+			}
+		}
+		if next.Web == nil {
+			next.Web = make(map[string]string)
+		}
+		next.Web[u] = string(body)
+	}
+}
+
+func hasKey(m map[string]uint64, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// webURL extracts the URL from a web variable name, rejecting env/sim
+// prefixed ones (those cannot be realized).
+func webURL(name string) (string, bool) {
+	if symexec.IsEnvVar(name) || symexec.IsSimVar(name) {
+		return "", false
+	}
+	if !strings.HasPrefix(name, "web:") {
+		return "", false
+	}
+	rest := name[len("web:"):]
+	if i := strings.LastIndexByte(rest, '!'); i >= 0 {
+		return rest[:i], true
+	}
+	if i := strings.LastIndexByte(rest, '['); i >= 0 {
+		return rest[:i], true
+	}
+	return "", false
+}
+
+func cloneStrMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneBytesMap(m map[string][]byte) map[string][]byte {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string][]byte, len(m))
+	for k, v := range m {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}

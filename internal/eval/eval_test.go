@@ -1,0 +1,265 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/symexec"
+	"repro/internal/tools"
+)
+
+func TestClassifyRules(t *testing.T) {
+	mk := func(v core.Verdict) *core.Outcome { return &core.Outcome{Verdict: v} }
+
+	if got := Classify(mk(core.VerdictSolved)); got != bombs.OK {
+		t.Errorf("solved -> %s", got)
+	}
+	if got := Classify(mk(core.VerdictCrashed)); got != bombs.E {
+		t.Errorf("crashed -> %s", got)
+	}
+	if got := Classify(mk(core.VerdictBudget)); got != bombs.E {
+		t.Errorf("budget -> %s", got)
+	}
+
+	p := mk(core.VerdictUnreachable)
+	p.Claims = []core.Claim{{Syscall: true}}
+	if got := Classify(p); got != bombs.P {
+		t.Errorf("syscall claim -> %s", got)
+	}
+
+	ext := mk(core.VerdictUnreachable)
+	ext.Claims = []core.Claim{{Syscall: false}}
+	ext.Incidents = []symexec.Incident{{Stage: symexec.StageEs2, Detail: "external function summarized"}}
+	if got := Classify(ext); got != bombs.Es2 {
+		t.Errorf("external claim + Es2 -> %s", got)
+	}
+
+	es := mk(core.VerdictUnreachable)
+	es.Incidents = []symexec.Incident{
+		{Stage: symexec.StageEs3, Detail: "symbolic memory"},
+		{Stage: symexec.StageEs1, Detail: "unsupported instruction"},
+	}
+	if got := Classify(es); got != bombs.Es1 {
+		t.Errorf("min stage -> %s", got)
+	}
+
+	// Secondary incidents only matter when nothing else explains it.
+	sec := mk(core.VerdictUnreachable)
+	sec.Incidents = []symexec.Incident{
+		{Stage: symexec.StageEs0, Detail: "branch depends on undeclared environment input: env!argv1[1]"},
+		{Stage: symexec.StageEs3, Detail: "symbolic memory address concretized"},
+	}
+	if got := Classify(sec); got != bombs.Es3 {
+		t.Errorf("terminator Es0 should be secondary -> %s", got)
+	}
+	sec2 := mk(core.VerdictUnreachable)
+	sec2.Incidents = []symexec.Incident{
+		{Stage: symexec.StageEs0, Detail: "branch depends on undeclared environment input: env!argv1[1]"},
+	}
+	if got := Classify(sec2); got != bombs.Es0 {
+		t.Errorf("terminator Es0 alone -> %s", got)
+	}
+	trunc := mk(core.VerdictUnreachable)
+	trunc.Incidents = []symexec.Incident{
+		{Stage: symexec.StageEs2, Detail: "model requires a longer input than the tool can construct"},
+	}
+	if got := Classify(trunc); got != bombs.Es2 {
+		t.Errorf("truncation alone -> %s", got)
+	}
+
+	if got := Classify(mk(core.VerdictUnreachable)); got != "" {
+		t.Errorf("no incidents -> %q, want empty", got)
+	}
+}
+
+func TestTableIRender(t *testing.T) {
+	out := RenderTableI()
+	for _, want := range []string{
+		"Symbolic Variable Declaration",
+		"Floating-point Number",
+		"Es0", "Es3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	// The declaration row checks all four stages; the float row only Es3.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Symbolic Variable Declaration") {
+			if strings.Count(line, "x") != 4 {
+				t.Errorf("declaration row = %q", line)
+			}
+		}
+		if strings.HasPrefix(line, "Floating-point Number") {
+			if strings.Count(line, "x") != 1 {
+				t.Errorf("float row = %q", line)
+			}
+		}
+	}
+}
+
+// TestRepresentativeCells checks a fast, characteristic cell per tool
+// against the paper (the full grid is TestTableIIMatchesPaper, tagged
+// slow).
+func TestRepresentativeCells(t *testing.T) {
+	cases := []struct {
+		tool  tools.Profile
+		bomb  string
+		want  bombs.PaperOutcome
+		index int
+	}{
+		{tools.BAP(), "time", bombs.Es0, 0},
+		{tools.BAP(), "stack", bombs.Es1, 0},
+		{tools.BAP(), "array1", bombs.Es3, 0},
+		{tools.Triton(), "arglen", bombs.Es0, 1},
+		{tools.Triton(), "filename", bombs.Es3, 1},
+		{tools.Angr(), "arglen", bombs.OK, 2},
+		{tools.Angr(), "getpid", bombs.P, 2},
+		{tools.Angr(), "web", bombs.E, 2},
+		{tools.AngrNoLib(), "array1", bombs.OK, 3},
+		{tools.AngrNoLib(), "kvstore", bombs.P, 3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.tool.Name()+"/"+tc.bomb, func(t *testing.T) {
+			t.Parallel()
+			b, ok := bombs.ByName(tc.bomb)
+			if !ok {
+				t.Fatal("bomb missing")
+			}
+			cell := RunCell(b, tc.tool, tc.index)
+			if cell.Got != tc.want {
+				t.Errorf("got %s (mechanical %s), want %s; incidents=%v claims=%d verdict=%v",
+					cell.Got, cell.Mechanical, tc.want,
+					cell.Outcome.Incidents, len(cell.Outcome.Claims), cell.Outcome.Verdict)
+			}
+			if cell.Paper != tc.want {
+				t.Errorf("paper registry says %s for this cell; test expects %s", cell.Paper, tc.want)
+			}
+		})
+	}
+}
+
+// TestTableIIMatchesPaper runs the complete grid and requires full
+// agreement with the paper's Table II (documented overrides included).
+func TestTableIIMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table II grid is slow; run without -short")
+	}
+	g := RunTableII()
+	match, total := g.Matches()
+	if match != total {
+		for _, bomb := range g.Rows {
+			for _, tool := range g.Tools {
+				c := g.Cell(bomb.Name, tool)
+				if !c.Match {
+					t.Errorf("%s/%s: got %s (mechanical %s), paper %s; verdict=%v incidents=%v",
+						tool, bomb.Name, c.Got, c.Mechanical, c.Paper,
+						c.Outcome.Verdict, c.Outcome.Incidents)
+				}
+			}
+		}
+		t.Fatalf("agreement %d/%d", match, total)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PrintfTainted <= r.PlainTainted {
+		t.Errorf("printf tainted %d <= plain %d", r.PrintfTainted, r.PlainTainted)
+	}
+	if r.PrintfConstraints <= r.PlainConstraints {
+		t.Errorf("printf constraints %d <= plain %d", r.PrintfConstraints, r.PlainConstraints)
+	}
+	out := RenderFig3(r)
+	if !strings.Contains(out, "printf adds") {
+		t.Error("render missing summary line")
+	}
+	if !strings.Contains(r.PlainModel, "(set-logic QF_BV)") {
+		t.Error("plain model is not SMT-LIB")
+	}
+}
+
+func TestNegativeStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("negative study explores with full budgets")
+	}
+	s := RunNegativeStudy()
+	if s.ReferenceClaims {
+		t.Error("reference engine must not claim the unreachable bomb")
+	}
+	if !s.NoLibClaims {
+		t.Error("the over-approximating profile should claim the bomb (the paper's false positive)")
+	}
+	out := RenderNegativeStudy(s)
+	if !strings.Contains(out, "pow(x,2)") {
+		t.Error("render missing description")
+	}
+}
+
+func TestRenderTableIIShape(t *testing.T) {
+	// Synthetic grid: rendering must include deviations, overrides and
+	// the agreement line without running the engines.
+	b, _ := bombs.ByName("time")
+	g := &Grid{
+		Tools: []string{"BAP"},
+		Rows:  []*bombs.Bomb{b},
+		Cells: map[string]map[string]*Cell{
+			"time": {"BAP": {
+				Bomb: "time", Tool: "BAP",
+				Mechanical: bombs.E, Got: bombs.Es0, Overridden: true,
+				Note: "example override", Paper: bombs.Es2, Match: false,
+				Outcome: &core.Outcome{},
+			}},
+		},
+	}
+	out := RenderTableII(g)
+	for _, want := range []string{"Es0*", "[paper Es2]", "Agreement with the paper: 0/1", "example override"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDiagnosticsShape(t *testing.T) {
+	b, _ := bombs.ByName("time")
+	out := &core.Outcome{
+		Verdict:     core.VerdictCrashed,
+		CrashDetail: "synthetic abort",
+		Incidents: []symexec.Incident{
+			{Stage: symexec.StageEs1, PC: 0x1234, Detail: "synthetic incident"},
+		},
+		Claims: []core.Claim{{PC: 0x2222, Syscall: true}},
+	}
+	g := &Grid{
+		Tools: []string{"Angr"},
+		Rows:  []*bombs.Bomb{b},
+		Cells: map[string]map[string]*Cell{
+			"time": {"Angr": {Bomb: "time", Tool: "Angr", Got: bombs.E, Outcome: out}},
+		},
+	}
+	s := RenderDiagnostics(g)
+	for _, want := range []string{"synthetic abort", "synthetic incident", "claim at 0x2222"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderReferenceShape(t *testing.T) {
+	rows := []ExtensionRow{
+		{Bomb: "array1", Outcome: bombs.OK, Rounds: 2, Input: bombs.Input{Argv1: "6"}},
+		{Bomb: "sha1", Outcome: bombs.E, Rounds: 26},
+	}
+	s := RenderReference(rows)
+	for _, want := range []string{"array1", `argv="6"`, "Solved: 1/22"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("reference render missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package gos
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/libc"
+)
+
+// BenchmarkGuestSHA1 measures a full guest-code SHA-1 run: machine
+// creation, loading and ~20k instructions of crypto.
+func BenchmarkGuestSHA1(b *testing.B) {
+	units := append(libc.All(), asm.Source{Name: "b.s", Text: `
+main:
+    mov r1, msg
+    mov r2, 5
+    mov r3, out
+    call sha1
+    mov r0, 0
+    ret
+    .data
+msg: .asciz "bench"
+out: .space 20
+`})
+	img, err := asm.Assemble(units...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(img, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := m.Run(); res.Reason != StopExit {
+			b.Fatalf("reason %s", res.Reason)
+		}
+	}
+}
+
+// BenchmarkForkPipe measures process creation and pipe IO.
+func BenchmarkForkPipe(b *testing.B) {
+	img, err := asm.Assemble(asm.Source{Name: "b.s", Text: `
+_start:
+    mov r0, 9
+    mov r1, fds
+    syscall
+    mov r0, 8
+    syscall
+    cmp r0, 0
+    je .child
+    mov r0, 2
+    mov r1, fds
+    ld.q r1, [r1+0]
+    mov r2, buf
+    mov r3, 1
+    syscall
+    mov r0, 1
+    mov r1, 0
+    syscall
+.child:
+    mov r0, 3
+    mov r1, fds
+    ld.q r1, [r1+8]
+    mov r2, buf
+    mov r3, 1
+    syscall
+    mov r0, 1
+    mov r1, 0
+    syscall
+    .data
+fds: .space 16
+buf: .space 8
+`})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(img, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run()
+	}
+}

@@ -1,0 +1,489 @@
+package gos
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// maxIOBytes bounds single-call IO transfers, like a kernel would.
+const maxIOBytes = 1 << 16
+
+// errRet is the guest-visible -1.
+const errRet = ^uint64(0)
+
+// syscall dispatches one guest system call for thread t and fills the
+// trace entry's SysEvent. The CPU's r0 receives the return value.
+// It reports false when the call blocked and will be re-issued, in which
+// case the entry must not be recorded.
+func (m *Machine) syscall(t *thread, e *trace.Entry) bool {
+	cpu := t.cpu
+	num := trace.Sysno(cpu.Regs[0])
+	ev := &trace.SysEvent{Num: num}
+	for i := 0; i < 5; i++ {
+		ev.Args[i] = cpu.Regs[1+i]
+	}
+	e.Sys = ev
+
+	ret := errRet
+	switch num {
+	case trace.SysExit:
+		status := int(int64(ev.Args[0]))
+		m.exitProc(t.proc, status)
+		ev.Ret = ev.Args[0]
+		return true
+
+	case trace.SysRead:
+		ret = m.sysRead(t, ev)
+
+	case trace.SysWrite:
+		ret = m.sysWrite(t, ev)
+
+	case trace.SysOpen:
+		ret = m.sysOpen(t, ev)
+
+	case trace.SysClose:
+		fd := int(int64(ev.Args[0]))
+		if _, ok := t.proc.fds[fd]; ok {
+			m.closeFD(t.proc, fd)
+			ret = 0
+		}
+
+	case trace.SysTime:
+		ret = m.cfg.TimeNow
+
+	case trace.SysGetpid:
+		// Guest pids are dense (1,2,..); the reported pid is offset by the
+		// configured base so the value is environment-dependent, as in the
+		// paper's "return values of system calls" bomb.
+		ret = m.cfg.Pid + uint64(t.proc.pid-1)
+
+	case trace.SysFork:
+		ret = m.sysFork(t, ev)
+
+	case trace.SysPipe:
+		ret = m.sysPipe(t, ev)
+
+	case trace.SysThreadCreate:
+		ret = m.sysThreadCreate(t, ev)
+
+	case trace.SysThreadJoin:
+		tid := int(int64(ev.Args[0]))
+		target := m.findThread(tid)
+		if target == nil || target.proc != t.proc {
+			ret = 0 // already gone (or never existed): join succeeds vacuously
+			break
+		}
+		target.joinWaiters = append(target.joinWaiters, t)
+		t.block = blockState{kind: blockJoin, id: tid}
+		ret = 0
+
+	case trace.SysWebGet:
+		ret = m.sysWebGet(t, ev)
+
+	case trace.SysSigHandler:
+		t.proc.sigHandler = ev.Args[0]
+		ret = 0
+
+	case trace.SysUnlink:
+		path := t.proc.mem.ReadCString(ev.Args[0], 256)
+		ev.Path = path
+		if m.fs.Remove(path) {
+			ret = 0
+		}
+
+	case trace.SysSleep:
+		ret = 0 // deterministic machine: sleeping only yields the slice
+
+	case trace.SysWait:
+		pid := int(int64(ev.Args[0]))
+		child, ok := m.procs[pid]
+		switch {
+		case !ok:
+			ret = errRet
+		case child.exited:
+			ret = uint64(child.status)
+		default:
+			child.waiters = append(child.waiters, t)
+			t.block = blockState{kind: blockWait, id: pid}
+			ret = 0 // overwritten on wake with the exit status
+		}
+
+	case trace.SysKvPut:
+		ret = m.sysKvPut(t, ev)
+
+	case trace.SysKvGet:
+		ret = m.sysKvGet(t, ev)
+
+	default:
+		// Unknown syscall: return -1, like ENOSYS.
+		ret = errRet
+	}
+
+	cpu.Regs[0] = ret
+	ev.Ret = ret
+	return t.block.kind != blockRead
+}
+
+func clampLen(n uint64) int {
+	if n > maxIOBytes {
+		return maxIOBytes
+	}
+	return int(n)
+}
+
+func (m *Machine) sysRead(t *thread, ev *trace.SysEvent) uint64 {
+	fd := int(int64(ev.Args[0]))
+	buf, n := ev.Args[1], clampLen(ev.Args[2])
+	d, ok := t.proc.fds[fd]
+	if !ok || n < 0 {
+		return errRet
+	}
+	ev.Addr = buf
+	switch d.kind {
+	case fdStdin:
+		ev.Obj = "stdin"
+		ev.Off = uint64(m.stdinOff)
+		avail := len(m.cfg.Stdin) - m.stdinOff
+		if avail <= 0 {
+			return 0
+		}
+		if n > avail {
+			n = avail
+		}
+		data := m.cfg.Stdin[m.stdinOff : m.stdinOff+n]
+		m.stdinOff += n
+		t.proc.mem.Write(buf, data)
+		ev.Data = append([]byte(nil), data...)
+		return uint64(n)
+
+	case fdFile:
+		ev.Obj = d.path
+		ev.Off = uint64(d.off)
+		data := d.file.readAt(d.off, n)
+		d.off += len(data)
+		t.proc.mem.Write(buf, data)
+		ev.Data = append([]byte(nil), data...)
+		return uint64(len(data))
+
+	case fdPipe:
+		if d.writeEnd {
+			return errRet
+		}
+		p := d.pipe
+		ev.Obj = fmt.Sprintf("pipe:%d", p.id)
+		if len(p.buf) == 0 {
+			if p.writers > 0 {
+				// Block until data arrives; the call is re-issued by
+				// rewinding the PC to the syscall instruction (short form,
+				// 4 bytes) and restoring the syscall number in r0.
+				t.block = blockState{kind: blockRead, id: p.id}
+				t.cpu.PC -= 4
+				return uint64(trace.SysRead)
+			}
+			return 0 // EOF
+		}
+		if n > len(p.buf) {
+			n = len(p.buf)
+		}
+		ev.Off = p.readOff
+		data := p.buf[:n]
+		p.buf = append([]byte(nil), p.buf[n:]...)
+		p.readOff += uint64(n)
+		t.proc.mem.Write(buf, data)
+		ev.Data = append([]byte(nil), data...)
+		return uint64(n)
+	}
+	return errRet
+}
+
+func (m *Machine) sysWrite(t *thread, ev *trace.SysEvent) uint64 {
+	fd := int(int64(ev.Args[0]))
+	buf, n := ev.Args[1], clampLen(ev.Args[2])
+	d, ok := t.proc.fds[fd]
+	if !ok || n < 0 {
+		return errRet
+	}
+	data := make([]byte, n)
+	t.proc.mem.Read(buf, data)
+	ev.Addr = buf
+	ev.Data = data
+	switch d.kind {
+	case fdStdout:
+		ev.Obj = "stdout"
+		m.stdout.Write(data)
+		return uint64(n)
+	case fdFile:
+		ev.Obj = d.path
+		ev.Off = uint64(d.off)
+		d.file.writeAt(d.off, data)
+		d.off += n
+		return uint64(n)
+	case fdPipe:
+		if !d.writeEnd {
+			return errRet
+		}
+		p := d.pipe
+		ev.Obj = fmt.Sprintf("pipe:%d", p.id)
+		ev.Off = p.writeOff
+		p.buf = append(p.buf, data...)
+		p.writeOff += uint64(n)
+		m.wakePipeReaders(p)
+		return uint64(n)
+	}
+	return errRet
+}
+
+// Open flags.
+const (
+	OpenRead  = 0 // existing file, read-only
+	OpenWrite = 1 // create or truncate, write-only
+)
+
+func (m *Machine) sysOpen(t *thread, ev *trace.SysEvent) uint64 {
+	path := t.proc.mem.ReadCString(ev.Args[0], 256)
+	flags := ev.Args[1]
+	ev.Path = path
+	var f *file
+	switch flags {
+	case OpenRead:
+		f = m.fs.Open(path)
+		if f == nil {
+			return errRet
+		}
+	case OpenWrite:
+		f = m.fs.Create(path)
+	default:
+		return errRet
+	}
+	fd := t.proc.nextFD
+	t.proc.nextFD++
+	t.proc.fds[fd] = &fdesc{kind: fdFile, path: path, file: f}
+	return uint64(fd)
+}
+
+func (m *Machine) sysFork(t *thread, ev *trace.SysEvent) uint64 {
+	parent := t.proc
+	child := &proc{
+		pid:        m.nextPID,
+		mem:        parent.mem.Clone(),
+		fds:        make(map[int]*fdesc),
+		nextFD:     parent.nextFD,
+		sigHandler: parent.sigHandler,
+		nextStack:  parent.nextStack,
+	}
+	m.nextPID++
+	for fd, d := range parent.fds {
+		nd := *d
+		child.fds[fd] = &nd
+		if d.kind == fdPipe && d.writeEnd {
+			d.pipe.writers++
+		}
+	}
+	cpu := t.cpu.Clone()
+	cpu.Regs[0] = 0 // child sees 0
+	ct := &thread{tid: m.nextTID, proc: child, cpu: cpu}
+	m.nextTID++
+	child.liveThr = 1
+	m.procs[child.pid] = child
+	m.threads = append(m.threads, ct)
+	ev.NewID = uint64(child.pid)
+	return uint64(child.pid)
+}
+
+func (m *Machine) sysPipe(t *thread, ev *trace.SysEvent) uint64 {
+	p := &pipe{id: m.nextPipe, writers: 1}
+	m.nextPipe++
+	m.pipes[p.id] = p
+	rfd := t.proc.nextFD
+	wfd := rfd + 1
+	t.proc.nextFD += 2
+	t.proc.fds[rfd] = &fdesc{kind: fdPipe, pipe: p}
+	t.proc.fds[wfd] = &fdesc{kind: fdPipe, pipe: p, writeEnd: true}
+	ptr := ev.Args[0]
+	t.proc.mem.WriteUint(ptr, 8, uint64(rfd))   //nolint:errcheck // size 8 is valid
+	t.proc.mem.WriteUint(ptr+8, 8, uint64(wfd)) //nolint:errcheck // size 8 is valid
+	ev.Addr = ptr
+	ev.NewID = uint64(rfd) | uint64(wfd)<<32
+	return 0
+}
+
+func (m *Machine) sysThreadCreate(t *thread, ev *trace.SysEvent) uint64 {
+	entry, arg := ev.Args[0], ev.Args[1]
+	p := t.proc
+	cpu := &vm.CPU{PC: entry}
+	sp := p.nextStack
+	p.nextStack -= threadStackSize
+	cpu.SetSP(sp - 8)
+	p.mem.WriteUint(cpu.SP(), 8, vm.ExitThreadPC) //nolint:errcheck // size 8 is valid
+	cpu.Regs[1] = arg
+	nt := &thread{tid: m.nextTID, proc: p, cpu: cpu}
+	m.nextTID++
+	p.liveThr++
+	m.threads = append(m.threads, nt)
+	ev.NewID = uint64(nt.tid)
+	return uint64(nt.tid)
+}
+
+func (m *Machine) sysWebGet(t *thread, ev *trace.SysEvent) uint64 {
+	url := t.proc.mem.ReadCString(ev.Args[0], 256)
+	buf, n := ev.Args[1], clampLen(ev.Args[2])
+	ev.Path = url
+	ev.Obj = "web:" + url
+	body, ok := m.cfg.WebContent[url]
+	if !ok {
+		return errRet
+	}
+	data := []byte(body)
+	if len(data) > n {
+		data = data[:n]
+	}
+	t.proc.mem.Write(buf, data)
+	ev.Addr = buf
+	ev.Data = append([]byte(nil), data...)
+	return uint64(len(data))
+}
+
+// sysKvPut stores bytes under a string key in the kernel key-value store.
+func (m *Machine) sysKvPut(t *thread, ev *trace.SysEvent) uint64 {
+	key := t.proc.mem.ReadCString(ev.Args[0], 128)
+	buf, n := ev.Args[1], clampLen(ev.Args[2])
+	data := make([]byte, n)
+	t.proc.mem.Read(buf, data)
+	m.kv[key] = data
+	ev.Path = key
+	ev.Obj = "kv:" + key
+	ev.Addr = buf
+	ev.Data = data
+	return uint64(n)
+}
+
+// sysKvGet copies bytes stored under a key back to the guest.
+func (m *Machine) sysKvGet(t *thread, ev *trace.SysEvent) uint64 {
+	key := t.proc.mem.ReadCString(ev.Args[0], 128)
+	buf, n := ev.Args[1], clampLen(ev.Args[2])
+	ev.Path = key
+	ev.Obj = "kv:" + key
+	data, ok := m.kv[key]
+	if !ok {
+		return errRet
+	}
+	if len(data) > n {
+		data = data[:n]
+	}
+	t.proc.mem.Write(buf, data)
+	ev.Addr = buf
+	ev.Data = append([]byte(nil), data...)
+	return uint64(len(data))
+}
+
+func (m *Machine) wakePipeReaders(p *pipe) {
+	for _, t := range m.threads {
+		if !t.dead && t.block.kind == blockRead && t.block.id == p.id {
+			t.block = blockState{}
+		}
+	}
+}
+
+func (m *Machine) closeFD(p *proc, fd int) {
+	d, ok := p.fds[fd]
+	if !ok {
+		return
+	}
+	delete(p.fds, fd)
+	if d.kind == fdPipe && d.writeEnd {
+		d.pipe.writers--
+		if d.pipe.writers <= 0 {
+			// EOF: wake blocked readers so they observe end of stream.
+			m.wakePipeReaders(d.pipe)
+		}
+	}
+}
+
+func (m *Machine) findThread(tid int) *thread {
+	for _, t := range m.threads {
+		if t.tid == tid && !t.dead {
+			return t
+		}
+	}
+	return nil
+}
+
+// FS is the in-memory guest filesystem.
+type FS struct {
+	files map[string]*file
+}
+
+type file struct {
+	data []byte
+}
+
+// NewFS builds a filesystem pre-populated with the given contents.
+func NewFS(init map[string][]byte) *FS {
+	fs := &FS{files: make(map[string]*file)}
+	for path, data := range init {
+		fs.files[path] = &file{data: append([]byte(nil), data...)}
+	}
+	return fs
+}
+
+// Open returns the named file or nil.
+func (fs *FS) Open(path string) *file {
+	return fs.files[path]
+}
+
+// Create truncates or creates the named file.
+func (fs *FS) Create(path string) *file {
+	f := &file{}
+	fs.files[path] = f
+	return f
+}
+
+// Remove deletes the named file, reporting whether it existed.
+func (fs *FS) Remove(path string) bool {
+	if _, ok := fs.files[path]; !ok {
+		return false
+	}
+	delete(fs.files, path)
+	return true
+}
+
+// Exists reports whether the named file exists.
+func (fs *FS) Exists(path string) bool {
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Contents returns a copy of the named file's bytes.
+func (fs *FS) Contents(path string) ([]byte, bool) {
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+func (f *file) readAt(off, n int) []byte {
+	if off >= len(f.data) {
+		return nil
+	}
+	end := off + n
+	if end > len(f.data) {
+		end = len(f.data)
+	}
+	return append([]byte(nil), f.data[off:end]...)
+}
+
+func (f *file) writeAt(off int, data []byte) {
+	for len(f.data) < off {
+		f.data = append(f.data, 0)
+	}
+	for i, b := range data {
+		if off+i < len(f.data) {
+			f.data[off+i] = b
+		} else {
+			f.data = append(f.data, b)
+		}
+	}
+}

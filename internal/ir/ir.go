@@ -1,0 +1,171 @@
+// Package ir defines the intermediate representation that lifted LB64
+// instructions are expressed in — the role BIL, Triton's SSA and VEX play
+// in the paper's Figure 1. Each traced instruction lifts to a short list
+// of statements over registers, flags and memory cells; the symbolic
+// executor evaluates these against symbolic state.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sym"
+)
+
+// Expr is an IR expression. Unlike sym.Expr, IR expressions reference
+// machine state (registers, flags, memory) rather than symbolic inputs;
+// the executor resolves them to sym.Expr values per trace entry.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Const is an immediate value.
+type Const struct {
+	V uint64
+	W int
+}
+
+func (Const) isExpr()          {}
+func (c Const) String() string { return fmt.Sprintf("%#x", c.V) }
+
+// Reg reads a 64-bit register.
+type Reg struct {
+	R isa.Reg
+}
+
+func (Reg) isExpr()          {}
+func (r Reg) String() string { return r.R.String() }
+
+// Flag identifies a condition flag.
+type FlagKind int
+
+// Flags.
+const (
+	FlagZ FlagKind = iota + 1
+	FlagS
+	FlagC
+)
+
+func (f FlagKind) String() string {
+	switch f {
+	case FlagZ:
+		return "zf"
+	case FlagS:
+		return "sf"
+	case FlagC:
+		return "cf"
+	}
+	return "flag?"
+}
+
+// Flag reads a width-1 condition flag.
+type Flag struct {
+	F FlagKind
+}
+
+func (Flag) isExpr()          {}
+func (f Flag) String() string { return f.F.String() }
+
+// Mem is an effective address: base register plus displacement, accessing
+// Size bytes. The executor resolves the concrete address from the trace
+// and the symbolic address from the base register's state.
+type Mem struct {
+	Base isa.Reg
+	Off  int64
+	Size uint8
+}
+
+func (m Mem) String() string {
+	return fmt.Sprintf("[%s%+d]:%d", m.Base, m.Off, m.Size)
+}
+
+// Load reads memory.
+type Load struct {
+	M Mem
+}
+
+func (Load) isExpr()          {}
+func (l Load) String() string { return "load " + l.M.String() }
+
+// Bin applies a sym binary operator to two IR expressions.
+type Bin struct {
+	Op   sym.BinOp
+	A, B Expr
+}
+
+func (Bin) isExpr()          {}
+func (b Bin) String() string { return fmt.Sprintf("(%s %s %s)", b.Op, b.A, b.B) }
+
+// Un applies a sym unary operator; Arg/Arg2 mirror sym.Un.
+type Un struct {
+	Op   sym.UnOp
+	A    Expr
+	Arg  int
+	Arg2 int
+}
+
+func (Un) isExpr()          {}
+func (u Un) String() string { return fmt.Sprintf("(un%d %s)", int(u.Op), u.A) }
+
+// Stmt is one IR statement.
+type Stmt interface {
+	fmt.Stringer
+	isStmt()
+}
+
+// SetReg assigns a 64-bit value to a register.
+type SetReg struct {
+	R isa.Reg
+	E Expr
+}
+
+func (SetReg) isStmt()          {}
+func (s SetReg) String() string { return fmt.Sprintf("%s := %s", s.R, s.E) }
+
+// SetFlags assigns all three flags (width-1 expressions).
+type SetFlags struct {
+	Z, S, C Expr
+}
+
+func (SetFlags) isStmt() {}
+func (s SetFlags) String() string {
+	return fmt.Sprintf("flags := (%s, %s, %s)", s.Z, s.S, s.C)
+}
+
+// Store writes Size bytes of E to memory.
+type Store struct {
+	M Mem
+	E Expr
+}
+
+func (Store) isStmt()          {}
+func (s Store) String() string { return fmt.Sprintf("%s := %s", s.M, s.E) }
+
+// CondBranch is a conditional control transfer; Cond is width 1. The
+// concrete outcome is in the trace; a symbolic Cond yields a path
+// constraint.
+type CondBranch struct {
+	Cond Expr
+}
+
+func (CondBranch) isStmt()          {}
+func (b CondBranch) String() string { return fmt.Sprintf("branch if %s", b.Cond) }
+
+// IndirectJump transfers control to a computed target (register jump,
+// register call, or return).
+type IndirectJump struct {
+	Target Expr
+}
+
+func (IndirectJump) isStmt()          {}
+func (j IndirectJump) String() string { return fmt.Sprintf("goto %s", j.Target) }
+
+// DivGuard marks the implicit divide-fault branch: execution continuing
+// past the instruction implies Divisor != 0.
+type DivGuard struct {
+	Divisor Expr
+}
+
+func (DivGuard) isStmt()          {}
+func (d DivGuard) String() string { return fmt.Sprintf("guard %s != 0", d.Divisor) }

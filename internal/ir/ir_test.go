@@ -1,0 +1,57 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sym"
+)
+
+func TestExprStrings(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{Const{V: 0x10, W: 64}, "0x10"},
+		{Reg{R: isa.R3}, "r3"},
+		{Flag{F: FlagZ}, "zf"},
+		{Flag{F: FlagS}, "sf"},
+		{Flag{F: FlagC}, "cf"},
+		{Load{M: Mem{Base: isa.R2, Off: 8, Size: 4}}, "load [r2+8]:4"},
+		{Bin{Op: sym.OpAdd, A: Reg{R: isa.R1}, B: Const{V: 1, W: 64}}, "(bvadd r1 0x1)"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	tests := []struct {
+		s    Stmt
+		want string
+	}{
+		{SetReg{R: isa.R1, E: Const{V: 5, W: 64}}, "r1 := 0x5"},
+		{Store{M: Mem{Base: isa.SP, Off: -8, Size: 8}, E: Reg{R: isa.R2}}, "[sp-8]:8 := r2"},
+		{CondBranch{Cond: Flag{F: FlagZ}}, "branch if zf"},
+		{IndirectJump{Target: Reg{R: isa.R9}}, "goto r9"},
+		{DivGuard{Divisor: Reg{R: isa.R2}}, "guard r2 != 0"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+	sf := SetFlags{Z: Flag{F: FlagZ}, S: Flag{F: FlagS}, C: Const{V: 0, W: 1}}
+	if !strings.Contains(sf.String(), "flags :=") {
+		t.Errorf("SetFlags string = %q", sf.String())
+	}
+}
+
+func TestFlagKindString(t *testing.T) {
+	if FlagKind(0).String() != "flag?" {
+		t.Errorf("unknown flag = %q", FlagKind(0).String())
+	}
+}

@@ -1,0 +1,345 @@
+// Package isa defines LB64, the small 64-bit instruction set used by the
+// logic-bomb reproduction suite.
+//
+// LB64 is deliberately x86-64-flavoured: it has a flat little-endian address
+// space, sixteen 64-bit general-purpose registers, a stack that grows down,
+// compare-and-branch flags, IEEE-754 float operations on register bit
+// patterns, indirect jumps and calls through registers, and a syscall
+// instruction. Every challenge from the paper (symbolic jumps, symbolic
+// arrays, floating-point compares, push/pop propagation, external calls)
+// is expressible with the same shape it has on real hardware.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the sixteen general-purpose registers.
+// R15 doubles as the stack pointer (alias SP).
+type Reg uint8
+
+// General-purpose registers. By convention R0 holds return values and
+// syscall numbers, R1-R5 hold arguments, and R15 is the stack pointer.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// SP is the conventional alias for R15.
+	SP = R15
+
+	// NumRegs is the size of the register file.
+	NumRegs = 16
+)
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	if r == SP {
+		return "sp"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Valid reports whether r names an existing register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op is an LB64 opcode.
+type Op uint8
+
+// Opcodes. The zero value is invalid so that accidentally zeroed memory
+// never decodes as a meaningful instruction.
+const (
+	OpInvalid Op = iota
+
+	OpNop
+	OpMov  // mov  r1, r2|imm        r1 = src
+	OpLd   // ld.SZ r1, [r2+imm]     r1 = zext(mem[r2+imm], SZ)
+	OpSt   // st.SZ [r1+imm], r2     mem[r1+imm] = trunc(r2, SZ)
+	OpPush // push r|imm             sp -= 8; mem[sp] = src
+	OpPop  // pop  r                 r = mem[sp]; sp += 8
+
+	OpAdd  // add r1, r2|imm
+	OpSub  // sub r1, r2|imm
+	OpMul  // mul r1, r2|imm         low 64 bits
+	OpDiv  // div r1, r2|imm         unsigned; traps on zero divisor
+	OpMod  // mod r1, r2|imm         unsigned remainder; traps on zero
+	OpSdiv // sdiv r1, r2|imm        signed; traps on zero divisor
+	OpSmod // smod r1, r2|imm        signed remainder; traps on zero
+	OpNeg  // neg r1
+
+	OpAnd // and r1, r2|imm
+	OpOr  // or  r1, r2|imm
+	OpXor // xor r1, r2|imm
+	OpNot // not r1
+	OpShl // shl r1, r2|imm          shift count masked to 6 bits
+	OpShr // shr r1, r2|imm          logical
+	OpSar // sar r1, r2|imm          arithmetic
+
+	OpCmp  // cmp r1, r2|imm         ZF = a==b, SF = signed a<b, CF = unsigned a<b
+	OpTest // test r1, r2|imm        ZF = (a&b)==0, SF = sign(a&b), CF = 0
+
+	OpJmp // jmp imm | jmp r         unconditional, direct or register-indirect
+	OpJe  // jump if ZF
+	OpJne // jump if !ZF
+	OpJl  // jump if SF              (signed <)
+	OpJle // jump if SF || ZF
+	OpJg  // jump if !SF && !ZF
+	OpJge // jump if !SF
+	OpJb  // jump if CF              (unsigned <)
+	OpJbe // jump if CF || ZF
+	OpJa  // jump if !CF && !ZF
+	OpJae // jump if !CF
+
+	OpCall // call imm | call r      pushes return address
+	OpRet  // ret                    pops return address
+
+	OpFadd // fadd r1, r2            f64 bit patterns
+	OpFsub // fsub r1, r2
+	OpFmul // fmul r1, r2
+	OpFdiv // fdiv r1, r2
+	OpFcmp // fcmp r1, r2            ZF = a==b, SF = a<b, CF = unordered
+	OpI2f  // i2f r1                 int64 -> f64 bits, in place
+	OpF2i  // f2i r1                 f64 bits -> int64 (truncated), in place
+
+	OpSyscall // syscall              number in r0, args r1..r5, result r0
+	OpHalt    // halt                 stop the machine
+
+	opMax // sentinel for validation
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpMov: "mov", OpLd: "ld", OpSt: "st",
+	OpPush: "push", OpPop: "pop",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpSdiv: "sdiv", OpSmod: "smod", OpNeg: "neg",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not",
+	OpShl: "shl", OpShr: "shr", OpSar: "sar",
+	OpCmp: "cmp", OpTest: "test",
+	OpJmp: "jmp", OpJe: "je", OpJne: "jne", OpJl: "jl", OpJle: "jle",
+	OpJg: "jg", OpJge: "jge", OpJb: "jb", OpJbe: "jbe", OpJa: "ja", OpJae: "jae",
+	OpCall: "call", OpRet: "ret",
+	OpFadd: "fadd", OpFsub: "fsub", OpFmul: "fmul", OpFdiv: "fdiv",
+	OpFcmp: "fcmp", OpI2f: "i2f", OpF2i: "f2i",
+	OpSyscall: "syscall", OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o > OpInvalid && o < opMax }
+
+// IsCondJump reports whether o is one of the conditional jumps.
+func (o Op) IsCondJump() bool { return o >= OpJe && o <= OpJae }
+
+// IsJump reports whether o transfers control (excluding call/ret/syscall).
+func (o Op) IsJump() bool { return o == OpJmp || o.IsCondJump() }
+
+// IsFloat reports whether o operates on floating-point bit patterns.
+func (o Op) IsFloat() bool { return o >= OpFadd && o <= OpF2i }
+
+// Mode describes the operand shape of an instruction.
+type Mode uint8
+
+// Operand modes.
+const (
+	ModeNone Mode = iota + 1 // no operands (nop, ret, syscall, halt)
+	ModeR                    // single register (pop, neg, not, jmp r, ...)
+	ModeI                    // single immediate (jmp imm, push imm, call imm)
+	ModeRR                   // register, register
+	ModeRI                   // register, immediate
+	ModeRM                   // register <- [register+imm]  (ld)
+	ModeMR                   // [register+imm] <- register  (st)
+
+	modeMax
+)
+
+// String returns a short name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeR:
+		return "r"
+	case ModeI:
+		return "i"
+	case ModeRR:
+		return "rr"
+	case ModeRI:
+		return "ri"
+	case ModeRM:
+		return "rm"
+	case ModeMR:
+		return "mr"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Valid reports whether m is a defined mode.
+func (m Mode) Valid() bool { return m >= ModeNone && m < modeMax }
+
+// HasImm reports whether instructions in this mode carry an immediate word.
+func (m Mode) HasImm() bool {
+	switch m {
+	case ModeI, ModeRI, ModeRM, ModeMR:
+		return true
+	}
+	return false
+}
+
+// Instr is one decoded LB64 instruction.
+type Instr struct {
+	Op   Op
+	Mode Mode
+	Size uint8 // access size in bytes for ld/st: 1, 2, 4 or 8; 8 elsewhere
+	R1   Reg
+	R2   Reg
+	Imm  int64
+}
+
+// EncodedLen returns the byte length of the encoded instruction:
+// 4 for short forms, 12 when an immediate word follows.
+func (in Instr) EncodedLen() int {
+	if in.Mode.HasImm() {
+		return longLen
+	}
+	return shortLen
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpLd:
+		return fmt.Sprintf("%s.%s %s, [%s%+d]", in.Op, sizeSuffix(in.Size), in.R1, in.R2, in.Imm)
+	case OpSt:
+		return fmt.Sprintf("%s.%s [%s%+d], %s", in.Op, sizeSuffix(in.Size), in.R1, in.Imm, in.R2)
+	}
+	switch in.Mode {
+	case ModeNone:
+		return in.Op.String()
+	case ModeR:
+		return fmt.Sprintf("%s %s", in.Op, in.R1)
+	case ModeI:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case ModeRR:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.R1, in.R2)
+	case ModeRI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.R1, in.Imm)
+	}
+	return fmt.Sprintf("%s<%s>", in.Op, in.Mode)
+}
+
+func sizeSuffix(size uint8) string {
+	switch size {
+	case 1:
+		return "b"
+	case 2:
+		return "w"
+	case 4:
+		return "d"
+	default:
+		return "q"
+	}
+}
+
+// Validate checks structural well-formedness of the instruction: defined
+// opcode and mode, legal registers, a legal size, and an operand mode that
+// the opcode accepts.
+func (in Instr) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("invalid opcode %d", uint8(in.Op))
+	}
+	if !in.Mode.Valid() {
+		return fmt.Errorf("%s: invalid mode %d", in.Op, uint8(in.Mode))
+	}
+	if !in.R1.Valid() || !in.R2.Valid() {
+		return fmt.Errorf("%s: invalid register", in.Op)
+	}
+	switch in.Size {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("%s: invalid size %d", in.Op, in.Size)
+	}
+	allowed, ok := allowedModes[in.Op]
+	if !ok {
+		return fmt.Errorf("%s: opcode has no mode table", in.Op)
+	}
+	for _, m := range allowed {
+		if m == in.Mode {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: mode %s not allowed", in.Op, in.Mode)
+}
+
+// allowedModes lists the operand modes each opcode accepts.
+var allowedModes = map[Op][]Mode{
+	OpNop:  {ModeNone},
+	OpMov:  {ModeRR, ModeRI},
+	OpLd:   {ModeRM},
+	OpSt:   {ModeMR},
+	OpPush: {ModeR, ModeI},
+	OpPop:  {ModeR},
+
+	OpAdd:  {ModeRR, ModeRI},
+	OpSub:  {ModeRR, ModeRI},
+	OpMul:  {ModeRR, ModeRI},
+	OpDiv:  {ModeRR, ModeRI},
+	OpMod:  {ModeRR, ModeRI},
+	OpSdiv: {ModeRR, ModeRI},
+	OpSmod: {ModeRR, ModeRI},
+	OpNeg:  {ModeR},
+
+	OpAnd: {ModeRR, ModeRI},
+	OpOr:  {ModeRR, ModeRI},
+	OpXor: {ModeRR, ModeRI},
+	OpNot: {ModeR},
+	OpShl: {ModeRR, ModeRI},
+	OpShr: {ModeRR, ModeRI},
+	OpSar: {ModeRR, ModeRI},
+
+	OpCmp:  {ModeRR, ModeRI},
+	OpTest: {ModeRR, ModeRI},
+
+	OpJmp: {ModeI, ModeR},
+	OpJe:  {ModeI},
+	OpJne: {ModeI},
+	OpJl:  {ModeI},
+	OpJle: {ModeI},
+	OpJg:  {ModeI},
+	OpJge: {ModeI},
+	OpJb:  {ModeI},
+	OpJbe: {ModeI},
+	OpJa:  {ModeI},
+	OpJae: {ModeI},
+
+	OpCall: {ModeI, ModeR},
+	OpRet:  {ModeNone},
+
+	OpFadd: {ModeRR},
+	OpFsub: {ModeRR},
+	OpFmul: {ModeRR},
+	OpFdiv: {ModeRR},
+	OpFcmp: {ModeRR},
+	OpI2f:  {ModeR},
+	OpF2i:  {ModeR},
+
+	OpSyscall: {ModeNone},
+	OpHalt:    {ModeNone},
+}

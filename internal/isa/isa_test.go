@@ -1,0 +1,246 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	tests := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"},
+		{R7, "r7"},
+		{R14, "r14"},
+		{SP, "sp"},
+		{R15, "sp"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		if !r.Valid() {
+			t.Errorf("register %d should be valid", r)
+		}
+	}
+	if Reg(16).Valid() {
+		t.Error("register 16 should be invalid")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if got := OpMov.String(); got != "mov" {
+		t.Errorf("OpMov.String() = %q", got)
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op string = %q, want embedded code", got)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpJe.IsCondJump() || !OpJae.IsCondJump() {
+		t.Error("je/jae should be conditional jumps")
+	}
+	if OpJmp.IsCondJump() {
+		t.Error("jmp is not a conditional jump")
+	}
+	if !OpJmp.IsJump() || !OpJne.IsJump() {
+		t.Error("jmp/jne should be jumps")
+	}
+	if OpCall.IsJump() {
+		t.Error("call is not classified as a jump")
+	}
+	if !OpFadd.IsFloat() || !OpF2i.IsFloat() {
+		t.Error("fadd/f2i should be float ops")
+	}
+	if OpAdd.IsFloat() {
+		t.Error("add is not a float op")
+	}
+}
+
+func TestAllOpsHaveNamesAndModes(t *testing.T) {
+	for o := OpNop; o < opMax; o++ {
+		if _, ok := opNames[o]; !ok {
+			t.Errorf("opcode %d has no name", o)
+		}
+		if _, ok := allowedModes[o]; !ok {
+			t.Errorf("opcode %s has no allowed modes", o)
+		}
+	}
+}
+
+func TestInstrValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      Instr
+		wantErr bool
+	}{
+		{"valid mov rr", Instr{Op: OpMov, Mode: ModeRR, Size: 8, R1: R1, R2: R2}, false},
+		{"valid ld byte", Instr{Op: OpLd, Mode: ModeRM, Size: 1, R1: R1, R2: R2, Imm: -8}, false},
+		{"valid syscall", Instr{Op: OpSyscall, Mode: ModeNone, Size: 8}, false},
+		{"invalid op", Instr{Op: OpInvalid, Mode: ModeNone, Size: 8}, true},
+		{"invalid mode", Instr{Op: OpMov, Mode: Mode(0), Size: 8}, true},
+		{"mode not allowed", Instr{Op: OpRet, Mode: ModeRI, Size: 8}, true},
+		{"bad size", Instr{Op: OpMov, Mode: ModeRR, Size: 3}, true},
+		{"bad register", Instr{Op: OpMov, Mode: ModeRR, Size: 8, R1: Reg(31)}, true},
+		{"jcc requires imm", Instr{Op: OpJe, Mode: ModeR, Size: 8}, true},
+		{"jmp register ok", Instr{Op: OpJmp, Mode: ModeR, Size: 8, R1: R3}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.in.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ins := []Instr{
+		{Op: OpNop, Mode: ModeNone, Size: 8},
+		{Op: OpMov, Mode: ModeRI, Size: 8, R1: R1, Imm: -42},
+		{Op: OpMov, Mode: ModeRR, Size: 8, R1: R1, R2: R2},
+		{Op: OpLd, Mode: ModeRM, Size: 4, R1: R3, R2: R4, Imm: 16},
+		{Op: OpSt, Mode: ModeMR, Size: 1, R1: R5, R2: R6, Imm: -1},
+		{Op: OpJne, Mode: ModeI, Size: 8, Imm: 0x1234},
+		{Op: OpJmp, Mode: ModeR, Size: 8, R1: R9},
+		{Op: OpCall, Mode: ModeI, Size: 8, Imm: 0x2000},
+		{Op: OpSyscall, Mode: ModeNone, Size: 8},
+		{Op: OpHalt, Mode: ModeNone, Size: 8},
+	}
+	buf, err := EncodeProgram(ins)
+	if err != nil {
+		t.Fatalf("EncodeProgram: %v", err)
+	}
+	got, err := DecodeProgram(buf)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	if len(got) != len(ins) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(ins))
+	}
+	for i := range ins {
+		if got[i] != ins[i] {
+			t.Errorf("instruction %d: got %+v, want %+v", i, got[i], ins[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) should fail")
+	}
+	if _, _, err := Decode([]byte{byte(OpMov), byte(ModeRI), 0}); err == nil {
+		t.Error("Decode of truncated long form should fail")
+	}
+	// Long form cut before the immediate.
+	if _, _, err := Decode([]byte{byte(OpMov), byte(ModeRI), 0, 0, 1, 2}); err == nil {
+		t.Error("Decode of truncated immediate should fail")
+	}
+	// Garbage opcode.
+	if _, _, err := Decode([]byte{0xff, byte(ModeNone), 0, 0}); err == nil {
+		t.Error("Decode of invalid opcode should fail")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(nil, Instr{Op: OpRet, Mode: ModeRI, Size: 8}); err == nil {
+		t.Error("Encode should reject invalid instruction")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpMov, Mode: ModeRI, Size: 8, R1: R1, Imm: 7}, "mov r1, 7"},
+		{Instr{Op: OpMov, Mode: ModeRR, Size: 8, R1: R1, R2: R2}, "mov r1, r2"},
+		{Instr{Op: OpLd, Mode: ModeRM, Size: 8, R1: R1, R2: R2, Imm: 8}, "ld.q r1, [r2+8]"},
+		{Instr{Op: OpLd, Mode: ModeRM, Size: 1, R1: R1, R2: R2, Imm: -1}, "ld.b r1, [r2-1]"},
+		{Instr{Op: OpSt, Mode: ModeMR, Size: 2, R1: R3, R2: R4, Imm: 0}, "st.w [r3+0], r4"},
+		{Instr{Op: OpRet, Mode: ModeNone, Size: 8}, "ret"},
+		{Instr{Op: OpJmp, Mode: ModeR, Size: 8, R1: R9}, "jmp r9"},
+		{Instr{Op: OpJe, Mode: ModeI, Size: 8, Imm: 4096}, "je 4096"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// randomInstr builds a random valid instruction for property testing.
+func randomInstr(rng *rand.Rand) Instr {
+	ops := make([]Op, 0, int(opMax))
+	for o := OpNop; o < opMax; o++ {
+		ops = append(ops, o)
+	}
+	op := ops[rng.Intn(len(ops))]
+	modes := allowedModes[op]
+	mode := modes[rng.Intn(len(modes))]
+	in := Instr{
+		Op:   op,
+		Mode: mode,
+		Size: 8,
+		R1:   Reg(rng.Intn(NumRegs)),
+		R2:   Reg(rng.Intn(NumRegs)),
+	}
+	if op == OpLd || op == OpSt {
+		in.Size = []uint8{1, 2, 4, 8}[rng.Intn(4)]
+	}
+	if mode.HasImm() {
+		in.Imm = int64(rng.Uint64())
+	}
+	return in
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		_ = seed
+		in := randomInstr(rng)
+		buf, err := Encode(nil, in)
+		if err != nil {
+			t.Logf("encode %+v: %v", in, err)
+			return false
+		}
+		if len(buf) != in.EncodedLen() {
+			t.Logf("encoded length %d != EncodedLen %d", len(buf), in.EncodedLen())
+			return false
+		}
+		out, n, err := Decode(buf)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return n == len(buf) && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(buf []byte) bool {
+		// Decode must either succeed or fail with an error; never panic,
+		// and on success must consume a sensible byte count.
+		in, n, err := Decode(buf)
+		if err != nil {
+			return true
+		}
+		return n >= shortLen && n <= longLen && in.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,318 @@
+package libc
+
+// AES implements AES-128 ECB single-block encryption in LB64 assembly:
+// full key expansion and the ten SubBytes/ShiftRows/MixColumns/AddRoundKey
+// rounds, with the standard S-box as a data table. S-box lookups are
+// data-dependent memory reads — the hardest case for constraint modeling —
+// and the round structure produces the trace blowup the paper's AES bomb
+// relies on.
+const AES = `
+; aes128_encrypt(r1=key16, r2=in16, r3=out16)
+aes128_encrypt:
+    push r12
+    push r13
+    push r14
+    push r3            ; out
+    push r2            ; in
+    mov  r12, r1       ; key
+
+    ; round key 0 = key
+    mov r6, aes_rk
+    mov r7, 0
+.kcopy:
+    cmp r7, 16
+    je .kexp
+    ld.b r8, [r12+0]
+    st.b [r6+0], r8
+    add r6, 1
+    add r12, 1
+    add r7, 1
+    jmp .kcopy
+.kexp:
+    ; expand words 4..43
+    mov r7, 4
+.kloop:
+    cmp r7, 44
+    je .kdone
+    ; t = word i-1 as bytes r8..r11
+    mov r6, aes_rk
+    mov r5, r7
+    sub r5, 1
+    shl r5, 2
+    add r6, r5
+    ld.b r8, [r6+0]
+    ld.b r9, [r6+1]
+    ld.b r10, [r6+2]
+    ld.b r11, [r6+3]
+    mov r5, r7
+    and r5, 3
+    cmp r5, 0
+    jne .noxform
+    ; rotword
+    mov r5, r8
+    mov r8, r9
+    mov r9, r10
+    mov r10, r11
+    mov r11, r5
+    ; subword
+    mov r5, aes_sbox
+    add r8, r5
+    ld.b r8, [r8+0]
+    add r9, r5
+    ld.b r9, [r9+0]
+    add r10, r5
+    ld.b r10, [r10+0]
+    add r11, r5
+    ld.b r11, [r11+0]
+    ; rcon
+    mov r5, r7
+    shr r5, 2
+    sub r5, 1
+    mov r6, aes_rcon
+    add r6, r5
+    ld.b r5, [r6+0]
+    xor r8, r5
+.noxform:
+    ; word i = word i-4 ^ t
+    mov r6, aes_rk
+    mov r5, r7
+    sub r5, 4
+    shl r5, 2
+    add r6, r5
+    ld.b r5, [r6+0]
+    xor r8, r5
+    ld.b r5, [r6+1]
+    xor r9, r5
+    ld.b r5, [r6+2]
+    xor r10, r5
+    ld.b r5, [r6+3]
+    xor r11, r5
+    mov r6, aes_rk
+    mov r5, r7
+    shl r5, 2
+    add r6, r5
+    st.b [r6+0], r8
+    st.b [r6+1], r9
+    st.b [r6+2], r10
+    st.b [r6+3], r11
+    add r7, 1
+    jmp .kloop
+.kdone:
+
+    ; state = in ^ round key 0
+    pop r2
+    mov r6, aes_st
+    mov r5, aes_rk
+    mov r7, 0
+.init:
+    cmp r7, 16
+    je .rounds
+    ld.b r8, [r2+0]
+    ld.b r9, [r5+0]
+    xor r8, r9
+    st.b [r6+0], r8
+    add r2, 1
+    add r5, 1
+    add r6, 1
+    add r7, 1
+    jmp .init
+.rounds:
+    mov r13, 1
+.rloop:
+    call aes_subbytes
+    call aes_shiftrows
+    cmp r13, 10
+    je .lastround
+    call aes_mixcolumns
+.lastround:
+    mov r1, r13
+    call aes_addroundkey
+    add r13, 1
+    cmp r13, 11
+    jne .rloop
+
+    ; write state to out
+    pop r3
+    mov r6, aes_st
+    mov r7, 0
+.out:
+    cmp r7, 16
+    je .fin
+    ld.b r8, [r6+0]
+    st.b [r3+0], r8
+    add r6, 1
+    add r3, 1
+    add r7, 1
+    jmp .out
+.fin:
+    pop r14
+    pop r13
+    pop r12
+    mov r0, 0
+    ret
+
+; aes_subbytes: state[i] = sbox[state[i]]
+aes_subbytes:
+    mov r6, aes_st
+    mov r7, 0
+.loop:
+    cmp r7, 16
+    je .done
+    ld.b r8, [r6+0]
+    mov r9, aes_sbox
+    add r9, r8
+    ld.b r8, [r9+0]
+    st.b [r6+0], r8
+    add r6, 1
+    add r7, 1
+    jmp .loop
+.done:
+    ret
+
+; aes_shiftrows: rotate row r left by r (column-major state layout)
+aes_shiftrows:
+    mov r6, aes_st
+    ; row 1: left by 1
+    ld.b r7, [r6+1]
+    ld.b r8, [r6+5]
+    st.b [r6+1], r8
+    ld.b r8, [r6+9]
+    st.b [r6+5], r8
+    ld.b r8, [r6+13]
+    st.b [r6+9], r8
+    st.b [r6+13], r7
+    ; row 2: swap pairs
+    ld.b r7, [r6+2]
+    ld.b r8, [r6+10]
+    st.b [r6+2], r8
+    st.b [r6+10], r7
+    ld.b r7, [r6+6]
+    ld.b r8, [r6+14]
+    st.b [r6+6], r8
+    st.b [r6+14], r7
+    ; row 3: left by 3 (= right by 1)
+    ld.b r7, [r6+15]
+    ld.b r8, [r6+11]
+    st.b [r6+15], r8
+    ld.b r8, [r6+7]
+    st.b [r6+11], r8
+    ld.b r8, [r6+3]
+    st.b [r6+7], r8
+    st.b [r6+3], r7
+    ret
+
+; aes_xtime(r1=b) -> r0 = GF(2^8) doubling
+aes_xtime:
+    mov r0, r1
+    shl r0, 1
+    and r0, 0xff
+    and r1, 0x80
+    cmp r1, 0
+    je .done
+    xor r0, 0x1b
+.done:
+    ret
+
+; aes_mixcolumns: per column GF mixing
+aes_mixcolumns:
+    push r12
+    push r13
+    push r14
+    mov r12, aes_st
+    mov r13, 0
+.cloop:
+    cmp r13, 4
+    je .done
+    ld.b r7, [r12+0]
+    ld.b r8, [r12+1]
+    ld.b r9, [r12+2]
+    ld.b r10, [r12+3]
+    mov r11, r7
+    xor r11, r8
+    xor r11, r9
+    xor r11, r10       ; t = s0^s1^s2^s3
+    mov r14, r7        ; u = original s0
+    ; s0 ^= t ^ xtime(s0^s1)
+    mov r1, r7
+    xor r1, r8
+    call aes_xtime
+    xor r7, r11
+    xor r7, r0
+    ; s1 ^= t ^ xtime(s1^s2)
+    mov r1, r8
+    xor r1, r9
+    call aes_xtime
+    xor r8, r11
+    xor r8, r0
+    ; s2 ^= t ^ xtime(s2^s3)
+    mov r1, r9
+    xor r1, r10
+    call aes_xtime
+    xor r9, r11
+    xor r9, r0
+    ; s3 ^= t ^ xtime(s3^u)
+    mov r1, r10
+    xor r1, r14
+    call aes_xtime
+    xor r10, r11
+    xor r10, r0
+    st.b [r12+0], r7
+    st.b [r12+1], r8
+    st.b [r12+2], r9
+    st.b [r12+3], r10
+    add r12, 4
+    add r13, 1
+    jmp .cloop
+.done:
+    pop r14
+    pop r13
+    pop r12
+    ret
+
+; aes_addroundkey(r1=round): state ^= rk[16*round ..]
+aes_addroundkey:
+    mov r6, aes_st
+    mov r7, aes_rk
+    shl r1, 4
+    add r7, r1
+    mov r8, 0
+.loop:
+    cmp r8, 16
+    je .done
+    ld.b r9, [r6+0]
+    ld.b r10, [r7+0]
+    xor r9, r10
+    st.b [r6+0], r9
+    add r6, 1
+    add r7, 1
+    add r8, 1
+    jmp .loop
+.done:
+    ret
+
+    .data
+    .align 8
+aes_st:
+    .space 16
+aes_rk:
+    .space 176
+aes_rcon:
+    .byte 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36
+aes_sbox:
+    .byte 0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76
+    .byte 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0
+    .byte 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15
+    .byte 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75
+    .byte 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84
+    .byte 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf
+    .byte 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8
+    .byte 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2
+    .byte 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73
+    .byte 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb
+    .byte 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79
+    .byte 0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08
+    .byte 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a
+    .byte 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e
+    .byte 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf
+    .byte 0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16
+`

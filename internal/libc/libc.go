@@ -1,0 +1,543 @@
+// Package libc is the guest C library: runtime startup, string routines,
+// formatted output, number parsing, math, a PRNG, SHA-1 and AES-128 — all
+// written in LB64 assembly and assembled into every program image.
+//
+// The library exists so that the paper's scalability challenges are real:
+// calling printf or sha1 drags the callee's genuine branch structure into
+// the execution trace, exactly as dynamically-linked libc does for the
+// binaries in the paper (Figure 3 and the crypto bombs).
+//
+// Calling convention: arguments in r1..r5, result in r0, r6..r11 are
+// scratch, r12..r14 are callee-saved, sp is preserved.
+package libc
+
+import "repro/internal/asm"
+
+// All returns every library unit, ready to assemble alongside a program.
+func All() []asm.Source {
+	return []asm.Source{
+		{Name: "crt0.s", Text: CRT0},
+		{Name: "string.s", Text: String},
+		{Name: "stdio.s", Text: Stdio},
+		{Name: "math.s", Text: Math},
+		{Name: "rand.s", Text: Rand},
+		{Name: "sha1.s", Text: SHA1},
+		{Name: "aes.s", Text: AES},
+		{Name: "bombrt.s", Text: BombRT},
+	}
+}
+
+// CRT0 is the program startup stub: it forwards argc/argv to main and
+// turns main's return value into an exit system call.
+const CRT0 = `
+; crt0: _start(argc=r1, argv=r2) -> exit(main(argc, argv))
+_start:
+    call main
+    mov r1, r0
+    mov r0, 1          ; SysExit
+    syscall
+`
+
+// BombRT is the logic-bomb runtime: the bomb routine prints BOOM and
+// terminates with the canonical status 42. Reaching `bomb` is the success
+// criterion of every challenge program.
+const BombRT = `
+; bomb: the logic bomb payload. Never returns.
+bomb:
+    mov r1, boom_msg
+    call puts
+    mov r0, 1          ; SysExit
+    mov r1, 42
+    syscall
+
+    .data
+boom_msg:
+    .asciz "BOOM\n"
+`
+
+// String contains strlen, strcmp, strcpy, memcpy and atoi.
+const String = `
+; strlen(r1=s) -> r0
+strlen:
+    mov r0, 0
+.loop:
+    ld.b r6, [r1+0]
+    cmp r6, 0
+    je .done
+    add r0, 1
+    add r1, 1
+    jmp .loop
+.done:
+    ret
+
+; strcmp(r1=a, r2=b) -> r0 (0 when equal, else a[i]-b[i])
+strcmp:
+.loop:
+    ld.b r6, [r1+0]
+    ld.b r7, [r2+0]
+    cmp r6, r7
+    jne .diff
+    cmp r6, 0
+    je .eq
+    add r1, 1
+    add r2, 1
+    jmp .loop
+.eq:
+    mov r0, 0
+    ret
+.diff:
+    mov r0, r6
+    sub r0, r7
+    ret
+
+; strcpy(r1=dst, r2=src) -> r0=dst
+strcpy:
+    mov r0, r1
+.loop:
+    ld.b r6, [r2+0]
+    st.b [r1+0], r6
+    cmp r6, 0
+    je .done
+    add r1, 1
+    add r2, 1
+    jmp .loop
+.done:
+    ret
+
+; memcpy(r1=dst, r2=src, r3=n) -> r0=dst
+memcpy:
+    mov r0, r1
+.loop:
+    cmp r3, 0
+    je .done
+    ld.b r6, [r2+0]
+    st.b [r1+0], r6
+    add r1, 1
+    add r2, 1
+    sub r3, 1
+    jmp .loop
+.done:
+    ret
+
+; strncmp(r1=a, r2=b, r3=n) -> r0 (0 when the first n bytes agree)
+strncmp:
+.loop:
+    cmp r3, 0
+    je .eq
+    ld.b r6, [r1+0]
+    ld.b r7, [r2+0]
+    cmp r6, r7
+    jne .diff
+    cmp r6, 0
+    je .eq
+    add r1, 1
+    add r2, 1
+    sub r3, 1
+    jmp .loop
+.eq:
+    mov r0, 0
+    ret
+.diff:
+    mov r0, r6
+    sub r0, r7
+    ret
+
+; strcat(r1=dst, r2=src) -> r0=dst
+strcat:
+    push r1
+.seek:
+    ld.b r6, [r1+0]
+    cmp r6, 0
+    je .copy
+    add r1, 1
+    jmp .seek
+.copy:
+    ld.b r6, [r2+0]
+    st.b [r1+0], r6
+    cmp r6, 0
+    je .done
+    add r1, 1
+    add r2, 1
+    jmp .copy
+.done:
+    pop r0
+    ret
+
+; strchr(r1=s, r2=c) -> r0 = pointer to first occurrence or 0
+strchr:
+.loop:
+    ld.b r6, [r1+0]
+    cmp r6, r2
+    je .hit
+    cmp r6, 0
+    je .miss
+    add r1, 1
+    jmp .loop
+.hit:
+    mov r0, r1
+    ret
+.miss:
+    mov r0, 0
+    ret
+
+; memset(r1=dst, r2=c, r3=n) -> r0=dst
+memset:
+    mov r0, r1
+.loop:
+    cmp r3, 0
+    je .done
+    st.b [r1+0], r2
+    add r1, 1
+    sub r3, 1
+    jmp .loop
+.done:
+    ret
+
+; memcmp(r1=a, r2=b, r3=n) -> r0 (0 when equal)
+memcmp:
+.loop:
+    cmp r3, 0
+    je .eq
+    ld.b r6, [r1+0]
+    ld.b r7, [r2+0]
+    cmp r6, r7
+    jne .diff
+    add r1, 1
+    add r2, 1
+    sub r3, 1
+    jmp .loop
+.eq:
+    mov r0, 0
+    ret
+.diff:
+    mov r0, r6
+    sub r0, r7
+    ret
+
+; atoi(r1=s) -> r0, handles optional leading '-'
+atoi:
+    mov r0, 0
+    mov r7, 0
+    ld.b r6, [r1+0]
+    cmp r6, '-'
+    jne .loop
+    mov r7, 1
+    add r1, 1
+.loop:
+    ld.b r6, [r1+0]
+    cmp r6, '0'
+    jb .done
+    cmp r6, '9'
+    ja .done
+    mul r0, 10
+    add r0, r6
+    sub r0, '0'
+    add r1, 1
+    jmp .loop
+.done:
+    cmp r7, 0
+    je .pos
+    neg r0
+.pos:
+    ret
+`
+
+// Stdio contains puts, single-character and number printers, and a printf
+// with %d %u %x %s %c %% directives (two variadic slots). The conversion
+// loops branch on the printed value, which is what makes Figure 3's
+// "extra constraints from printf" reproducible.
+const Stdio = `
+; puts(r1=s): write the NUL-terminated string to stdout
+puts:
+    push r1
+    call strlen
+    pop  r2
+    mov  r3, r0
+    mov  r0, 3         ; SysWrite
+    mov  r1, 1
+    syscall
+    mov  r0, 0
+    ret
+
+; print_char(r1=c)
+print_char:
+    mov  r6, io_buf
+    st.b [r6+0], r1
+    mov  r0, 3
+    mov  r1, 1
+    mov  r2, io_buf
+    mov  r3, 1
+    syscall
+    mov  r0, 0
+    ret
+
+; print_u64(r1=v): unsigned decimal
+print_u64:
+    mov r6, io_buf
+    add r6, 31
+    mov r7, 0
+.loop:
+    mov r8, r1
+    mod r8, 10
+    add r8, '0'
+    st.b [r6+0], r8
+    sub r6, 1
+    add r7, 1
+    div r1, 10
+    cmp r1, 0
+    jne .loop
+    add r6, 1
+    mov r2, r6
+    mov r3, r7
+    mov r0, 3
+    mov r1, 1
+    syscall
+    mov r0, 0
+    ret
+
+; print_i64(r1=v): signed decimal
+print_i64:
+    cmp r1, 0
+    jge print_u64
+    push r1
+    mov r1, '-'
+    call print_char
+    pop r1
+    neg r1
+    jmp print_u64
+
+; print_hex(r1=v): lowercase hex, no 0x prefix
+print_hex:
+    mov r6, io_buf
+    add r6, 31
+    mov r7, 0
+.loop:
+    mov r8, r1
+    and r8, 15
+    cmp r8, 10
+    jb .digit
+    add r8, 'a'
+    sub r8, 10
+    jmp .store
+.digit:
+    add r8, '0'
+.store:
+    st.b [r6+0], r8
+    sub r6, 1
+    add r7, 1
+    shr r1, 4
+    cmp r1, 0
+    jne .loop
+    add r6, 1
+    mov r2, r6
+    mov r3, r7
+    mov r0, 3
+    mov r1, 1
+    syscall
+    mov r0, 0
+    ret
+
+; printf(r1=fmt, r2=arg1, r3=arg2): minimal printf
+printf:
+    push r12
+    push r13
+    push r14
+    mov  r12, r1       ; fmt cursor
+    push r3
+    push r2
+    mov  r14, sp       ; [r14+0]=arg1 [r14+8]=arg2
+    mov  r13, 0        ; next arg index
+.loop:
+    ld.b r6, [r12+0]
+    cmp  r6, 0
+    je   .done
+    cmp  r6, '%'
+    je   .spec
+    mov  r1, r6
+    call print_char
+    add  r12, 1
+    jmp  .loop
+.spec:
+    add  r12, 1
+    ld.b r6, [r12+0]
+    add  r12, 1
+    cmp  r6, '%'
+    jne  .fetch
+    mov  r1, '%'
+    call print_char
+    jmp  .loop
+.fetch:
+    mov  r7, r13
+    shl  r7, 3
+    add  r7, r14
+    ld.q r1, [r7+0]
+    add  r13, 1
+    cmp  r6, 'd'
+    jne  .try_u
+    call print_i64
+    jmp  .loop
+.try_u:
+    cmp  r6, 'u'
+    jne  .try_x
+    call print_u64
+    jmp  .loop
+.try_x:
+    cmp  r6, 'x'
+    jne  .try_s
+    call print_hex
+    jmp  .loop
+.try_s:
+    cmp  r6, 's'
+    jne  .try_c
+    call puts
+    jmp  .loop
+.try_c:
+    cmp  r6, 'c'
+    jne  .loop
+    call print_char
+    jmp  .loop
+.done:
+    pop  r2
+    pop  r3
+    pop  r14
+    pop  r13
+    pop  r12
+    mov  r0, 0
+    ret
+
+    .data
+    .align 8
+io_buf:
+    .space 40
+`
+
+// Math contains iabs, float parsing, a Taylor-series sine and an integer
+// power routine over f64 bit patterns.
+const Math = `
+; iabs(r1=v) -> r0
+iabs:
+    mov r0, r1
+    cmp r0, 0
+    jge .done
+    neg r0
+.done:
+    ret
+
+; atof(r1=s) -> r0 (f64 bits). Handles [-]ddd[.ddd].
+atof:
+    mov r7, 0
+    ld.b r6, [r1+0]
+    cmp r6, '-'
+    jne .int
+    mov r7, 1
+    add r1, 1
+.int:
+    mov r0, 0
+.iloop:
+    ld.b r6, [r1+0]
+    cmp r6, '0'
+    jb .ifin
+    cmp r6, '9'
+    ja .ifin
+    mul r0, 10
+    add r0, r6
+    sub r0, '0'
+    add r1, 1
+    jmp .iloop
+.ifin:
+    i2f r0
+    cmp r6, '.'
+    jne .sign
+    add r1, 1
+    mov r8, 0          ; fraction digits value
+    mov r9, 1          ; divisor 10^k
+.floop:
+    ld.b r6, [r1+0]
+    cmp r6, '0'
+    jb .ffin
+    cmp r6, '9'
+    ja .ffin
+    mul r8, 10
+    add r8, r6
+    sub r8, '0'
+    mul r9, 10
+    add r1, 1
+    jmp .floop
+.ffin:
+    i2f r8
+    i2f r9
+    fdiv r8, r9
+    fadd r0, r8
+.sign:
+    cmp r7, 0
+    je .done
+    movf r6, -1.0
+    fmul r0, r6
+.done:
+    ret
+
+; fsin(r1=x as f64 bits) -> r0: Taylor series to x^9, accurate near 0
+fsin:
+    mov  r6, r1        ; x
+    mov  r7, r1
+    fmul r7, r7        ; x^2
+    mov  r8, r7
+    fmul r8, r6        ; x^3
+    mov  r9, r8
+    fmul r9, r7        ; x^5
+    mov  r10, r9
+    fmul r10, r7       ; x^7
+    mov  r11, r10
+    fmul r11, r7       ; x^9
+    mov  r0, r6
+    movf r5, 6.0
+    fdiv r8, r5
+    fsub r0, r8
+    movf r5, 120.0
+    fdiv r9, r5
+    fadd r0, r9
+    movf r5, 5040.0
+    fdiv r10, r5
+    fsub r0, r10
+    movf r5, 362880.0
+    fdiv r11, r5
+    fadd r0, r11
+    ret
+
+; fpowi(r1=x as f64 bits, r2=n) -> r0 = x^n for integer n >= 0
+fpowi:
+    movf r0, 1.0
+.loop:
+    cmp r2, 0
+    je .done
+    fmul r0, r1
+    sub r2, 1
+    jmp .loop
+.done:
+    ret
+`
+
+// Rand is a 64-bit LCG with the Knuth MMIX constants, truncated to 31
+// bits, seeded through srand.
+const Rand = `
+; srand(r1=seed)
+srand:
+    mov  r6, rand_state
+    st.q [r6+0], r1
+    ret
+
+; rand() -> r0 in [0, 2^31)
+rand:
+    mov  r6, rand_state
+    ld.q r0, [r6+0]
+    mul  r0, 6364136223846793005
+    add  r0, 1442695040888963407
+    st.q [r6+0], r0
+    shr  r0, 33
+    ret
+
+    .data
+    .align 8
+rand_state:
+    .quad 1
+`

@@ -1,0 +1,494 @@
+package libc
+
+import (
+	"crypto/aes"
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/gos"
+)
+
+// runMain assembles main.s against the whole library and runs it.
+func runMain(t *testing.T, mainText string, cfg gos.Config) *gos.Result {
+	t.Helper()
+	units := append(All(), asm.Source{Name: "main.s", Text: mainText})
+	img, err := asm.Assemble(units...)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := gos.New(img, cfg)
+	if err != nil {
+		t.Fatalf("gos.New: %v", err)
+	}
+	return m.Run()
+}
+
+func TestStrlen(t *testing.T) {
+	res := runMain(t, `
+main:
+    mov r1, s
+    call strlen
+    ret
+    .data
+s: .asciz "hello, world"
+`, gos.Config{})
+	if res.ExitStatus != 12 {
+		t.Errorf("strlen = %d, want 12", res.ExitStatus)
+	}
+}
+
+func TestStrcmp(t *testing.T) {
+	res := runMain(t, `
+main:
+    mov r1, a
+    mov r2, b
+    call strcmp
+    cmp r0, 0
+    jne .differ
+    mov r1, c
+    mov r2, d
+    call strcmp
+    cmp r0, 0
+    je .bad
+    mov r0, 1
+    ret
+.differ:
+    mov r0, 2
+    ret
+.bad:
+    mov r0, 3
+    ret
+    .data
+a: .asciz "same"
+b: .asciz "same"
+c: .asciz "abc"
+d: .asciz "abd"
+`, gos.Config{})
+	if res.ExitStatus != 1 {
+		t.Errorf("strcmp test = %d, want 1", res.ExitStatus)
+	}
+}
+
+func TestStrcpyMemcpy(t *testing.T) {
+	res := runMain(t, `
+main:
+    mov r1, dst
+    mov r2, src
+    call strcpy
+    mov r1, dst2
+    mov r2, src
+    mov r3, 3
+    call memcpy
+    mov r1, dst
+    call strlen
+    mov r12, r0
+    mov r1, dst2
+    ld.b r0, [r1+2]
+    add r0, r12
+    ret
+    .data
+src:  .asciz "copyme"
+dst:  .space 16
+dst2: .space 16
+`, gos.Config{})
+	// strlen("copyme")=6 plus 'p'=112 -> 118
+	if res.ExitStatus != 6+'p' {
+		t.Errorf("got %d, want %d", res.ExitStatus, 6+'p')
+	}
+}
+
+func TestAtoi(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"0", 0},
+		{"7", 7},
+		{"42", 42},
+		{"123", 123},
+		{"-5", -5},
+		{"99xyz", 99},
+	}
+	for _, tt := range tests {
+		res := runMain(t, `
+main:
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0
+    jge .pos
+    neg r0
+    add r0, 100
+.pos:
+    ret
+`, gos.Config{Argv: []string{"prog", tt.in}})
+		want := tt.want
+		if want < 0 {
+			want = -want + 100
+		}
+		if res.ExitStatus != want {
+			t.Errorf("atoi(%q) exit = %d, want %d", tt.in, res.ExitStatus, want)
+		}
+	}
+}
+
+func TestPutsAndPrintf(t *testing.T) {
+	res := runMain(t, `
+main:
+    mov r1, fmt
+    mov r2, -42
+    mov r3, str
+    call printf
+    mov r1, fmt2
+    mov r2, 0xbeef
+    mov r3, 'Z'
+    call printf
+    mov r1, fmt3
+    mov r2, 12345
+    call printf
+    mov r0, 0
+    ret
+    .data
+fmt:  .asciz "d=%d s=%s\n"
+fmt2: .asciz "x=%x c=%c 100%%\n"
+fmt3: .asciz "u=%u\n"
+str:  .asciz "hi"
+`, gos.Config{})
+	want := "d=-42 s=hi\nx=beef c=Z 100%\nu=12345\n"
+	if res.Stdout != want {
+		t.Errorf("printf output = %q, want %q", res.Stdout, want)
+	}
+}
+
+func TestPrintNumbersEdgeCases(t *testing.T) {
+	res := runMain(t, `
+main:
+    mov r1, 0
+    call print_u64
+    mov r1, '\n'
+    call print_char
+    mov r1, 0
+    call print_hex
+    mov r1, '\n'
+    call print_char
+    mov r0, 0
+    ret
+`, gos.Config{})
+	if res.Stdout != "0\n0\n" {
+		t.Errorf("zero printing = %q, want %q", res.Stdout, "0\n0\n")
+	}
+}
+
+func TestAtof(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"0", 0},
+		{"3", 3},
+		{"3.5", 3.5},
+		{"1024.25", 1024.25},
+		{"-2.75", -2.75},
+		{"0.0001", 0.0001},
+	}
+	for _, tt := range tests {
+		// Return 1 when atof(arg) == want (bits compared via fcmp).
+		res := runMain(t, fmt.Sprintf(`
+main:
+    ld.q r1, [r2+8]
+    call atof
+    mov r1, r0
+    movf r2, %v
+    fcmp r1, r2
+    je .eq
+    mov r0, 0
+    ret
+.eq:
+    mov r0, 1
+    ret
+`, tt.want), gos.Config{Argv: []string{"prog", tt.in}})
+		if res.ExitStatus != 1 {
+			t.Errorf("atof(%q) != %v", tt.in, tt.want)
+		}
+	}
+}
+
+func TestFsinAccuracy(t *testing.T) {
+	// sin(0.5) via Taylor; compare against math.Sin within 1e-6 by scaling.
+	res := runMain(t, `
+main:
+    movf r1, 0.5
+    call fsin
+    ; scale by 1e6 and truncate
+    movf r2, 1000000.0
+    fmul r0, r2
+    f2i r0
+    ret
+`, gos.Config{})
+	want := int(math.Sin(0.5) * 1e6)
+	if res.ExitStatus != want%256 && res.ExitStatus != want&0xff {
+		// exit status is truncated to low byte by our harness? No: full int.
+		t.Logf("note: exit=%d want=%d", res.ExitStatus, want)
+	}
+	if res.ExitStatus != want {
+		t.Errorf("fsin(0.5)*1e6 = %d, want %d", res.ExitStatus, want)
+	}
+}
+
+func TestFpowi(t *testing.T) {
+	res := runMain(t, `
+main:
+    movf r1, 3.0
+    mov  r2, 4
+    call fpowi
+    f2i r0
+    ret
+`, gos.Config{})
+	if res.ExitStatus != 81 {
+		t.Errorf("3^4 = %d, want 81", res.ExitStatus)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	prog := `
+main:
+    mov r1, 7
+    call srand
+    call rand
+    mov r12, r0
+    call rand
+    xor r12, r0
+    mov r0, r12
+    and r0, 0xff
+    ret
+`
+	a := runMain(t, prog, gos.Config{})
+	b := runMain(t, prog, gos.Config{})
+	if a.ExitStatus != b.ExitStatus {
+		t.Error("rand sequence must be deterministic for a fixed seed")
+	}
+	// Different seed should (for these constants) give a different value.
+	c := runMain(t, `
+main:
+    mov r1, 8
+    call srand
+    call rand
+    mov r12, r0
+    call rand
+    xor r12, r0
+    mov r0, r12
+    and r0, 0xff
+    ret
+`, gos.Config{})
+	if c.ExitStatus == a.ExitStatus {
+		t.Error("different seeds should differ (LCG)")
+	}
+}
+
+func TestSHA1MatchesStdlib(t *testing.T) {
+	for _, msg := range []string{"", "a", "abc", "hello world", "0123456789012345678901234567890123456789012345678901234"} {
+		prog := fmt.Sprintf(`
+main:
+    mov r1, msg
+    mov r2, %d
+    mov r3, out
+    call sha1
+    ; print digest as hex bytes
+    mov r12, 0
+.loop:
+    cmp r12, 20
+    je .done
+    mov r1, out
+    add r1, r12
+    ld.b r1, [r1+0]
+    cmp r1, 16
+    jae .two
+    push r1
+    mov r1, '0'
+    call print_char
+    pop r1
+.two:
+    call print_hex
+    add r12, 1
+    jmp .loop
+.done:
+    mov r0, 0
+    ret
+    .data
+msg: .asciz %q
+out: .space 20
+`, len(msg), msg)
+		res := runMain(t, prog, gos.Config{MaxSteps: 5_000_000})
+		want := sha1.Sum([]byte(msg))
+		if res.Stdout != hex.EncodeToString(want[:]) {
+			t.Errorf("sha1(%q) = %s, want %s", msg, res.Stdout, hex.EncodeToString(want[:]))
+		}
+	}
+}
+
+func TestAESMatchesStdlib(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	pt := []byte("the block input!")
+	prog := fmt.Sprintf(`
+main:
+    mov r1, key
+    mov r2, pt
+    mov r3, out
+    call aes128_encrypt
+    mov r12, 0
+.loop:
+    cmp r12, 16
+    je .done
+    mov r1, out
+    add r1, r12
+    ld.b r1, [r1+0]
+    cmp r1, 16
+    jae .two
+    push r1
+    mov r1, '0'
+    call print_char
+    pop r1
+.two:
+    call print_hex
+    add r12, 1
+    jmp .loop
+.done:
+    mov r0, 0
+    ret
+    .data
+key: .ascii %q
+pt:  .ascii %q
+out: .space 16
+`, string(key), string(pt))
+	res := runMain(t, prog, gos.Config{MaxSteps: 5_000_000})
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 16)
+	block.Encrypt(want, pt)
+	if res.Stdout != hex.EncodeToString(want) {
+		t.Errorf("aes128(%q) = %s, want %s", pt, res.Stdout, hex.EncodeToString(want))
+	}
+}
+
+func TestIabs(t *testing.T) {
+	res := runMain(t, `
+main:
+    mov r1, -9
+    call iabs
+    mov r12, r0
+    mov r1, 4
+    call iabs
+    add r0, r12
+    ret
+`, gos.Config{})
+	if res.ExitStatus != 13 {
+		t.Errorf("iabs sum = %d, want 13", res.ExitStatus)
+	}
+}
+
+func TestStrncmp(t *testing.T) {
+	res := runMain(t, `
+main:
+    mov r1, a
+    mov r2, b
+    mov r3, 3
+    call strncmp       ; first 3 bytes agree
+    cmp r0, 0
+    jne .bad
+    mov r1, a
+    mov r2, b
+    mov r3, 5
+    call strncmp       ; differ at byte 4
+    cmp r0, 0
+    je .bad
+    mov r0, 1
+    ret
+.bad:
+    mov r0, 0
+    ret
+    .data
+a: .asciz "abcXe"
+b: .asciz "abcYe"
+`, gos.Config{})
+	if res.ExitStatus != 1 {
+		t.Errorf("strncmp test = %d, want 1", res.ExitStatus)
+	}
+}
+
+func TestStrcatAndStrchr(t *testing.T) {
+	res := runMain(t, `
+main:
+    mov r1, buf
+    mov r2, hello
+    call strcpy
+    mov r1, buf
+    mov r2, world
+    call strcat
+    mov r1, buf
+    call strlen
+    mov r12, r0        ; 10
+    mov r1, buf
+    mov r2, 'w'
+    call strchr
+    cmp r0, 0
+    je .bad
+    ld.b r0, [r0+1]    ; byte after 'w' is 'o'
+    add r0, r12
+    ret
+.bad:
+    mov r0, 0
+    ret
+    .data
+hello: .asciz "hello"
+world: .asciz "world"
+buf:   .space 32
+`, gos.Config{})
+	if res.ExitStatus != 10+'o' {
+		t.Errorf("strcat/strchr = %d, want %d", res.ExitStatus, 10+'o')
+	}
+}
+
+func TestMemsetMemcmp(t *testing.T) {
+	res := runMain(t, `
+main:
+    mov r1, b1
+    mov r2, 0x5a
+    mov r3, 8
+    call memset
+    mov r1, b2
+    mov r2, 0x5a
+    mov r3, 8
+    call memset
+    mov r1, b1
+    mov r2, b2
+    mov r3, 8
+    call memcmp
+    cmp r0, 0
+    jne .bad
+    mov r6, b2
+    mov r7, 1
+    st.b [r6+3], r7
+    mov r1, b1
+    mov r2, b2
+    mov r3, 8
+    call memcmp
+    cmp r0, 0
+    je .bad
+    mov r0, 7
+    ret
+.bad:
+    mov r0, 0
+    ret
+    .data
+b1: .space 8
+b2: .space 8
+`, gos.Config{})
+	if res.ExitStatus != 7 {
+		t.Errorf("memset/memcmp = %d, want 7", res.ExitStatus)
+	}
+}

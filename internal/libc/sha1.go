@@ -1,0 +1,240 @@
+package libc
+
+// SHA1 implements single-block SHA-1 in LB64 assembly: messages of at most
+// 55 bytes, which covers every bomb input. The full round structure (80
+// rounds, message schedule, rotations) is genuine, so the instruction
+// trace and the derived constraint system have real cryptographic
+// complexity — the essence of the paper's crypto-function challenge.
+const SHA1 = `
+; sha1(r1=msg, r2=len<=55, r3=out20)
+sha1:
+    push r12
+    push r13
+    push r14
+    push r3            ; out pointer, popped before writing the digest
+    mov  r12, r1       ; msg
+    mov  r13, r2       ; len
+
+    ; zero the 64-byte block
+    mov r6, sha_blk
+    mov r7, 0
+.zb:
+    cmp r7, 64
+    je .zb_done
+    mov r8, 0
+    st.b [r6+0], r8
+    add r6, 1
+    add r7, 1
+    jmp .zb
+.zb_done:
+
+    ; copy message into the block
+    mov r6, sha_blk
+    mov r7, 0
+.cp:
+    cmp r7, r13
+    je .cp_done
+    ld.b r8, [r12+0]
+    st.b [r6+0], r8
+    add r6, 1
+    add r12, 1
+    add r7, 1
+    jmp .cp
+.cp_done:
+    ; append the 0x80 terminator
+    mov r8, 0x80
+    st.b [r6+0], r8
+    ; big-endian bit length in the last two bytes (len<=55 -> bits<=440)
+    mov r8, r13
+    shl r8, 3
+    mov r6, sha_blk
+    mov r9, r8
+    shr r9, 8
+    st.b [r6+62], r9
+    st.b [r6+63], r8
+
+    ; w[0..15]: big-endian 32-bit words of the block
+    mov r7, 0
+.w16:
+    cmp r7, 16
+    je .w16_done
+    mov r6, sha_blk
+    mov r8, r7
+    shl r8, 2
+    add r6, r8
+    ld.b r9, [r6+0]
+    shl r9, 8
+    ld.b r10, [r6+1]
+    or  r9, r10
+    shl r9, 8
+    ld.b r10, [r6+2]
+    or  r9, r10
+    shl r9, 8
+    ld.b r10, [r6+3]
+    or  r9, r10
+    mov r6, sha_w
+    add r6, r8
+    st.d [r6+0], r9
+    add r7, 1
+    jmp .w16
+.w16_done:
+
+    ; message schedule: w[i] = rol1(w[i-3]^w[i-8]^w[i-14]^w[i-16])
+    mov r7, 16
+.wext:
+    cmp r7, 80
+    je .wext_done
+    mov r6, sha_w
+    mov r8, r7
+    shl r8, 2
+    add r6, r8
+    ld.d r9, [r6-12]
+    ld.d r10, [r6-32]
+    xor r9, r10
+    ld.d r10, [r6-56]
+    xor r9, r10
+    ld.d r10, [r6-64]
+    xor r9, r10
+    mov r10, r9
+    shl r10, 1
+    shr r9, 31
+    or  r10, r9
+    and r10, 0xffffffff
+    st.d [r6+0], r10
+    add r7, 1
+    jmp .wext
+.wext_done:
+
+    ; a..e in r8..r11, r14
+    mov r8, 0x67452301
+    mov r9, 0xEFCDAB89
+    mov r10, 0x98BADCFE
+    mov r11, 0x10325476
+    mov r14, 0xC3D2E1F0
+    mov r7, 0
+.round:
+    cmp r7, 80
+    je .round_done
+    cmp r7, 20
+    jb .q0
+    cmp r7, 40
+    jb .q1
+    cmp r7, 60
+    jb .q2
+    mov r5, r9          ; q3: f = b^c^d
+    xor r5, r10
+    xor r5, r11
+    mov r6, 0xCA62C1D6
+    jmp .fk_done
+.q0:
+    mov r5, r9          ; f = (b&c) | (~b&d)
+    and r5, r10
+    mov r6, r9
+    not r6
+    and r6, r11
+    or  r5, r6
+    mov r6, 0x5A827999
+    jmp .fk_done
+.q1:
+    mov r5, r9          ; f = b^c^d
+    xor r5, r10
+    xor r5, r11
+    mov r6, 0x6ED9EBA1
+    jmp .fk_done
+.q2:
+    mov r5, r9          ; f = (b&c)|(b&d)|(c&d)
+    and r5, r10
+    mov r6, r9
+    and r6, r11
+    or  r5, r6
+    mov r6, r10
+    and r6, r11
+    or  r5, r6
+    mov r6, 0x8F1BBCDC
+.fk_done:
+    ; tmp = rol5(a) + f + e + k + w[i]
+    mov r4, r8
+    shl r4, 5
+    mov r3, r8
+    shr r3, 27
+    or  r4, r3
+    and r4, 0xffffffff
+    add r4, r5
+    add r4, r14
+    add r4, r6
+    mov r6, sha_w
+    mov r3, r7
+    shl r3, 2
+    add r6, r3
+    ld.d r3, [r6+0]
+    add r4, r3
+    and r4, 0xffffffff
+    ; e=d; d=c; c=rol30(b); b=a; a=tmp
+    mov r14, r11
+    mov r11, r10
+    mov r10, r9
+    shl r10, 30
+    mov r3, r9
+    shr r3, 2
+    or  r10, r3
+    and r10, 0xffffffff
+    mov r9, r8
+    mov r8, r4
+    add r7, 1
+    jmp .round
+.round_done:
+
+    ; digest = init + a..e, big-endian
+    pop r3             ; out
+    mov r1, r8
+    add r1, 0x67452301
+    mov r2, r3
+    call sha_store_be32
+    mov r1, r9
+    add r1, 0xEFCDAB89
+    mov r2, r3
+    add r2, 4
+    call sha_store_be32
+    mov r1, r10
+    add r1, 0x98BADCFE
+    mov r2, r3
+    add r2, 8
+    call sha_store_be32
+    mov r1, r11
+    add r1, 0x10325476
+    mov r2, r3
+    add r2, 12
+    call sha_store_be32
+    mov r1, r14
+    add r1, 0xC3D2E1F0
+    mov r2, r3
+    add r2, 16
+    call sha_store_be32
+
+    pop r14
+    pop r13
+    pop r12
+    mov r0, 0
+    ret
+
+; sha_store_be32(r1=value, r2=addr): store low 32 bits big-endian
+sha_store_be32:
+    mov r6, r1
+    shr r6, 24
+    st.b [r2+0], r6
+    mov r6, r1
+    shr r6, 16
+    st.b [r2+1], r6
+    mov r6, r1
+    shr r6, 8
+    st.b [r2+2], r6
+    st.b [r2+3], r1
+    ret
+
+    .data
+    .align 8
+sha_blk:
+    .space 64
+sha_w:
+    .space 320
+`

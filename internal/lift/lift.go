@@ -1,0 +1,222 @@
+// Package lift translates LB64 instructions into IR statements — the
+// paper's "instruction lifting" stage. Capability gates model the lifting
+// gaps of real tools: Triton's missing floating-point instructions and
+// BAP's push/pop handling both surface here as Es1-class errors.
+package lift
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/sym"
+)
+
+// Options gates instruction support, modeling per-tool lifting deficits.
+type Options struct {
+	// NoFloat rejects fadd/fsub/fmul/fdiv/fcmp/i2f/f2i (Triton, BAP).
+	NoFloat bool
+	// NoPushPop rejects push/pop (BAP's tracer quirk).
+	NoPushPop bool
+}
+
+// UnsupportedError reports an instruction the lifter cannot translate —
+// the Es1 error class.
+type UnsupportedError struct {
+	Instr isa.Instr
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("lift: unsupported instruction %s", e.Instr)
+}
+
+// Lift translates one instruction. nextPC is the fall-through address
+// (needed for call return addresses).
+func Lift(in isa.Instr, nextPC uint64, opts Options) ([]ir.Stmt, error) {
+	if in.Op.IsFloat() && opts.NoFloat {
+		return nil, &UnsupportedError{Instr: in}
+	}
+	if (in.Op == isa.OpPush || in.Op == isa.OpPop) && opts.NoPushPop {
+		return nil, &UnsupportedError{Instr: in}
+	}
+
+	src := func() ir.Expr {
+		switch in.Mode {
+		case isa.ModeRR:
+			return ir.Reg{R: in.R2}
+		case isa.ModeRI, isa.ModeI:
+			return ir.Const{V: uint64(in.Imm), W: 64}
+		}
+		return ir.Const{V: 0, W: 64}
+	}
+	r1 := ir.Reg{R: in.R1}
+
+	bin := func(op sym.BinOp) []ir.Stmt {
+		return []ir.Stmt{ir.SetReg{R: in.R1, E: ir.Bin{Op: op, A: r1, B: src()}}}
+	}
+
+	switch in.Op {
+	case isa.OpNop, isa.OpSyscall, isa.OpHalt:
+		return nil, nil
+
+	case isa.OpMov:
+		return []ir.Stmt{ir.SetReg{R: in.R1, E: src()}}, nil
+
+	case isa.OpLd:
+		m := ir.Mem{Base: in.R2, Off: in.Imm, Size: in.Size}
+		var e ir.Expr = ir.Load{M: m}
+		if in.Size < 8 {
+			e = ir.Un{Op: sym.OpZExt, A: e, Arg: 64}
+		}
+		return []ir.Stmt{ir.SetReg{R: in.R1, E: e}}, nil
+
+	case isa.OpSt:
+		m := ir.Mem{Base: in.R1, Off: in.Imm, Size: in.Size}
+		var e ir.Expr = ir.Reg{R: in.R2}
+		if in.Size < 8 {
+			e = ir.Un{Op: sym.OpExtract, A: e, Arg: int(in.Size)*8 - 1, Arg2: 0}
+		}
+		return []ir.Stmt{ir.Store{M: m, E: e}}, nil
+
+	case isa.OpPush:
+		// The executor resolves the concrete slot from the trace; the
+		// stack pointer itself is assumed concrete (true for LB64 code).
+		var e ir.Expr = src()
+		if in.Mode == isa.ModeR {
+			e = ir.Reg{R: in.R1}
+		}
+		return []ir.Stmt{ir.Store{M: ir.Mem{Base: isa.SP, Off: -8, Size: 8}, E: e}}, nil
+
+	case isa.OpPop:
+		return []ir.Stmt{ir.SetReg{R: in.R1, E: ir.Load{M: ir.Mem{Base: isa.SP, Size: 8}}}}, nil
+
+	case isa.OpAdd:
+		return bin(sym.OpAdd), nil
+	case isa.OpSub:
+		return bin(sym.OpSub), nil
+	case isa.OpMul:
+		return bin(sym.OpMul), nil
+	case isa.OpDiv:
+		return append([]ir.Stmt{ir.DivGuard{Divisor: src()}}, bin(sym.OpUDiv)...), nil
+	case isa.OpMod:
+		return append([]ir.Stmt{ir.DivGuard{Divisor: src()}}, bin(sym.OpURem)...), nil
+	case isa.OpSdiv:
+		return append([]ir.Stmt{ir.DivGuard{Divisor: src()}}, bin(sym.OpSDiv)...), nil
+	case isa.OpSmod:
+		return append([]ir.Stmt{ir.DivGuard{Divisor: src()}}, bin(sym.OpSRem)...), nil
+	case isa.OpNeg:
+		return []ir.Stmt{ir.SetReg{R: in.R1, E: ir.Un{Op: sym.OpNeg, A: r1}}}, nil
+
+	case isa.OpAnd:
+		return bin(sym.OpAnd), nil
+	case isa.OpOr:
+		return bin(sym.OpOr), nil
+	case isa.OpXor:
+		return bin(sym.OpXor), nil
+	case isa.OpNot:
+		return []ir.Stmt{ir.SetReg{R: in.R1, E: ir.Un{Op: sym.OpNot, A: r1}}}, nil
+	case isa.OpShl:
+		return bin(sym.OpShl), nil
+	case isa.OpShr:
+		return bin(sym.OpLShr), nil
+	case isa.OpSar:
+		return bin(sym.OpAShr), nil
+
+	case isa.OpCmp:
+		a, b := ir.Expr(r1), src()
+		return []ir.Stmt{ir.SetFlags{
+			Z: ir.Bin{Op: sym.OpEq, A: a, B: b},
+			S: ir.Bin{Op: sym.OpSlt, A: a, B: b},
+			C: ir.Bin{Op: sym.OpUlt, A: a, B: b},
+		}}, nil
+	case isa.OpTest:
+		v := ir.Bin{Op: sym.OpAnd, A: r1, B: src()}
+		zero := ir.Const{V: 0, W: 64}
+		return []ir.Stmt{ir.SetFlags{
+			Z: ir.Bin{Op: sym.OpEq, A: v, B: zero},
+			S: ir.Bin{Op: sym.OpSlt, A: v, B: zero},
+			C: ir.Const{V: 0, W: 1},
+		}}, nil
+
+	case isa.OpJmp:
+		if in.Mode == isa.ModeR {
+			return []ir.Stmt{ir.IndirectJump{Target: ir.Reg{R: in.R1}}}, nil
+		}
+		return nil, nil
+
+	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge,
+		isa.OpJb, isa.OpJbe, isa.OpJa, isa.OpJae:
+		return []ir.Stmt{ir.CondBranch{Cond: condExpr(in.Op)}}, nil
+
+	case isa.OpCall:
+		push := ir.Store{M: ir.Mem{Base: isa.SP, Off: -8, Size: 8},
+			E: ir.Const{V: nextPC, W: 64}}
+		if in.Mode == isa.ModeR {
+			return []ir.Stmt{push, ir.IndirectJump{Target: ir.Reg{R: in.R1}}}, nil
+		}
+		return []ir.Stmt{push}, nil
+
+	case isa.OpRet:
+		return []ir.Stmt{ir.IndirectJump{
+			Target: ir.Load{M: ir.Mem{Base: isa.SP, Size: 8}},
+		}}, nil
+
+	case isa.OpFadd:
+		return bin(sym.OpFAdd), nil
+	case isa.OpFsub:
+		return bin(sym.OpFSub), nil
+	case isa.OpFmul:
+		return bin(sym.OpFMul), nil
+	case isa.OpFdiv:
+		return bin(sym.OpFDiv), nil
+	case isa.OpFcmp:
+		a, b := ir.Expr(r1), ir.Expr(ir.Reg{R: in.R2})
+		// CF = unordered: neither a<=b nor b<=a holds.
+		ordered := ir.Bin{Op: sym.OpOr,
+			A: ir.Bin{Op: sym.OpFLe, A: a, B: b},
+			B: ir.Bin{Op: sym.OpFLe, A: b, B: a}}
+		return []ir.Stmt{ir.SetFlags{
+			Z: ir.Bin{Op: sym.OpFEq, A: a, B: b},
+			S: ir.Bin{Op: sym.OpFLt, A: a, B: b},
+			C: ir.Un{Op: sym.OpBoolNot, A: ordered},
+		}}, nil
+	case isa.OpI2f:
+		return []ir.Stmt{ir.SetReg{R: in.R1, E: ir.Un{Op: sym.OpI2F, A: r1}}}, nil
+	case isa.OpF2i:
+		return []ir.Stmt{ir.SetReg{R: in.R1, E: ir.Un{Op: sym.OpF2I, A: r1}}}, nil
+	}
+	return nil, &UnsupportedError{Instr: in}
+}
+
+// condExpr builds the flag formula for a conditional jump.
+func condExpr(op isa.Op) ir.Expr {
+	z := ir.Flag{F: ir.FlagZ}
+	s := ir.Flag{F: ir.FlagS}
+	c := ir.Flag{F: ir.FlagC}
+	not := func(e ir.Expr) ir.Expr { return ir.Un{Op: sym.OpBoolNot, A: e} }
+	or := func(a, b ir.Expr) ir.Expr { return ir.Bin{Op: sym.OpOr, A: a, B: b} }
+	and := func(a, b ir.Expr) ir.Expr { return ir.Bin{Op: sym.OpAnd, A: a, B: b} }
+	switch op {
+	case isa.OpJe:
+		return z
+	case isa.OpJne:
+		return not(z)
+	case isa.OpJl:
+		return s
+	case isa.OpJle:
+		return or(s, z)
+	case isa.OpJg:
+		return and(not(s), not(z))
+	case isa.OpJge:
+		return not(s)
+	case isa.OpJb:
+		return c
+	case isa.OpJbe:
+		return or(c, z)
+	case isa.OpJa:
+		return and(not(c), not(z))
+	case isa.OpJae:
+		return not(c)
+	}
+	return ir.Const{V: 0, W: 1}
+}

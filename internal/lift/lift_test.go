@@ -1,0 +1,275 @@
+package lift
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/sym"
+)
+
+func TestLiftMov(t *testing.T) {
+	in := isa.Instr{Op: isa.OpMov, Mode: isa.ModeRI, Size: 8, R1: isa.R1, Imm: 7}
+	stmts, err := Lift(in, 0x1000, Options{})
+	if err != nil || len(stmts) != 1 {
+		t.Fatalf("stmts=%v err=%v", stmts, err)
+	}
+	sr, ok := stmts[0].(ir.SetReg)
+	if !ok || sr.R != isa.R1 {
+		t.Fatalf("stmt = %v", stmts[0])
+	}
+	c, ok := sr.E.(ir.Const)
+	if !ok || c.V != 7 {
+		t.Errorf("expr = %v", sr.E)
+	}
+}
+
+func TestLiftLoadStoreSizes(t *testing.T) {
+	ld := isa.Instr{Op: isa.OpLd, Mode: isa.ModeRM, Size: 1, R1: isa.R1, R2: isa.R2, Imm: 4}
+	stmts, err := Lift(ld, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := stmts[0].(ir.SetReg)
+	// Byte loads zero-extend to 64 bits.
+	if u, ok := sr.E.(ir.Un); !ok || u.Op != sym.OpZExt || u.Arg != 64 {
+		t.Errorf("ld.b lifts to %v, want zext", sr.E)
+	}
+
+	st := isa.Instr{Op: isa.OpSt, Mode: isa.ModeMR, Size: 2, R1: isa.R3, R2: isa.R4, Imm: 0}
+	stmts, err = Lift(st, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sto := stmts[0].(ir.Store)
+	if sto.M.Size != 2 || sto.M.Base != isa.R3 {
+		t.Errorf("store mem = %+v", sto.M)
+	}
+	if u, ok := sto.E.(ir.Un); !ok || u.Op != sym.OpExtract || u.Arg != 15 {
+		t.Errorf("st.w value = %v, want extract 15..0", sto.E)
+	}
+}
+
+func TestLiftCmpSetsThreeFlags(t *testing.T) {
+	in := isa.Instr{Op: isa.OpCmp, Mode: isa.ModeRI, Size: 8, R1: isa.R1, Imm: 5}
+	stmts, err := Lift(in, 0, Options{})
+	if err != nil || len(stmts) != 1 {
+		t.Fatal(err)
+	}
+	sf, ok := stmts[0].(ir.SetFlags)
+	if !ok {
+		t.Fatalf("stmt = %v", stmts[0])
+	}
+	if z, ok := sf.Z.(ir.Bin); !ok || z.Op != sym.OpEq {
+		t.Errorf("ZF = %v", sf.Z)
+	}
+	if s, ok := sf.S.(ir.Bin); !ok || s.Op != sym.OpSlt {
+		t.Errorf("SF = %v", sf.S)
+	}
+	if c, ok := sf.C.(ir.Bin); !ok || c.Op != sym.OpUlt {
+		t.Errorf("CF = %v", sf.C)
+	}
+}
+
+func TestLiftConditionalJumps(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle,
+		isa.OpJg, isa.OpJge, isa.OpJb, isa.OpJbe, isa.OpJa, isa.OpJae} {
+		in := isa.Instr{Op: op, Mode: isa.ModeI, Size: 8, Imm: 0x2000}
+		stmts, err := Lift(in, 0, Options{})
+		if err != nil || len(stmts) != 1 {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if _, ok := stmts[0].(ir.CondBranch); !ok {
+			t.Errorf("%s lifts to %v", op, stmts[0])
+		}
+	}
+}
+
+func TestLiftIndirectControl(t *testing.T) {
+	jr := isa.Instr{Op: isa.OpJmp, Mode: isa.ModeR, Size: 8, R1: isa.R9}
+	stmts, _ := Lift(jr, 0, Options{})
+	if _, ok := stmts[0].(ir.IndirectJump); !ok {
+		t.Errorf("jmp r lifts to %v", stmts[0])
+	}
+	ret := isa.Instr{Op: isa.OpRet, Mode: isa.ModeNone, Size: 8}
+	stmts, _ = Lift(ret, 0, Options{})
+	ij, ok := stmts[0].(ir.IndirectJump)
+	if !ok {
+		t.Fatalf("ret lifts to %v", stmts[0])
+	}
+	if _, ok := ij.Target.(ir.Load); !ok {
+		t.Errorf("ret target = %v, want stack load", ij.Target)
+	}
+	// Direct jumps lift to nothing (the trace carries the control flow).
+	jd := isa.Instr{Op: isa.OpJmp, Mode: isa.ModeI, Size: 8, Imm: 0x2000}
+	stmts, err := Lift(jd, 0, Options{})
+	if err != nil || len(stmts) != 0 {
+		t.Errorf("direct jmp lifts to %v", stmts)
+	}
+}
+
+func TestLiftCallPushesReturn(t *testing.T) {
+	in := isa.Instr{Op: isa.OpCall, Mode: isa.ModeI, Size: 8, Imm: 0x3000}
+	stmts, err := Lift(in, 0x100c, Options{})
+	if err != nil || len(stmts) != 1 {
+		t.Fatal(err)
+	}
+	sto, ok := stmts[0].(ir.Store)
+	if !ok {
+		t.Fatalf("stmt = %v", stmts[0])
+	}
+	if c, ok := sto.E.(ir.Const); !ok || c.V != 0x100c {
+		t.Errorf("return address = %v, want 0x100c", sto.E)
+	}
+}
+
+func TestLiftDivGuard(t *testing.T) {
+	in := isa.Instr{Op: isa.OpDiv, Mode: isa.ModeRR, Size: 8, R1: isa.R1, R2: isa.R2}
+	stmts, err := Lift(in, 0, Options{})
+	if err != nil || len(stmts) != 2 {
+		t.Fatalf("stmts = %v", stmts)
+	}
+	if _, ok := stmts[0].(ir.DivGuard); !ok {
+		t.Errorf("first stmt = %v, want guard", stmts[0])
+	}
+}
+
+func TestLiftGates(t *testing.T) {
+	fadd := isa.Instr{Op: isa.OpFadd, Mode: isa.ModeRR, Size: 8, R1: isa.R1, R2: isa.R2}
+	if _, err := Lift(fadd, 0, Options{NoFloat: true}); err == nil {
+		t.Error("NoFloat should reject fadd")
+	}
+	var ue *UnsupportedError
+	_, err := Lift(fadd, 0, Options{NoFloat: true})
+	if !errors.As(err, &ue) {
+		t.Errorf("error type = %T", err)
+	}
+	if _, err := Lift(fadd, 0, Options{}); err != nil {
+		t.Errorf("fadd without gate: %v", err)
+	}
+	push := isa.Instr{Op: isa.OpPush, Mode: isa.ModeR, Size: 8, R1: isa.R1}
+	if _, err := Lift(push, 0, Options{NoPushPop: true}); err == nil {
+		t.Error("NoPushPop should reject push")
+	}
+	if _, err := Lift(push, 0, Options{}); err != nil {
+		t.Errorf("push without gate: %v", err)
+	}
+}
+
+func TestLiftNopSyscallHaltEmpty(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpNop, isa.OpSyscall, isa.OpHalt} {
+		in := isa.Instr{Op: op, Mode: isa.ModeNone, Size: 8}
+		stmts, err := Lift(in, 0, Options{})
+		if err != nil || len(stmts) != 0 {
+			t.Errorf("%s lifts to %v, %v", op, stmts, err)
+		}
+	}
+}
+
+func TestLiftFcmpUnordered(t *testing.T) {
+	in := isa.Instr{Op: isa.OpFcmp, Mode: isa.ModeRR, Size: 8, R1: isa.R1, R2: isa.R2}
+	stmts, err := Lift(in, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := stmts[0].(ir.SetFlags)
+	// CF must be the negated "ordered" disjunction.
+	if u, ok := sf.C.(ir.Un); !ok || u.Op != sym.OpBoolNot {
+		t.Errorf("CF = %v, want not(ordered)", sf.C)
+	}
+}
+
+func TestLiftArithLogicOps(t *testing.T) {
+	// Every two-operand ALU op lifts to a single SetReg of a Bin node
+	// with the matching sym operator.
+	cases := []struct {
+		op   isa.Op
+		want sym.BinOp
+	}{
+		{isa.OpAdd, sym.OpAdd}, {isa.OpSub, sym.OpSub}, {isa.OpMul, sym.OpMul},
+		{isa.OpAnd, sym.OpAnd}, {isa.OpOr, sym.OpOr}, {isa.OpXor, sym.OpXor},
+		{isa.OpShl, sym.OpShl}, {isa.OpShr, sym.OpLShr}, {isa.OpSar, sym.OpAShr},
+		{isa.OpFadd, sym.OpFAdd}, {isa.OpFsub, sym.OpFSub},
+		{isa.OpFmul, sym.OpFMul}, {isa.OpFdiv, sym.OpFDiv},
+	}
+	for _, tc := range cases {
+		in := isa.Instr{Op: tc.op, Mode: isa.ModeRR, Size: 8, R1: isa.R1, R2: isa.R2}
+		stmts, err := Lift(in, 0, Options{})
+		if err != nil || len(stmts) != 1 {
+			t.Fatalf("%s: %v", tc.op, err)
+		}
+		sr, ok := stmts[0].(ir.SetReg)
+		if !ok {
+			t.Fatalf("%s: %v", tc.op, stmts[0])
+		}
+		if b, ok := sr.E.(ir.Bin); !ok || b.Op != tc.want {
+			t.Errorf("%s lifts to %v, want %v", tc.op, sr.E, tc.want)
+		}
+	}
+}
+
+func TestLiftUnaryOps(t *testing.T) {
+	for _, tc := range []struct {
+		op   isa.Op
+		want sym.UnOp
+	}{
+		{isa.OpNeg, sym.OpNeg}, {isa.OpNot, sym.OpNot},
+		{isa.OpI2f, sym.OpI2F}, {isa.OpF2i, sym.OpF2I},
+	} {
+		in := isa.Instr{Op: tc.op, Mode: isa.ModeR, Size: 8, R1: isa.R1}
+		stmts, err := Lift(in, 0, Options{})
+		if err != nil || len(stmts) != 1 {
+			t.Fatalf("%s: %v", tc.op, err)
+		}
+		sr := stmts[0].(ir.SetReg)
+		if u, ok := sr.E.(ir.Un); !ok || u.Op != tc.want {
+			t.Errorf("%s lifts to %v", tc.op, sr.E)
+		}
+	}
+}
+
+func TestLiftSignedDivMod(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpSdiv, isa.OpSmod, isa.OpMod} {
+		in := isa.Instr{Op: op, Mode: isa.ModeRI, Size: 8, R1: isa.R1, Imm: 3}
+		stmts, err := Lift(in, 0, Options{})
+		if err != nil || len(stmts) != 2 {
+			t.Fatalf("%s: stmts=%v err=%v", op, stmts, err)
+		}
+		if _, ok := stmts[0].(ir.DivGuard); !ok {
+			t.Errorf("%s missing guard", op)
+		}
+	}
+}
+
+func TestLiftPushImmediateAndPop(t *testing.T) {
+	pushImm := isa.Instr{Op: isa.OpPush, Mode: isa.ModeI, Size: 8, Imm: 42}
+	stmts, err := Lift(pushImm, 0, Options{})
+	if err != nil || len(stmts) != 1 {
+		t.Fatal(err)
+	}
+	sto := stmts[0].(ir.Store)
+	if c, ok := sto.E.(ir.Const); !ok || c.V != 42 {
+		t.Errorf("push imm value = %v", sto.E)
+	}
+	pop := isa.Instr{Op: isa.OpPop, Mode: isa.ModeR, Size: 8, R1: isa.R4}
+	stmts, err = Lift(pop, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := stmts[0].(ir.SetReg)
+	if _, ok := sr.E.(ir.Load); !ok || sr.R != isa.R4 {
+		t.Errorf("pop lifts to %v", stmts[0])
+	}
+}
+
+func TestLiftCallRegister(t *testing.T) {
+	in := isa.Instr{Op: isa.OpCall, Mode: isa.ModeR, Size: 8, R1: isa.R9}
+	stmts, err := Lift(in, 0x1004, Options{})
+	if err != nil || len(stmts) != 2 {
+		t.Fatalf("stmts=%v err=%v", stmts, err)
+	}
+	if _, ok := stmts[1].(ir.IndirectJump); !ok {
+		t.Errorf("register call missing indirect jump: %v", stmts)
+	}
+}

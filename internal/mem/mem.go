@@ -1,0 +1,146 @@
+// Package mem implements the sparse paged guest memory used by the LB64
+// virtual machine. Addresses are 64-bit; storage is allocated lazily in
+// fixed-size pages so that the sparse layout of a loaded binary (text low,
+// data in the middle, stack high) costs almost nothing.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the granularity of lazy allocation.
+const PageSize = 4096
+
+type page struct {
+	data [PageSize]byte
+}
+
+// Memory is a sparse 64-bit byte-addressable memory. The zero value is not
+// ready for use; call New.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Clone returns a deep copy of the memory. Used to implement fork() and
+// engine checkpoints.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for base, p := range m.pages {
+		np := &page{}
+		np.data = p.data
+		c.pages[base] = np
+	}
+	return c
+}
+
+// Reset drops all pages.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*page)
+}
+
+// PageCount returns the number of allocated pages.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	base := addr &^ uint64(PageSize-1)
+	p := m.pages[base]
+	if p == nil && create {
+		p = &page{}
+		m.pages[base] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr; unallocated memory reads as zero.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p.data[addr%PageSize]
+}
+
+// StoreByte stores one byte at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	p := m.pageFor(addr, true)
+	p.data[addr%PageSize] = b
+}
+
+// Read fills buf with len(buf) bytes starting at addr.
+func (m *Memory) Read(addr uint64, buf []byte) {
+	for i := range buf {
+		buf[i] = m.LoadByte(addr + uint64(i))
+	}
+}
+
+// Write stores buf at addr.
+func (m *Memory) Write(addr uint64, buf []byte) {
+	for i, b := range buf {
+		m.StoreByte(addr+uint64(i), b)
+	}
+}
+
+// ReadUint reads a little-endian unsigned integer of the given byte size
+// (1, 2, 4 or 8) and zero-extends it to 64 bits.
+func (m *Memory) ReadUint(addr uint64, size uint8) (uint64, error) {
+	var buf [8]byte
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		return 0, fmt.Errorf("mem: read size %d", size)
+	}
+	m.Read(addr, buf[:size])
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// WriteUint writes the low size bytes of v at addr, little-endian.
+func (m *Memory) WriteUint(addr uint64, size uint8, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("mem: write size %d", size)
+	}
+	m.Write(addr, buf[:size])
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string of at most max bytes starting
+// at addr. The terminator is not included. If no terminator appears within
+// max bytes the truncated content is returned.
+func (m *Memory) ReadCString(addr uint64, max int) string {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b := m.LoadByte(addr + uint64(i))
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// WriteCString writes s followed by a NUL terminator at addr.
+func (m *Memory) WriteCString(addr uint64, s string) {
+	m.Write(addr, []byte(s))
+	m.StoreByte(addr+uint64(len(s)), 0)
+}
+
+// Pages returns the sorted base addresses of allocated pages; useful for
+// tests and debug dumps.
+func (m *Memory) Pages() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for base := range m.pages {
+		out = append(out, base)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

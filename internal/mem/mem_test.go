@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	if got := m.LoadByte(0xdeadbeef); got != 0 {
+		t.Errorf("unallocated byte = %d, want 0", got)
+	}
+	v, err := m.ReadUint(0x1000, 8)
+	if err != nil || v != 0 {
+		t.Errorf("unallocated word = %d, %v", v, err)
+	}
+}
+
+func TestReadStoreByte(t *testing.T) {
+	m := New()
+	m.StoreByte(42, 0xab)
+	if got := m.LoadByte(42); got != 0xab {
+		t.Errorf("LoadByte = %#x, want 0xab", got)
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3)
+	data := []byte{1, 2, 3, 4, 5, 6}
+	m.Write(addr, data)
+	got := make([]byte, len(data))
+	m.Read(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Errorf("cross-page read = %v, want %v", got, data)
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+func TestUintSizes(t *testing.T) {
+	m := New()
+	const v = 0x1122334455667788
+	for _, size := range []uint8{1, 2, 4, 8} {
+		if err := m.WriteUint(0x100, size, v); err != nil {
+			t.Fatalf("WriteUint size %d: %v", size, err)
+		}
+		got, err := m.ReadUint(0x100, size)
+		if err != nil {
+			t.Fatalf("ReadUint size %d: %v", size, err)
+		}
+		want := uint64(v) & (^uint64(0) >> (64 - 8*uint(size)))
+		if got != want {
+			t.Errorf("size %d: got %#x, want %#x", size, got, want)
+		}
+	}
+}
+
+func TestUintBadSize(t *testing.T) {
+	m := New()
+	if _, err := m.ReadUint(0, 3); err == nil {
+		t.Error("ReadUint size 3 should fail")
+	}
+	if err := m.WriteUint(0, 5, 1); err == nil {
+		t.Error("WriteUint size 5 should fail")
+	}
+}
+
+func TestCString(t *testing.T) {
+	m := New()
+	m.WriteCString(0x2000, "hello")
+	if got := m.ReadCString(0x2000, 64); got != "hello" {
+		t.Errorf("ReadCString = %q", got)
+	}
+	// Truncation without a terminator.
+	m.Write(0x3000, []byte{'a', 'b', 'c'})
+	m.StoreByte(0x3003, 'd') // no NUL in range
+	if got := m.ReadCString(0x3000, 3); got != "abc" {
+		t.Errorf("truncated ReadCString = %q, want abc", got)
+	}
+	// Empty string.
+	m.WriteCString(0x4000, "")
+	if got := m.ReadCString(0x4000, 8); got != "" {
+		t.Errorf("empty ReadCString = %q", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.WriteCString(0x100, "parent")
+	c := m.Clone()
+	c.WriteCString(0x100, "childx")
+	if got := m.ReadCString(0x100, 16); got != "parent" {
+		t.Errorf("parent memory changed by clone write: %q", got)
+	}
+	if got := c.ReadCString(0x100, 16); got != "childx" {
+		t.Errorf("clone memory = %q", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New()
+	m.StoreByte(1, 1)
+	m.Reset()
+	if m.PageCount() != 0 || m.LoadByte(1) != 0 {
+		t.Error("Reset did not clear memory")
+	}
+}
+
+func TestPagesSorted(t *testing.T) {
+	m := New()
+	m.StoreByte(5*PageSize, 1)
+	m.StoreByte(1*PageSize, 1)
+	m.StoreByte(3*PageSize, 1)
+	pages := m.Pages()
+	want := []uint64{1 * PageSize, 3 * PageSize, 5 * PageSize}
+	if len(pages) != len(want) {
+		t.Fatalf("Pages len = %d, want %d", len(pages), len(want))
+	}
+	for i := range want {
+		if pages[i] != want[i] {
+			t.Errorf("Pages[%d] = %#x, want %#x", i, pages[i], want[i])
+		}
+	}
+}
+
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addr uint64, data []byte) bool {
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		// Avoid wrapping the address space during the check.
+		addr %= 1 << 40
+		m.Write(addr, data)
+		got := make([]byte, len(data))
+		m.Read(addr, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUintRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addr uint64, v uint64, sizeSel uint8) bool {
+		size := []uint8{1, 2, 4, 8}[sizeSel%4]
+		addr %= 1 << 40
+		if err := m.WriteUint(addr, size, v); err != nil {
+			return false
+		}
+		got, err := m.ReadUint(addr, size)
+		if err != nil {
+			return false
+		}
+		want := v & (^uint64(0) >> (64 - 8*uint(size)))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,576 @@
+// Package sat implements a CDCL boolean satisfiability solver with
+// two-watched-literal propagation, VSIDS branching, first-UIP clause
+// learning and Luby restarts. It is the decision core under the bitvector
+// solver, playing the role MiniSat/STP/Z3 play for the paper's tools.
+package sat
+
+import (
+	"math"
+	"time"
+)
+
+// Lit is a literal: variable v asserted positively is v<<1, negated is
+// v<<1|1.
+type Lit int32
+
+// MkLit builds a literal from a variable index and sign.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Status is a solver verdict.
+type Status int
+
+// Verdicts.
+const (
+	Sat Status = iota + 1
+	Unsat
+	Unknown // budget exhausted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	case Unknown:
+		return "unknown"
+	}
+	return "invalid"
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause
+	learned []*clause
+	watches [][]watcher // indexed by literal
+
+	assign   []lbool
+	level    []int32
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	polarity []bool
+
+	clauseInc float64
+
+	ok        bool
+	conflicts int64
+	props     int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, clauseInc: 1, ok: true}
+	s.order = &varHeap{act: &s.activity}
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NumClauses returns the number of problem clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+func (s *Solver) litValue(l Lit) lbool {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if (a == lTrue) != l.Neg() {
+		return lTrue
+	}
+	return lFalse
+}
+
+// AddClause adds a clause. It returns false if the formula became
+// trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Simplify: drop duplicate/false literals, detect tautology.
+	seen := make(map[Lit]bool, len(lits))
+	out := lits[:0:0]
+	for _, l := range lits {
+		if seen[l.Not()] {
+			return true // tautology
+		}
+		if seen[l] {
+			continue
+		}
+		switch s.litValue(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			if s.level[l.Var()] == 0 {
+				continue // permanently false
+			}
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if s.litValue(out[0]) == lFalse {
+			s.ok = false
+			return false
+		}
+		s.enqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c: c, blocker: c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.props++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if conflict != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.litValue(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure lits[1] is the false literal p.Not().
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				kept = append(kept, watcher{c: c, blocker: first})
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflict.
+			kept = append(kept, w)
+			if s.litValue(first) == lFalse {
+				conflict = c
+				s.qhead = len(s.trail)
+				continue
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *Solver) backtrack(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.order.push(v)
+	}
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 for the asserting literal
+	seen := make([]bool, len(s.assign))
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	c := conflict
+
+	for {
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for i := start; i < len(c.lits); i++ {
+			q := c.lits[i]
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next literal to expand.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[v]
+	}
+	learnt[0] = p.Not()
+
+	// Compute backtrack level: max level among tail literals.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.clauseInc /= 0.999
+}
+
+func (s *Solver) pickBranchVar() int {
+	for s.order.size() > 0 {
+		v := s.order.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+func (s *Solver) reduceLearned() {
+	if len(s.learned) < 4000 {
+		return
+	}
+	// Drop the less active half, keeping reason clauses.
+	lim := medianAct(s.learned)
+	kept := s.learned[:0]
+	for _, c := range s.learned {
+		if c.act >= lim || s.isReason(c) || len(c.lits) <= 2 {
+			kept = append(kept, c)
+		} else {
+			s.unwatch(c)
+		}
+	}
+	s.learned = kept
+}
+
+func medianAct(cs []*clause) float64 {
+	var sum float64
+	for _, c := range cs {
+		sum += c.act
+	}
+	return sum / float64(len(cs))
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.assign[v] != lUndef && s.reason[v] == c
+}
+
+func (s *Solver) unwatch(c *clause) {
+	for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[w]
+		for i := range ws {
+			if ws[i].c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// luby computes the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<uint(k))-1 {
+			return int64(1) << uint(k-1)
+		}
+		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
+			return luby(i - (int64(1) << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a model. maxConflicts bounds the total number of
+// conflicts before giving up with Unknown (<= 0 means a large default).
+func (s *Solver) Solve(maxConflicts int64) Status {
+	return s.SolveDeadline(maxConflicts, time.Time{})
+}
+
+// SolveDeadline is Solve with an additional wall-clock deadline (zero
+// means none); exceeding it returns Unknown, modeling the analysis
+// timeouts that produce the paper's E outcomes.
+func (s *Solver) SolveDeadline(maxConflicts int64, deadline time.Time) Status {
+	if !s.ok {
+		return Unsat
+	}
+	if maxConflicts <= 0 {
+		maxConflicts = math.MaxInt64
+	}
+	restart := int64(0)
+	for s.conflicts < maxConflicts {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			s.backtrack(0)
+			return Unknown
+		}
+		restart++
+		budget := 100 * luby(restart)
+		switch st := s.search(budget, maxConflicts); st {
+		case Sat, Unsat:
+			return st
+		}
+		s.backtrack(0)
+	}
+	s.backtrack(0)
+	return Unknown
+}
+
+func (s *Solver) search(budget, maxConflicts int64) Status {
+	local := int64(0)
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.conflicts++
+			local++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(conflict)
+			s.backtrack(btLevel)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learned: true, act: s.clauseInc}
+				s.learned = append(s.learned, c)
+				s.watch(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.decayActivities()
+			if local >= budget || s.conflicts >= maxConflicts {
+				return Unknown
+			}
+			continue
+		}
+		s.reduceLearned()
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat
+		}
+		s.newDecisionLevel()
+		s.enqueue(MkLit(v, !s.polarity[v]), nil)
+	}
+}
+
+// Value returns the assignment of variable v in the last Sat result.
+func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
+
+// Stats returns (conflicts, propagations) counters.
+func (s *Solver) Stats() (int64, int64) { return s.conflicts, s.props }
+
+// varHeap is a max-heap over variable activity.
+type varHeap struct {
+	act     *[]float64
+	heap    []int
+	indices []int
+}
+
+func (h *varHeap) size() int { return len(h.heap) }
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *varHeap) push(v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 0
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int) {
+	if len(h.indices) > v && h.indices[v] >= 0 {
+		h.up(h.indices[v])
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	for {
+		l := 2*i + 1
+		if l >= len(h.heap) {
+			break
+		}
+		c := l
+		if r := l + 1; r < len(h.heap) && h.less(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}

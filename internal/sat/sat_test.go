@@ -1,0 +1,247 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Errorf("positive literal broken: %v", l)
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Neg() {
+		t.Errorf("negation broken: %v", n)
+	}
+	if n.Not() != l {
+		t.Error("double negation broken")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if st := s.Solve(0); st != Sat {
+		t.Fatalf("status = %v, want sat", st)
+	}
+	if !s.Value(a) {
+		t.Error("a should be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if ok := s.AddClause(MkLit(a, true)); ok {
+		t.Error("adding complementary unit should report unsat")
+	}
+	if st := s.Solve(0); st != Unsat {
+		t.Errorf("status = %v, want unsat", st)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	if s.AddClause() {
+		t.Error("empty clause should make the formula unsat")
+	}
+	if st := s.Solve(0); st != Unsat {
+		t.Errorf("status = %v", st)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(MkLit(a, false), MkLit(a, true)) {
+		t.Error("tautology should be accepted")
+	}
+	if st := s.Solve(0); st != Sat {
+		t.Errorf("status = %v", st)
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// a, a->b, b->c, c->d: all must be true.
+	s := New()
+	vars := make([]int, 4)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(MkLit(vars[0], false))
+	for i := 0; i < 3; i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+	}
+	if st := s.Solve(0); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Errorf("var %d should be true", i)
+		}
+	}
+}
+
+func TestPigeonhole3x2(t *testing.T) {
+	// 3 pigeons, 2 holes: unsat. p[i][j] = pigeon i in hole j.
+	s := New()
+	p := make([][]int, 3)
+	for i := range p {
+		p[i] = []int{s.NewVar(), s.NewVar()}
+	}
+	for i := 0; i < 3; i++ {
+		s.AddClause(MkLit(p[i][0], false), MkLit(p[i][1], false))
+	}
+	for j := 0; j < 2; j++ {
+		for a := 0; a < 3; a++ {
+			for b := a + 1; b < 3; b++ {
+				s.AddClause(MkLit(p[a][j], true), MkLit(p[b][j], true))
+			}
+		}
+	}
+	if st := s.Solve(0); st != Unsat {
+		t.Errorf("pigeonhole 3x2 = %v, want unsat", st)
+	}
+}
+
+func TestBudgetReturnsUnknown(t *testing.T) {
+	// Pigeonhole 8x7 is hard enough to exceed a one-conflict budget.
+	s := New()
+	const n, m = 8, 7
+	p := make([][]int, n)
+	for i := range p {
+		p[i] = make([]int, m)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < n; i++ {
+		lits := make([]Lit, m)
+		for j := 0; j < m; j++ {
+			lits[j] = MkLit(p[i][j], false)
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < m; j++ {
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				s.AddClause(MkLit(p[a][j], true), MkLit(p[b][j], true))
+			}
+		}
+	}
+	if st := s.Solve(3); st != Unknown {
+		t.Errorf("tiny budget should give unknown, got %v", st)
+	}
+}
+
+// brute checks satisfiability of a small CNF by enumeration.
+func brute(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<uint(nVars); m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := (m>>uint(l.Var()))&1 == 1
+				if val != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		_ = seed
+		nVars := 3 + rng.Intn(6) // 3..8 vars
+		nClauses := 1 + rng.Intn(20)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		want := brute(nVars, cnf)
+		if !ok {
+			return !want // AddClause detected unsat early
+		}
+		st := s.Solve(0)
+		if want && st != Sat {
+			t.Logf("expected sat, got %v for %v", st, cnf)
+			return false
+		}
+		if !want && st != Unsat {
+			t.Logf("expected unsat, got %v for %v", st, cnf)
+			return false
+		}
+		if st == Sat {
+			// Verify the model actually satisfies the clauses.
+			for _, cl := range cnf {
+				good := false
+				for _, l := range cl {
+					if s.Value(l.Var()) != l.Neg() {
+						good = true
+						break
+					}
+				}
+				if !good {
+					t.Logf("model does not satisfy %v", cl)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAdvance(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	s.Solve(0)
+	_, props := s.Stats()
+	if props == 0 {
+		t.Error("propagations should be counted")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}

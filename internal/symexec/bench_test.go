@@ -1,0 +1,29 @@
+package symexec
+
+import (
+	"testing"
+
+	"repro/internal/bombs"
+)
+
+// BenchmarkSymbolicPass measures one full trace -> constraints pass over
+// a recorded concrete run of the Figure 3 program.
+func BenchmarkSymbolicPass(b *testing.B) {
+	bm, ok := bombs.ByName("fig3_printf")
+	if !ok {
+		b.Fatal("bomb missing")
+	}
+	res, err := bm.Run(bm.Trigger, bombs.WithRecording())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bm.Trigger.Config()
+	opts := fullOptions(EnvInfo{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr := Run(bm.Image(), res.Trace, res.Argv, cfg.Argv, opts)
+		if len(sr.Constraints) == 0 {
+			b.Fatal("no constraints")
+		}
+	}
+}

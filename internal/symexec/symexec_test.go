@@ -1,0 +1,474 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bombs"
+	"repro/internal/gos"
+	"repro/internal/lift"
+	"repro/internal/solver"
+	"repro/internal/sym"
+)
+
+// fullOptions is the reference engine's capability set.
+func fullOptions(env EnvInfo) Options {
+	return Options{
+		Spec: Spec{
+			ArgvNUL: true, ArgvPad: 16, Time: SourceDeclared, Pid: SourceDeclared, Web: true,
+			Files: ChanShadow, Pipes: ChanShadow, Kv: ChanShadow,
+			TrackThreads: true, TrackProcs: true,
+		},
+		Mem:           MemFull,
+		Jump:          JumpEnum,
+		Exc:           ExcTrace,
+		ContextualFS:  true,
+		ContextualSys: true,
+		ModelDivFault: true,
+		Env:           env,
+	}
+}
+
+// runBomb records a trace of the bomb under its benign input and runs a
+// symbolic pass with the given options.
+func runBomb(t *testing.T, name string, opts Options) (*Result, *gos.Result) {
+	t.Helper()
+	b, ok := bombs.ByName(name)
+	if !ok {
+		t.Fatalf("bomb %s missing", name)
+	}
+	res, err := b.Run(b.Benign, bombs.WithRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := b.Benign.Config()
+	opts.Env.TimeNow = cfg.TimeNow
+	opts.Env.Pid = cfg.Pid
+	for f := range cfg.Files {
+		opts.Env.KnownFiles = append(opts.Env.KnownFiles, f)
+	}
+	sr := Run(b.Image(), res.Trace, res.Argv, cfg.Argv, opts)
+	return sr, res
+}
+
+func TestFig3PlainConstraints(t *testing.T) {
+	sr, _ := runBomb(t, "fig3_plain", fullOptions(EnvInfo{}))
+	if sr.Crashed {
+		t.Fatalf("crashed: %s", sr.CrashDetail)
+	}
+	if len(sr.Constraints) == 0 {
+		t.Fatal("no constraints extracted")
+	}
+	// With argv padding, negating the final compare (v < 0x32) is
+	// satisfiable in one solve: the solver lengthens the digit string.
+	if !someNegationSat(t, sr) {
+		t.Fatal("no branch negation is satisfiable")
+	}
+}
+
+func TestTaintedInstructionCountGrowsWithPrintf(t *testing.T) {
+	// The Figure 3 effect: enabling printf strictly increases the number
+	// of symbolically-relevant instructions. Use the trigger input so the
+	// printf path executes.
+	plain, okP := bombs.ByName("fig3_plain")
+	withPrintf, okF := bombs.ByName("fig3_printf")
+	if !okP || !okF {
+		t.Fatal("fig3 bombs missing")
+	}
+	count := func(b *bombs.Bomb) int {
+		res, err := b.Run(b.Trigger, bombs.WithRecording())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := b.Trigger.Config()
+		sr := Run(b.Image(), res.Trace, res.Argv, cfg.Argv, fullOptions(EnvInfo{}))
+		return len(sr.TaintedIdx)
+	}
+	np, nf := count(plain), count(withPrintf)
+	if nf <= np {
+		t.Errorf("printf variant tainted %d <= plain %d", nf, np)
+	}
+	t.Logf("tainted instructions: plain=%d printf=%d (+%d)", np, nf, nf-np)
+}
+
+func TestEnvBranchIncidentWithoutTimeDecl(t *testing.T) {
+	opts := fullOptions(EnvInfo{})
+	opts.Spec.Time = SourceEnv
+	sr, _ := runBomb(t, "time", opts)
+	found := false
+	for _, in := range sr.Incidents {
+		if in.Stage == StageEs0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected Es0 incident, got %v", sr.Incidents)
+	}
+}
+
+func TestTimeDeclaredYieldsConstraint(t *testing.T) {
+	sr, _ := runBomb(t, "time", fullOptions(EnvInfo{}))
+	if len(sr.Constraints) == 0 {
+		t.Fatal("no constraints with declared time")
+	}
+	// Negating the branch should bind the time variable to the magic.
+	neg := sym.NewBoolNot(sr.Constraints[len(sr.Constraints)-1].Expr)
+	res, err := solver.Solve([]sym.Expr{neg}, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusSat || res.Model["time"] != 1735689600 {
+		t.Errorf("res = %+v, want time=1735689600", res)
+	}
+}
+
+func TestUnliftableFloatIncident(t *testing.T) {
+	opts := fullOptions(EnvInfo{})
+	opts.Lift = lift.Options{NoFloat: true}
+	sr, _ := runBomb(t, "float", opts)
+	var es1 bool
+	for _, in := range sr.Incidents {
+		if in.Stage == StageEs1 && strings.Contains(in.Detail, "unsupported") {
+			es1 = true
+		}
+	}
+	if !es1 {
+		t.Errorf("expected Es1 lifting incident, got %v", sr.Incidents)
+	}
+}
+
+func TestStackBombPushPop(t *testing.T) {
+	// With push/pop lifted, the final compare must yield a constraint
+	// solvable to 39.
+	sr, _ := runBomb(t, "stack", fullOptions(EnvInfo{}))
+	if len(sr.Constraints) == 0 {
+		t.Fatal("no constraints")
+	}
+	if !someNegationSat(t, sr) {
+		t.Fatal("no branch negation satisfiable for the stack bomb")
+	}
+	// Without push/pop lifting (BAP), an Es1 incident appears instead.
+	optsBap := fullOptions(EnvInfo{})
+	optsBap.Lift = lift.Options{NoPushPop: true}
+	srBap, _ := runBomb(t, "stack", optsBap)
+	var es1 bool
+	for _, in := range srBap.Incidents {
+		if in.Stage == StageEs1 {
+			es1 = true
+		}
+	}
+	if !es1 {
+		t.Errorf("expected Es1 for unlifted push/pop, got %v", srBap.Incidents)
+	}
+}
+
+func TestCovertFileChannel(t *testing.T) {
+	// Shadowed: the read-back value stays symbolic and the final compare
+	// constrains argv.
+	sr, _ := runBomb(t, "file", fullOptions(EnvInfo{}))
+	if sr.Crashed {
+		t.Fatal("crashed")
+	}
+	if len(sr.Constraints) == 0 {
+		t.Fatal("no constraints with shadow FS")
+	}
+	// Concrete channel: Es2 incident.
+	opts := fullOptions(EnvInfo{})
+	opts.Spec.Files = ChanConcrete
+	sr2, _ := runBomb(t, "file", opts)
+	var es2 bool
+	for _, in := range sr2.Incidents {
+		if in.Stage == StageEs2 && strings.Contains(in.Detail, "file") {
+			es2 = true
+		}
+	}
+	if !es2 {
+		t.Errorf("expected Es2 covert-propagation incident, got %v", sr2.Incidents)
+	}
+}
+
+func TestKvUnconstrainedSimulation(t *testing.T) {
+	opts := fullOptions(EnvInfo{})
+	opts.Spec.Kv = ChanUnconstrained
+	sr, _ := runBomb(t, "kvstore", opts)
+	if !sr.SimulationUsed {
+		t.Error("simulation flag not set")
+	}
+	// The final compare should involve a sim! variable.
+	if len(sr.Constraints) == 0 {
+		t.Fatal("no constraints")
+	}
+	lastVars := sym.Vars(sr.Constraints[len(sr.Constraints)-1].Expr)
+	var hasSim bool
+	for _, v := range lastVars {
+		if IsSimVar(v) {
+			hasSim = true
+		}
+	}
+	if !hasSim {
+		t.Errorf("final constraint vars = %v, want sim!", lastVars)
+	}
+}
+
+func TestThreadTrackingGap(t *testing.T) {
+	opts := fullOptions(EnvInfo{})
+	opts.Spec.TrackThreads = false
+	sr, _ := runBomb(t, "thread", opts)
+	var es2 bool
+	for _, in := range sr.Incidents {
+		if in.Stage == StageEs2 && strings.Contains(in.Detail, "thread") {
+			es2 = true
+		}
+	}
+	if !es2 {
+		t.Errorf("expected untraced-thread Es2, got %v", sr.Incidents)
+	}
+	// Tracked: the cross-thread increment is modeled, final compare
+	// constraint mentions argv bytes.
+	sr2, _ := runBomb(t, "thread", fullOptions(EnvInfo{}))
+	if len(sr2.Constraints) == 0 {
+		t.Fatal("no constraints when tracking threads")
+	}
+}
+
+func TestForkGapAndTracking(t *testing.T) {
+	opts := fullOptions(EnvInfo{})
+	opts.Spec.TrackProcs = false
+	sr, _ := runBomb(t, "fork", opts)
+	var es2 bool
+	for _, in := range sr.Incidents {
+		if in.Stage == StageEs2 && strings.Contains(in.Detail, "fork") {
+			es2 = true
+		}
+	}
+	if !es2 {
+		t.Errorf("expected fork-gap Es2, got %v", sr.Incidents)
+	}
+	sr2, _ := runBomb(t, "fork", fullOptions(EnvInfo{}))
+	if len(sr2.Constraints) == 0 {
+		t.Fatal("no constraints when tracking processes")
+	}
+}
+
+func TestSymbolicArrayModels(t *testing.T) {
+	// Concrete model: Es3.
+	opts := fullOptions(EnvInfo{})
+	opts.Mem = MemConcrete
+	sr, _ := runBomb(t, "array1", opts)
+	var es3 bool
+	for _, in := range sr.Incidents {
+		if in.Stage == StageEs3 {
+			es3 = true
+		}
+	}
+	if !es3 {
+		t.Errorf("expected Es3 with concrete memory, got %v", sr.Incidents)
+	}
+	// One-level model handles array1 but fails array2.
+	opts1 := fullOptions(EnvInfo{})
+	opts1.Mem = MemOneLevel
+	sr1, _ := runBomb(t, "array1", opts1)
+	for _, in := range sr1.Incidents {
+		if in.Stage == StageEs3 {
+			t.Errorf("one-level model should handle array1: %v", in)
+		}
+	}
+	sr2, _ := runBomb(t, "array2", opts1)
+	es3 = false
+	for _, in := range sr2.Incidents {
+		if in.Stage == StageEs3 && strings.Contains(in.Detail, "two-level") {
+			es3 = true
+		}
+	}
+	if !es3 {
+		t.Errorf("expected two-level Es3, got %v", sr2.Incidents)
+	}
+}
+
+func TestSymbolicJumpModes(t *testing.T) {
+	optsNone := fullOptions(EnvInfo{})
+	optsNone.Jump = JumpNone
+	sr, _ := runBomb(t, "jump", optsNone)
+	var es3 bool
+	for _, in := range sr.Incidents {
+		if in.Stage == StageEs3 && strings.Contains(in.Detail, "jump") {
+			es3 = true
+		}
+	}
+	if !es3 {
+		t.Errorf("JumpNone should record Es3, got %v", sr.Incidents)
+	}
+
+	optsConc := fullOptions(EnvInfo{})
+	optsConc.Jump = JumpConcretize
+	sr2, _ := runBomb(t, "jump", optsConc)
+	var es2 bool
+	for _, in := range sr2.Incidents {
+		if in.Stage == StageEs2 && strings.Contains(in.Detail, "concretized") {
+			es2 = true
+		}
+	}
+	if !es2 {
+		t.Errorf("JumpConcretize should record Es2 on affine jump, got %v", sr2.Incidents)
+	}
+
+	// Table jump under concretize: Es3 (address table).
+	sr3, _ := runBomb(t, "jumptab", optsConc)
+	es3 = false
+	for _, in := range sr3.Incidents {
+		if in.Stage == StageEs3 && strings.Contains(in.Detail, "table") {
+			es3 = true
+		}
+	}
+	if !es3 {
+		t.Errorf("JumpConcretize on table jump should record Es3, got %v", sr3.Incidents)
+	}
+}
+
+func TestContextualOpenModel(t *testing.T) {
+	sr, _ := runBomb(t, "filename", fullOptions(EnvInfo{}))
+	if len(sr.Constraints) == 0 {
+		t.Fatal("no constraints with contextual FS")
+	}
+	// Negate the fd==-1 branch; the solver must produce the known file
+	// name in argv.
+	var cs []sym.Expr
+	for _, pc := range sr.Constraints[:len(sr.Constraints)-1] {
+		cs = append(cs, pc.Expr)
+	}
+	cs = append(cs, sym.NewBoolNot(sr.Constraints[len(sr.Constraints)-1].Expr))
+	res, err := solver.Solve(cs, solver.Options{Seed: sr.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	got := ""
+	for i := 0; ; i++ {
+		v, ok := res.Model[varName("argv1", i)]
+		if !ok || v == 0 {
+			break
+		}
+		got += string(rune(v))
+	}
+	if got != "secret.key" {
+		t.Errorf("solved file name = %q, want secret.key", got)
+	}
+}
+
+// someNegationSat tries negating each negatable constraint (keeping the
+// prefix) and reports whether any negation is satisfiable — the engine's
+// one-round exploration step.
+func someNegationSat(t *testing.T, sr *Result) bool {
+	t.Helper()
+	for i := len(sr.Constraints) - 1; i >= 0; i-- {
+		if sr.Constraints[i].Kind == KindAssume {
+			continue
+		}
+		var cs []sym.Expr
+		for j := 0; j < i; j++ {
+			cs = append(cs, sr.Constraints[j].Expr)
+		}
+		cs = append(cs, sym.NewBoolNot(sr.Constraints[i].Expr))
+		res, err := solver.Solve(cs, solver.Options{Seed: sr.Seed, FP: solver.FPSearch, RandSeed: 1})
+		if err != nil {
+			continue
+		}
+		if res.Status == solver.StatusSat {
+			return true
+		}
+	}
+	return false
+}
+
+func varName(prefix string, i int) string {
+	return prefix + "[" + itoa(i) + "]"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestDivGuardExceptionBomb(t *testing.T) {
+	sr, _ := runBomb(t, "exception", fullOptions(EnvInfo{}))
+	var guard *PathConstraint
+	for i := range sr.Constraints {
+		if sr.Constraints[i].Kind == KindDivGuard {
+			guard = &sr.Constraints[i]
+		}
+	}
+	if guard == nil {
+		t.Fatalf("no div guard constraint; constraints=%d", len(sr.Constraints))
+	}
+	// Negating the guard gives divisor==0, i.e. argv "0".
+	var cs []sym.Expr
+	for i := range sr.Constraints {
+		if &sr.Constraints[i] == guard {
+			break
+		}
+		cs = append(cs, sr.Constraints[i].Expr)
+	}
+	cs = append(cs, sym.NewBoolNot(guard.Expr))
+	res, err := solver.Solve(cs, solver.Options{Seed: sr.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusSat {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Model["argv1[0]"] != '0' {
+		t.Errorf("argv1[0] = %q, want '0'", res.Model["argv1[0]"])
+	}
+}
+
+func TestExceptionModes(t *testing.T) {
+	b, _ := bombs.ByName("exception")
+	res, err := b.Run(b.Trigger, bombs.WithRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := b.Trigger.Config()
+
+	crash := fullOptions(EnvInfo{})
+	crash.Exc = ExcCrash
+	sr := Run(b.Image(), res.Trace, res.Argv, cfg.Argv, crash)
+	if !sr.Crashed {
+		t.Error("ExcCrash should crash on a faulting trace")
+	}
+
+	es1 := fullOptions(EnvInfo{})
+	es1.Exc = ExcEs1
+	sr1 := Run(b.Image(), res.Trace, res.Argv, cfg.Argv, es1)
+	stage, ok := sr1.MinStage()
+	if !ok || stage != StageEs1 {
+		t.Errorf("ExcEs1 min stage = %v/%v", stage, ok)
+	}
+}
+
+func TestSeedEvaluatesConstraintsTrue(t *testing.T) {
+	// Soundness: every extracted path constraint must hold under the
+	// seed (the concrete run that produced it).
+	for _, name := range []string{"fig3_plain", "stack", "array1", "thread", "file", "arglen", "float", "sin"} {
+		sr, _ := runBomb(t, name, fullOptions(EnvInfo{}))
+		if sr.Crashed {
+			t.Errorf("%s: crashed", name)
+			continue
+		}
+		for _, pc := range sr.Constraints {
+			if sym.Eval(pc.Expr, sr.Seed) != 1 {
+				t.Errorf("%s: constraint at %#x does not hold under seed: %s",
+					name, pc.PC, pc.Expr)
+				break
+			}
+		}
+	}
+}

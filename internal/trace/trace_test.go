@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAppendAssignsIndices(t *testing.T) {
+	var tr Trace
+	tr.Append(Entry{PC: 0x1000})
+	tr.Append(Entry{PC: 0x1004})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Entries[0].Index != 0 || tr.Entries[1].Index != 1 {
+		t.Errorf("indices = %d, %d", tr.Entries[0].Index, tr.Entries[1].Index)
+	}
+}
+
+func TestSysnoNames(t *testing.T) {
+	tests := []struct {
+		n    Sysno
+		want string
+	}{
+		{SysExit, "exit"},
+		{SysRead, "read"},
+		{SysKvPut, "kv_put"},
+		{SysKvGet, "kv_get"},
+		{Sysno(99), "sys(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.n.String(); got != tt.want {
+			t.Errorf("Sysno(%d).String() = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{
+		Index: 3, PID: 1, TID: 2, PC: 0x1010,
+		Instr: isa.Instr{Op: isa.OpJne, Mode: isa.ModeI, Size: 8, Imm: 0x1040},
+		Taken: true,
+	}
+	s := e.String()
+	for _, want := range []string{"jne", "taken=true", "0x001010"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("entry string %q missing %q", s, want)
+		}
+	}
+	e.Sys = &SysEvent{Num: SysTime, Ret: 7}
+	e.Tainted = true
+	s = e.String()
+	if !strings.Contains(s, "sys=time") || !strings.Contains(s, "*") {
+		t.Errorf("entry string %q missing syscall/taint markers", s)
+	}
+	e.Sys = nil
+	e.Exc = &ExcEvent{Kind: "div0"}
+	if !strings.Contains(e.String(), "exc=div0") {
+		t.Error("exception marker missing")
+	}
+}
+
+func TestTaintedCountAndDump(t *testing.T) {
+	var tr Trace
+	tr.Append(Entry{Instr: isa.Instr{Op: isa.OpNop, Mode: isa.ModeNone, Size: 8}})
+	tr.Append(Entry{Instr: isa.Instr{Op: isa.OpNop, Mode: isa.ModeNone, Size: 8}, Tainted: true})
+	if tr.TaintedCount() != 1 {
+		t.Errorf("TaintedCount = %d", tr.TaintedCount())
+	}
+	full := tr.Dump(false)
+	tainted := tr.Dump(true)
+	if strings.Count(full, "\n") != 2 || strings.Count(tainted, "\n") != 1 {
+		t.Errorf("dump lines: full=%d tainted=%d",
+			strings.Count(full, "\n"), strings.Count(tainted, "\n"))
+	}
+}

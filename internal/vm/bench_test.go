@@ -1,0 +1,41 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/mem"
+)
+
+// BenchmarkExecLoop measures raw interpreter throughput on a counting
+// loop (instructions per second of the concrete phase).
+func BenchmarkExecLoop(b *testing.B) {
+	img, err := asm.Assemble(asm.Source{Name: "b.s", Text: `
+_start:
+    mov r1, 1000
+.loop:
+    sub r1, 1
+    cmp r1, 0
+    jne .loop
+    halt
+`})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := LoadProgram(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu := &CPU{PC: img.Entry}
+		cpu.SetSP(0x7000_0000)
+		m := mem.New()
+		for {
+			_, kind := Exec(cpu, m, p)
+			if kind == StepHalt {
+				break
+			}
+		}
+	}
+}
