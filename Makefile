@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: ci vet build race test test-short bench tables clean
+
+# ci is the gate: static checks, build, the concurrency-sensitive
+# packages under the race detector, then the full suite.
+ci: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/core/... ./internal/solver/...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkExploreParallel|BenchmarkSolverCacheHitRate' -benchtime 3x ./internal/core/...
+	$(GO) test -run '^$$' -bench 'BenchmarkInputKey' ./internal/core/...
+	$(GO) test -run '^$$' -bench 'BenchmarkCacheSolveHit|BenchmarkSolveUncached|BenchmarkCanonicalKey' ./internal/solver/...
+
+tables:
+	$(GO) run ./cmd/evaltable -all
+
+clean:
+	$(GO) clean ./...

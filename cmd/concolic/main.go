@@ -17,6 +17,8 @@ import (
 func main() {
 	tool := flag.String("tool", "reference", "profile: bap, triton, angr, angr-nolib, reference")
 	verbose := flag.Bool("v", false, "print incidents and per-round progress")
+	workers := flag.Int("workers", 0, "concurrent exploration rounds (0 = all CPUs, 1 = sequential)")
+	stats := flag.Bool("stats", false, "print the engine work profile (rounds, queries, cache, wall time)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -45,6 +47,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	p.Caps.Workers = *workers
 	en := core.New(b.Image(), b.BombAddr(), p.Caps)
 	out := en.Explore(b.Benign)
 
@@ -68,6 +71,18 @@ func main() {
 		}
 	}
 	fmt.Printf("paper label: %s\n", cellLabel(out))
+	if *stats {
+		s := out.Stats
+		lookups := s.CacheHits + s.CacheMisses
+		fmt.Printf("stats: workers=%d rounds=%d peak-frontier=%d wall=%v\n",
+			s.Workers, s.Rounds, s.PeakFrontier, s.WallTime)
+		fmt.Printf("stats: solver-queries=%d cache-hits=%d cache-misses=%d cache-evictions=%d",
+			s.SolverQueries, s.CacheHits, s.CacheMisses, s.CacheEvictions)
+		if lookups > 0 {
+			fmt.Printf(" hit-rate=%.0f%%", 100*float64(s.CacheHits)/float64(lookups))
+		}
+		fmt.Println()
+	}
 	if *verbose {
 		for _, in := range out.Incidents {
 			fmt.Println("incident:", in)

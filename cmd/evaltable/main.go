@@ -20,6 +20,7 @@ func main() {
 	reference := flag.Bool("reference", false, "render the reference-engine extension table")
 	extras := flag.Bool("extras", false, "render the extension-bomb study (loop, retjump, array3)")
 	diag := flag.Bool("diag", false, "with -table2: print per-cell root-cause diagnostics")
+	workers := flag.Int("workers", 0, "concurrent Table II cells (0 = all CPUs, 1 = sequential)")
 	all := flag.Bool("all", false, "render everything")
 	flag.Parse()
 
@@ -30,7 +31,7 @@ func main() {
 		fmt.Println(eval.RenderTableI())
 	}
 	if *all || *table2 {
-		g := eval.RunTableII()
+		g := eval.RunTableIIWorkers(*workers)
 		fmt.Println(eval.RenderTableII(g))
 		if *diag {
 			fmt.Println(eval.RenderDiagnostics(g))

@@ -12,14 +12,15 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bin"
 	"repro/internal/bombs"
-	"repro/internal/gos"
 	"repro/internal/solver"
-	"repro/internal/sym"
 	"repro/internal/symexec"
 	"repro/internal/trace"
 )
@@ -64,6 +65,17 @@ type Capabilities struct {
 	// TotalBudget bounds one directed-search task's wall-clock time (the
 	// paper's ten-minute per-task timeout, scaled); exhaustion gives E.
 	TotalBudget time.Duration
+
+	// Workers bounds how many exploration rounds run concurrently
+	// (<= 0: runtime.GOMAXPROCS(0)). Workers == 1 reproduces the
+	// historical sequential loop exactly; larger values run frontier
+	// candidates in parallel batches with deterministic verdicts (see
+	// scheduler.go).
+	Workers int
+
+	// SolverCacheSize bounds the engine's solver query cache
+	// (<= 0: solver.DefaultCacheSize).
+	SolverCacheSize int
 }
 
 // SearchStrategy selects how new inputs are scheduled.
@@ -126,6 +138,30 @@ type Claim struct {
 	Input   bombs.Input
 }
 
+// Stats reports the engine's work profile for one Explore call. Verdict
+// fields of Outcome are deterministic for a fixed seed and worker count;
+// Stats values that depend on wall-clock time or on duplicate work
+// suppressed between parallel rounds (cache counters, wall time) are
+// informational and may vary run to run.
+type Stats struct {
+	// Rounds is the number of merged exploration rounds (equals
+	// Outcome.Rounds).
+	Rounds int
+	// SolverQueries counts negation queries issued by merged rounds.
+	SolverQueries int
+	// CacheHits/CacheMisses/CacheEvictions report the solver query cache.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	// PeakFrontier is the largest number of pending candidates observed
+	// at a batch boundary.
+	PeakFrontier int
+	// Workers is the resolved worker count.
+	Workers int
+	// WallTime is the Explore call's duration.
+	WallTime time.Duration
+}
+
 // Outcome is the engine's result for one directed-search task.
 type Outcome struct {
 	Verdict     Verdict
@@ -144,6 +180,10 @@ type Outcome struct {
 	SolverExhausted bool // some query hit its budget
 	SimulationUsed  bool
 	TaintedPerRound []int // Figure 3 metric per round
+
+	// Stats profiles the exploration (rounds, queries, cache, frontier,
+	// wall time).
+	Stats Stats
 }
 
 // MinIncidentStage returns the earliest error stage among incidents.
@@ -162,16 +202,20 @@ func (o *Outcome) MinIncidentStage() (symexec.Stage, bool) {
 
 // Engine is a directed concolic explorer for one program image.
 type Engine struct {
-	img    *bin.Image
-	caps   Capabilities
-	target uint64
+	img     *bin.Image
+	caps    Capabilities
+	target  uint64
+	workers int
 
 	seenInput map[string]bool
 	seenFlip  map[string]bool
 	queue     []bombs.Input
+	head      int // first live BFS element of queue
 	out       *Outcome
 	incSeen   map[string]bool
 	deadline  time.Time
+	cache     *solver.Cache
+	stats     Stats
 }
 
 // New builds an engine targeting the given address (the bomb symbol).
@@ -191,49 +235,80 @@ func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
 	if caps.TotalBudget <= 0 {
 		caps.TotalBudget = DefaultTotalBudget
 	}
+	workers := caps.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return &Engine{
 		img:       img,
 		caps:      caps,
 		target:    target,
+		workers:   workers,
 		seenInput: make(map[string]bool),
 		seenFlip:  make(map[string]bool),
 		incSeen:   make(map[string]bool),
 		out:       &Outcome{},
+		cache:     solver.NewCache(caps.SolverCacheSize),
 	}
 }
 
 // Explore runs the concolic loop from the seed input.
 func (en *Engine) Explore(seed bombs.Input) *Outcome {
-	en.deadline = time.Now().Add(en.caps.TotalBudget)
+	start := time.Now()
+	en.deadline = start.Add(en.caps.TotalBudget)
 	en.push(seed)
-	for len(en.queue) > 0 && en.out.Rounds < en.caps.MaxRounds {
+	terminal := false
+loop:
+	for en.frontierLen() > 0 && en.out.Rounds < en.caps.MaxRounds {
 		if time.Now().After(en.deadline) {
 			en.out.Verdict = VerdictBudget
 			en.out.CrashDetail = "analysis timeout (task wall-clock budget)"
-			return en.out
+			terminal = true
+			break
 		}
-		var in bombs.Input
-		if en.caps.Search == SearchDFS {
-			in = en.queue[len(en.queue)-1]
-			en.queue = en.queue[:len(en.queue)-1]
+		if f := en.frontierLen(); f > en.stats.PeakFrontier {
+			en.stats.PeakFrontier = f
+		}
+		batch := en.popBatch(min(en.workers, en.caps.MaxRounds-en.out.Rounds))
+		for _, rec := range en.runBatch(batch) {
+			if en.applyRound(rec) {
+				terminal = true
+				break loop
+			}
+		}
+	}
+	if !terminal {
+		if en.out.SolverExhausted {
+			en.out.Verdict = VerdictBudget
+			en.out.CrashDetail = "constraint solving exhausted its budget"
 		} else {
-			in = en.queue[0]
-			en.queue = en.queue[1:]
-		}
-		if done := en.round(in); done {
-			return en.out
+			// Exhausting the round budget with candidates pending is
+			// exploration saturation, not an abnormal exit: the tool
+			// simply never found the path (wall-clock exhaustion above is
+			// what maps to E).
+			en.out.Verdict = VerdictUnreachable
 		}
 	}
-	if en.out.SolverExhausted {
-		en.out.Verdict = VerdictBudget
-		en.out.CrashDetail = "constraint solving exhausted its budget"
-		return en.out
-	}
-	// Exhausting the round budget with candidates pending is exploration
-	// saturation, not an abnormal exit: the tool simply never found the
-	// path (wall-clock exhaustion above is what maps to E).
-	en.out.Verdict = VerdictUnreachable
+	en.finishStats(start)
 	return en.out
+}
+
+func (en *Engine) finishStats(start time.Time) {
+	cs := en.cache.Stats()
+	en.stats.Rounds = en.out.Rounds
+	en.stats.CacheHits = cs.Hits
+	en.stats.CacheMisses = cs.Misses
+	en.stats.CacheEvictions = cs.Evictions
+	en.stats.Workers = en.workers
+	en.stats.WallTime = time.Since(start)
+	en.out.Stats = en.stats
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func (en *Engine) push(in bombs.Input) {
@@ -245,94 +320,52 @@ func (en *Engine) push(in bombs.Input) {
 	en.queue = append(en.queue, in)
 }
 
+// inputKey is an injective encoding of an input's facets, used to dedup
+// frontier candidates. It runs once per push on the hot path, so it
+// builds the key directly instead of going through fmt.
 func inputKey(in bombs.Input) string {
-	webKeys := make([]string, 0, len(in.Web))
-	for k, v := range in.Web {
-		webKeys = append(webKeys, k+"="+v)
-	}
-	sort.Strings(webKeys)
-	return fmt.Sprintf("%q|%d|%d|%v", in.Argv1, in.TimeNow, in.Pid, webKeys)
-}
-
-// round runs one concrete execution plus its symbolic pass and schedules
-// negations. It returns true when exploration should stop.
-func (en *Engine) round(in bombs.Input) bool {
-	en.out.Rounds++
-	en.out.CandidatesTried++
-
-	cfg := in.Config()
-	cfg.Record = true
-	cfg.MaxSteps = en.caps.StepBudget
-	cfg.WatchAddrs = []uint64{en.target}
-	m, err := gos.New(en.img, cfg)
-	if err != nil {
-		en.out.Verdict = VerdictCrashed
-		en.out.CrashDetail = err.Error()
-		return true
-	}
-	res := m.Run()
-
-	if res.Reason == gos.StopFault {
-		en.out.FaultInputs = append(en.out.FaultInputs, in)
-	}
-	// A trace containing a hardware fault is only analyzable by tools
-	// that trace through exception dispatch; the others reject the whole
-	// run (their tracer/emulator cannot process it), so a detonation in
-	// such a run is never observed by the tool.
-	if idx := faultIndex(res.Trace); idx >= 0 {
-		switch en.caps.Sym.Exc {
-		case symexec.ExcCrash:
-			en.out.Verdict = VerdictCrashed
-			en.out.CrashDetail = "emulator fault: exception dispatch unsupported"
-			return true
-		case symexec.ExcEs1:
-			en.incident(symexec.Incident{
-				Stage: symexec.StageEs1, Index: idx,
-				Detail: "exception handler instructions cannot be traced",
-			})
-			return false
-		case symexec.ExcEs2:
-			en.incident(symexec.Incident{
-				Stage: symexec.StageEs2, Index: idx,
-				Detail: "exception handler effect on symbolic state lost",
-			})
-			return false
+	var b strings.Builder
+	b.Grow(len(in.Argv1) + 24)
+	b.WriteString(in.Argv1)
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatUint(in.TimeNow, 10))
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatUint(in.Pid, 10))
+	if len(in.Web) > 0 {
+		webKeys := make([]string, 0, len(in.Web))
+		for k := range in.Web {
+			webKeys = append(webKeys, k)
+		}
+		sort.Strings(webKeys)
+		for _, k := range webKeys {
+			b.WriteByte(0)
+			b.WriteString(k)
+			b.WriteByte(1)
+			b.WriteString(in.Web[k])
 		}
 	}
-	if res.Hit(en.target) {
-		en.out.Verdict = VerdictSolved
-		en.out.Input = in
-		return true
-	}
+	return b.String()
+}
 
-	// Emulation-layer gaps: network IO the engine cannot perform.
-	if !en.caps.WebSyscall && traceUsesWeb(res.Trace) {
-		en.out.Verdict = VerdictCrashed
-		en.out.CrashDetail = "network system call unsupported by the emulation layer"
-		return true
+// flipKeyFor builds the dedup key for negating one path constraint.
+func flipKeyFor(pc symexec.PathConstraint, occ, argvLen int) string {
+	var b strings.Builder
+	if pc.Kind == symexec.KindJump {
+		b.Grow(24)
+		b.WriteString(strconv.FormatUint(pc.PC, 16))
+		b.WriteString("|jump|")
+		b.WriteString(pc.Expr.String())
+		return b.String()
 	}
-
-	opts := en.caps.Sym
-	opts.Env = symexec.EnvInfo{TimeNow: cfg.TimeNow, Pid: cfg.Pid}
-	for f := range cfg.Files {
-		opts.Env.KnownFiles = append(opts.Env.KnownFiles, f)
-	}
-	sort.Strings(opts.Env.KnownFiles)
-	sr := symexec.Run(en.img, res.Trace, res.Argv, cfg.Argv, opts)
-
-	en.mergeIncidents(sr.Incidents)
-	en.out.TaintedPerRound = append(en.out.TaintedPerRound, len(sr.TaintedIdx))
-	if sr.SimulationUsed {
-		en.out.SimulationUsed = true
-	}
-	if sr.Crashed {
-		en.out.Verdict = VerdictCrashed
-		en.out.CrashDetail = sr.CrashDetail
-		return true
-	}
-
-	en.negate(in, sr)
-	return false
+	b.Grow(24)
+	b.WriteString(strconv.FormatUint(pc.PC, 16))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(pc.Kind)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(occ))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(argvLen))
+	return b.String()
 }
 
 // faultIndex returns the index of the first faulting entry, or -1.
@@ -371,102 +404,6 @@ func (en *Engine) mergeIncidents(ins []symexec.Incident) {
 	}
 }
 
-// negate builds and solves the negation of each explorable constraint
-// (generational search) and schedules the resulting inputs.
-func (en *Engine) negate(cur bombs.Input, sr *symexec.Result) {
-	// Forward occurrence numbering keeps flip keys stable across rounds
-	// (the n-th execution of a loop branch keeps its identity as traces
-	// lengthen).
-	occurrence := make(map[uint64]int)
-	occ := make([]int, len(sr.Constraints))
-	for i := range sr.Constraints {
-		occ[i] = occurrence[sr.Constraints[i].PC]
-		occurrence[sr.Constraints[i].PC]++
-	}
-	// Ascending order: the deepest branch's candidate is pushed last, so
-	// depth-first scheduling pops it first (negate the deepest unexplored
-	// branch — the classic DFS concolic strategy).
-	for i := 0; i < len(sr.Constraints); i++ {
-		if time.Now().After(en.deadline) {
-			en.out.SolverExhausted = true
-			return
-		}
-		pc := sr.Constraints[i]
-		if pc.Kind == symexec.KindAssume {
-			continue
-		}
-		// Keyed by input length: an UNSAT flip can become satisfiable
-		// once the argument grows (the iterative-lengthening pattern), so
-		// its verdict only holds per length. SAT and UNKNOWN flips are
-		// never retried for the same key.
-		flipKey := fmt.Sprintf("%#x|%v|%d|%d", pc.PC, pc.Kind, occ[i], len(cur.Argv1))
-		if pc.Kind == symexec.KindJump {
-			flipKey = fmt.Sprintf("%#x|jump|%s", pc.PC, pc.Expr)
-		}
-		if en.seenFlip[flipKey] {
-			continue
-		}
-
-		system := make([]sym.Expr, 0, i+1)
-		for j := 0; j < i; j++ {
-			system = append(system, sr.Constraints[j].Expr)
-		}
-		system = append(system, sym.NewBoolNot(pc.Expr))
-
-		resu, err := solver.Solve(system, solver.Options{
-			MaxConflicts: en.caps.SolverConflicts,
-			FP:           en.caps.FP,
-			FPIterations: en.caps.FPIterations,
-			Timeout:      en.caps.SolverTimeout,
-			Seed:         sr.Seed,
-			RandSeed:     int64(en.out.Rounds*1000 + i),
-		})
-		if err != nil {
-			continue
-		}
-		switch resu.Status {
-		case solver.StatusUnknown:
-			en.out.SolverExhausted = true
-			en.seenFlip[flipKey] = true // hopeless within budget; don't retry
-			continue
-		case solver.StatusFloatUnsupported:
-			en.incident(symexec.Incident{
-				Stage: symexec.StageEs3, Index: pc.Index, PC: pc.PC,
-				Detail: "floating-point theory unsupported by the solver",
-			})
-			continue
-		case solver.StatusUnsat:
-			// Branch direction infeasible on this prefix; mark explored.
-			en.seenFlip[flipKey] = true
-			continue
-		}
-
-		// Satisfiable: realize the model as an input.
-		next, realized, truncated := reconstruct(resu.Model, sr.Seed, cur, en.caps)
-		if truncated {
-			en.incident(symexec.Incident{
-				Stage: symexec.StageEs2, Index: pc.Index, PC: pc.PC,
-				Detail: "model requires a longer input than the tool can construct",
-			})
-		}
-		if !realized {
-			// The model binds only unrealizable (simulation) variables:
-			// the tool believes the flipped path is feasible but cannot
-			// build an input for it.
-			if bindsSim(resu.Model) {
-				en.out.Claims = append(en.out.Claims, Claim{
-					PC:      pc.PC,
-					Syscall: bindsSyscallSim(resu.Model),
-					Input:   cur,
-				})
-			}
-			en.seenFlip[flipKey] = true
-			continue
-		}
-		en.seenFlip[flipKey] = true
-		en.push(next)
-	}
-}
 
 func (en *Engine) incident(in symexec.Incident) {
 	en.mergeIncidents([]symexec.Incident{in})

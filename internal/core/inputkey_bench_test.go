@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/bombs"
+)
+
+// inputKeySprintf is the pre-optimization formulation, kept here as the
+// benchmark baseline for the strings.Builder version on the push path.
+func inputKeySprintf(in bombs.Input) string {
+	webKeys := make([]string, 0, len(in.Web))
+	for k, v := range in.Web {
+		webKeys = append(webKeys, k+"="+v)
+	}
+	sort.Strings(webKeys)
+	return fmt.Sprintf("%q|%d|%d|%v", in.Argv1, in.TimeNow, in.Pid, webKeys)
+}
+
+func benchInputs() []bombs.Input {
+	return []bombs.Input{
+		{Argv1: "AAAAAAAA"},
+		{Argv1: "fuzzing?", TimeNow: 1500000000, Pid: 4242},
+		{Argv1: "x", Web: map[string]string{"http://bomb.example/flag": "7"}},
+	}
+}
+
+func BenchmarkInputKey(b *testing.B) {
+	ins := benchInputs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			if inputKey(in) == "" {
+				b.Fatal("empty key")
+			}
+		}
+	}
+}
+
+func BenchmarkInputKeySprintf(b *testing.B) {
+	ins := benchInputs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			if inputKeySprintf(in) == "" {
+				b.Fatal("empty key")
+			}
+		}
+	}
+}
+
+// TestInputKeyInjective pins the properties the dedup map relies on: keys
+// separate every facet of the input, including web entries whose raw
+// concatenations would collide under a naive join.
+func TestInputKeyInjective(t *testing.T) {
+	inputs := []bombs.Input{
+		{Argv1: "ab"},
+		{Argv1: "a", TimeNow: 1},
+		{Argv1: "a", Pid: 1},
+		{Argv1: "a", TimeNow: 1, Pid: 1},
+		{Argv1: "a", TimeNow: 11},
+		{Argv1: "a", Web: map[string]string{"u": "v"}},
+		{Argv1: "a", Web: map[string]string{"uv": ""}},
+		{Argv1: "a", Web: map[string]string{"u": "v", "w": "x"}},
+	}
+	seen := make(map[string]int)
+	for i, in := range inputs {
+		k := inputKey(in)
+		if j, dup := seen[k]; dup {
+			t.Errorf("inputs %d and %d collide on %q", j, i, k)
+		}
+		seen[k] = i
+	}
+	// Map iteration order must not leak into the key.
+	a := bombs.Input{Argv1: "a", Web: map[string]string{"u1": "v1", "u2": "v2", "u3": "v3"}}
+	k := inputKey(a)
+	for i := 0; i < 16; i++ {
+		if inputKey(a) != k {
+			t.Fatal("key depends on map iteration order")
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core_test
+
+// Black-box tests for the parallel scheduler (package core_test: the
+// tools package imports core, so profile-driven tests cannot live inside
+// package core).
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/tools"
+)
+
+// exploreWith runs one bomb under a profile with the given worker count.
+func exploreWith(b *bombs.Bomb, p tools.Profile, workers int) *core.Outcome {
+	caps := p.Caps
+	caps.Workers = workers
+	en := core.New(b.Image(), b.BombAddr(), caps)
+	return en.Explore(b.Benign)
+}
+
+// TestExploreDeterministicAcrossWorkers asserts the paper-facing verdict
+// is independent of the worker count: every Table II bomb, under every
+// Table II tool profile, must land on the same Verdict with Workers=1
+// (the historical sequential loop) and Workers=8. FastBudgets keeps the
+// grid tractable; budget-direction outcomes are unaffected.
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	for _, p := range tools.TableII() {
+		p := tools.FastBudgets(p)
+		for _, b := range bombs.TableII() {
+			b := b
+			t.Run(p.Name()+"/"+b.Name, func(t *testing.T) {
+				t.Parallel()
+				seq := exploreWith(b, p, 1)
+				par := exploreWith(b, p, 8)
+				if seq.Verdict != par.Verdict {
+					t.Errorf("workers=1 verdict %v, workers=8 verdict %v",
+						seq.Verdict, par.Verdict)
+				}
+				if seq.Verdict == core.VerdictSolved && par.Input.Argv1 != seq.Input.Argv1 {
+					t.Errorf("solving inputs diverge: %q vs %q",
+						seq.Input.Argv1, par.Input.Argv1)
+				}
+			})
+		}
+	}
+}
+
+// TestExploreRepeatableAtFixedWorkerCount asserts a fixed worker count
+// reproduces not just the verdict but the whole observable outcome.
+func TestExploreRepeatableAtFixedWorkerCount(t *testing.T) {
+	p := tools.FastBudgets(tools.Angr())
+	b, ok := bombs.ByName("array1")
+	if !ok {
+		t.Fatal("array1 missing")
+	}
+	for _, workers := range []int{1, 4} {
+		a := exploreWith(b, p, workers)
+		c := exploreWith(b, p, workers)
+		if a.Verdict != c.Verdict || a.Rounds != c.Rounds ||
+			a.CandidatesTried != c.CandidatesTried ||
+			len(a.Incidents) != len(c.Incidents) {
+			t.Errorf("workers=%d: outcomes differ: %+v vs %+v", workers, a, c)
+		}
+	}
+}
+
+// TestExploreParallelSolvesUnderRace exercises the concurrent scheduler
+// with several engines running at once; `go test -race` makes this the
+// data-race gate for the worker pool and the shared solver cache.
+func TestExploreParallelSolvesUnderRace(t *testing.T) {
+	var wg sync.WaitGroup
+	// jump is deliberately absent: under FastBudgets the reference DFS
+	// profile exhausts the 12-round cap before reaching its detonation at
+	// every worker count, so it cannot assert VerdictSolved here.
+	for _, name := range []string{"array1", "arglen", "stack", "jumptab"} {
+		name := name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, ok := bombs.ByName(name)
+			if !ok {
+				t.Errorf("no bomb %s", name)
+				return
+			}
+			out := exploreWith(b, tools.FastBudgets(tools.Reference()), 8)
+			if out.Verdict != core.VerdictSolved {
+				t.Errorf("%s: verdict %v (rounds %d)", name, out.Verdict, out.Rounds)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStatsPopulated checks the new Outcome.Stats block.
+func TestStatsPopulated(t *testing.T) {
+	b, _ := bombs.ByName("array1")
+	out := exploreWith(b, tools.FastBudgets(tools.Angr()), 4)
+	s := out.Stats
+	if s.Rounds != out.Rounds {
+		t.Errorf("Stats.Rounds %d != Outcome.Rounds %d", s.Rounds, out.Rounds)
+	}
+	if s.SolverQueries == 0 {
+		t.Error("expected solver queries")
+	}
+	if s.Workers != 4 {
+		t.Errorf("Workers = %d", s.Workers)
+	}
+	if s.WallTime <= 0 {
+		t.Error("missing wall time")
+	}
+	if s.CacheHits+s.CacheMisses == 0 {
+		t.Error("cache saw no lookups")
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bombs"
+	"repro/internal/gos"
+	"repro/internal/solver"
+	"repro/internal/sym"
+	"repro/internal/symexec"
+)
+
+// The parallel scheduler runs exploration rounds in synchronous batches.
+// Each batch pops up to Workers candidates from the frontier in the
+// search strategy's order, runs every round on its own goroutine against
+// a frozen view of the dedup maps, and then replays the rounds' recorded
+// effects strictly in dispatch order on the single-threaded engine state.
+//
+// Replay order is what keeps verdicts deterministic: a terminal round
+// (solved or crashed) cuts off every later-dispatched round of its batch,
+// so the winning round is the same one a sequential engine would have
+// reached first — first success wins, with the round index as the
+// tiebreak, never goroutine timing. With Workers=1 each batch holds one
+// round and the engine's observable behaviour (outcome fields, incident
+// order, round numbering, solver random seeds) is identical to the
+// historical sequential loop.
+//
+// Because workers cannot see flips resolved by rounds merged earlier in
+// the same batch, they may re-solve a query or re-derive a push; replay
+// gates every flip-derived event on the authoritative seenFlip map, so
+// those duplicates collapse and the merged state matches the sequential
+// schedule. The duplicate solver work itself is largely absorbed by the
+// engine's query cache.
+
+// evKind tags one recorded engine effect.
+type evKind int
+
+const (
+	evFault evKind = iota + 1 // concrete run ended in an unhandled fault
+	evIncident
+	evTainted
+	evSimUsed
+	evSolverExhausted
+	evClaim
+	evMark // mark a flip explored
+	evPush
+	evTerminal
+)
+
+// event is one engine effect recorded by a worker, replayed by the
+// scheduler. Events carrying a flip key are dropped wholesale when the
+// flip was already resolved by an earlier round.
+type event struct {
+	kind     evKind
+	flip     string
+	incident symexec.Incident
+	claim    Claim
+	input    bombs.Input // push payload, fault input, or solving input
+	tainted  int
+	verdict  Verdict
+	detail   string
+}
+
+// roundRec is the full record of one exploration round.
+type roundRec struct {
+	idx     int // 1-based round number, assigned at dispatch
+	events  []event
+	queries int // solver queries issued (stats)
+}
+
+func (r *roundRec) emit(ev event) { r.events = append(r.events, ev) }
+
+// popBatch removes up to n candidates from the frontier in strategy
+// order.
+func (en *Engine) popBatch(n int) []bombs.Input {
+	if f := en.frontierLen(); n > f {
+		n = f
+	}
+	batch := make([]bombs.Input, 0, n)
+	for i := 0; i < n; i++ {
+		if en.caps.Search == SearchDFS {
+			last := len(en.queue) - 1
+			batch = append(batch, en.queue[last])
+			en.queue = en.queue[:last]
+		} else {
+			batch = append(batch, en.queue[en.head])
+			en.head++
+		}
+	}
+	en.compact()
+	return batch
+}
+
+// compact releases the consumed prefix of the BFS queue once it dominates
+// the backing array, keeping the pop O(1) without leaking the array.
+func (en *Engine) compact() {
+	if en.head > 32 && en.head*2 >= len(en.queue) {
+		en.queue = append(en.queue[:0:0], en.queue[en.head:]...)
+		en.head = 0
+	}
+}
+
+func (en *Engine) frontierLen() int { return len(en.queue) - en.head }
+
+// runBatch executes the batch's rounds, in parallel when more than one
+// worker is available. Workers only read engine state (image, caps,
+// deadline, the frozen dedup maps) and the mutex-guarded solver cache.
+func (en *Engine) runBatch(batch []bombs.Input) []*roundRec {
+	base := en.out.Rounds
+	recs := make([]*roundRec, len(batch))
+	if len(batch) == 1 {
+		recs[0] = en.runRound(batch[0], base+1)
+		return recs
+	}
+	var wg sync.WaitGroup
+	for i := range batch {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = en.runRound(batch[i], base+i+1)
+		}(i)
+	}
+	wg.Wait()
+	return recs
+}
+
+// applyRound replays one round's events onto the engine state. It returns
+// true when the round is terminal (exploration must stop).
+func (en *Engine) applyRound(rec *roundRec) bool {
+	en.out.Rounds++
+	en.out.CandidatesTried++
+	en.stats.SolverQueries += rec.queries
+	var gated map[string]bool
+	for i := range rec.events {
+		ev := &rec.events[i]
+		if ev.flip != "" {
+			// Gate the whole flip on the state seen at its first event, so
+			// a mark inside the flip does not suppress its own push.
+			g, ok := gated[ev.flip]
+			if !ok {
+				g = en.seenFlip[ev.flip]
+				if gated == nil {
+					gated = make(map[string]bool)
+				}
+				gated[ev.flip] = g
+			}
+			if g {
+				continue
+			}
+		}
+		switch ev.kind {
+		case evFault:
+			en.out.FaultInputs = append(en.out.FaultInputs, ev.input)
+		case evIncident:
+			en.mergeIncidents([]symexec.Incident{ev.incident})
+		case evTainted:
+			en.out.TaintedPerRound = append(en.out.TaintedPerRound, ev.tainted)
+		case evSimUsed:
+			en.out.SimulationUsed = true
+		case evSolverExhausted:
+			en.out.SolverExhausted = true
+		case evClaim:
+			en.out.Claims = append(en.out.Claims, ev.claim)
+		case evMark:
+			en.seenFlip[ev.flip] = true
+		case evPush:
+			en.push(ev.input)
+		case evTerminal:
+			en.out.Verdict = ev.verdict
+			en.out.CrashDetail = ev.detail
+			if ev.verdict == VerdictSolved {
+				en.out.Input = ev.input
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// runRound executes one concrete run plus its symbolic pass and negation
+// solving, recording effects instead of applying them. It must not write
+// any engine state: it may run concurrently with other rounds of the same
+// batch.
+func (en *Engine) runRound(in bombs.Input, idx int) *roundRec {
+	rec := &roundRec{idx: idx}
+
+	cfg := in.Config()
+	cfg.Record = true
+	cfg.MaxSteps = en.caps.StepBudget
+	cfg.WatchAddrs = []uint64{en.target}
+	m, err := gos.New(en.img, cfg)
+	if err != nil {
+		rec.emit(event{kind: evTerminal, verdict: VerdictCrashed, detail: err.Error()})
+		return rec
+	}
+	res := m.Run()
+
+	if res.Reason == gos.StopFault {
+		rec.emit(event{kind: evFault, input: in})
+	}
+	// A trace containing a hardware fault is only analyzable by tools
+	// that trace through exception dispatch; the others reject the whole
+	// run (their tracer/emulator cannot process it), so a detonation in
+	// such a run is never observed by the tool.
+	if idxf := faultIndex(res.Trace); idxf >= 0 {
+		switch en.caps.Sym.Exc {
+		case symexec.ExcCrash:
+			rec.emit(event{kind: evTerminal, verdict: VerdictCrashed,
+				detail: "emulator fault: exception dispatch unsupported"})
+			return rec
+		case symexec.ExcEs1:
+			rec.emit(event{kind: evIncident, incident: symexec.Incident{
+				Stage: symexec.StageEs1, Index: idxf,
+				Detail: "exception handler instructions cannot be traced",
+			}})
+			return rec
+		case symexec.ExcEs2:
+			rec.emit(event{kind: evIncident, incident: symexec.Incident{
+				Stage: symexec.StageEs2, Index: idxf,
+				Detail: "exception handler effect on symbolic state lost",
+			}})
+			return rec
+		}
+	}
+	if res.Hit(en.target) {
+		rec.emit(event{kind: evTerminal, verdict: VerdictSolved, input: in})
+		return rec
+	}
+
+	// Emulation-layer gaps: network IO the engine cannot perform.
+	if !en.caps.WebSyscall && traceUsesWeb(res.Trace) {
+		rec.emit(event{kind: evTerminal, verdict: VerdictCrashed,
+			detail: "network system call unsupported by the emulation layer"})
+		return rec
+	}
+
+	opts := en.caps.Sym
+	opts.Env = symexec.EnvInfo{TimeNow: cfg.TimeNow, Pid: cfg.Pid}
+	for f := range cfg.Files {
+		opts.Env.KnownFiles = append(opts.Env.KnownFiles, f)
+	}
+	sort.Strings(opts.Env.KnownFiles)
+	sr := symexec.Run(en.img, res.Trace, res.Argv, cfg.Argv, opts)
+
+	for _, inc := range sr.Incidents {
+		rec.emit(event{kind: evIncident, incident: inc})
+	}
+	rec.emit(event{kind: evTainted, tainted: len(sr.TaintedIdx)})
+	if sr.SimulationUsed {
+		rec.emit(event{kind: evSimUsed})
+	}
+	if sr.Crashed {
+		rec.emit(event{kind: evTerminal, verdict: VerdictCrashed, detail: sr.CrashDetail})
+		return rec
+	}
+
+	en.negate(rec, in, sr)
+	return rec
+}
+
+// negate builds and solves the negation of each explorable constraint
+// (generational search) and records the resulting inputs.
+func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result) {
+	// Forward occurrence numbering keeps flip keys stable across rounds
+	// (the n-th execution of a loop branch keeps its identity as traces
+	// lengthen).
+	occurrence := make(map[uint64]int)
+	occ := make([]int, len(sr.Constraints))
+	for i := range sr.Constraints {
+		occ[i] = occurrence[sr.Constraints[i].PC]
+		occurrence[sr.Constraints[i].PC]++
+	}
+	// Ascending order: the deepest branch's candidate is pushed last, so
+	// depth-first scheduling pops it first (negate the deepest unexplored
+	// branch — the classic DFS concolic strategy).
+	for i := 0; i < len(sr.Constraints); i++ {
+		if time.Now().After(en.deadline) {
+			rec.emit(event{kind: evSolverExhausted})
+			return
+		}
+		pc := sr.Constraints[i]
+		if pc.Kind == symexec.KindAssume {
+			continue
+		}
+		// Keyed by input length: an UNSAT flip can become satisfiable
+		// once the argument grows (the iterative-lengthening pattern), so
+		// its verdict only holds per length. SAT and UNKNOWN flips are
+		// never retried for the same key.
+		flipKey := flipKeyFor(pc, occ[i], len(cur.Argv1))
+		if en.seenFlip[flipKey] {
+			continue
+		}
+
+		system := make([]sym.Expr, 0, i+1)
+		for j := 0; j < i; j++ {
+			system = append(system, sr.Constraints[j].Expr)
+		}
+		system = append(system, sym.NewBoolNot(pc.Expr))
+
+		rec.queries++
+		resu, err := en.cache.Solve(system, solver.Options{
+			MaxConflicts: en.caps.SolverConflicts,
+			FP:           en.caps.FP,
+			FPIterations: en.caps.FPIterations,
+			Timeout:      en.caps.SolverTimeout,
+			Seed:         sr.Seed,
+			RandSeed:     int64(rec.idx*1000 + i),
+		})
+		if err != nil {
+			continue
+		}
+		switch resu.Status {
+		case solver.StatusUnknown:
+			// Hopeless within budget; don't retry.
+			rec.emit(event{kind: evSolverExhausted, flip: flipKey})
+			rec.emit(event{kind: evMark, flip: flipKey})
+			continue
+		case solver.StatusFloatUnsupported:
+			rec.emit(event{kind: evIncident, flip: flipKey, incident: symexec.Incident{
+				Stage: symexec.StageEs3, Index: pc.Index, PC: pc.PC,
+				Detail: "floating-point theory unsupported by the solver",
+			}})
+			continue
+		case solver.StatusUnsat:
+			// Branch direction infeasible on this prefix; mark explored.
+			rec.emit(event{kind: evMark, flip: flipKey})
+			continue
+		}
+
+		// Satisfiable: realize the model as an input.
+		next, realized, truncated := reconstruct(resu.Model, sr.Seed, cur, en.caps)
+		if truncated {
+			rec.emit(event{kind: evIncident, flip: flipKey, incident: symexec.Incident{
+				Stage: symexec.StageEs2, Index: pc.Index, PC: pc.PC,
+				Detail: "model requires a longer input than the tool can construct",
+			}})
+		}
+		if !realized {
+			// The model binds only unrealizable (simulation) variables:
+			// the tool believes the flipped path is feasible but cannot
+			// build an input for it.
+			if bindsSim(resu.Model) {
+				rec.emit(event{kind: evClaim, flip: flipKey, claim: Claim{
+					PC:      pc.PC,
+					Syscall: bindsSyscallSim(resu.Model),
+					Input:   cur,
+				}})
+			}
+			rec.emit(event{kind: evMark, flip: flipKey})
+			continue
+		}
+		rec.emit(event{kind: evMark, flip: flipKey})
+		rec.emit(event{kind: evPush, flip: flipKey, input: next})
+	}
+}

@@ -6,8 +6,10 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/bombs"
 	"repro/internal/core"
@@ -146,19 +148,66 @@ func RunCell(b *bombs.Bomb, p tools.Profile, paperIdx int) *Cell {
 	return cell
 }
 
-// RunTableII evaluates the four Table II profiles over the 22 bombs.
+// RunTableII evaluates the four Table II profiles over the 22 bombs,
+// fanning the cells across a worker pool sized to the machine.
 func RunTableII() *Grid {
-	profiles := tools.TableII()
+	return RunTableIIWorkers(0)
+}
+
+// RunTableIIWorkers evaluates the grid with up to workers cells in
+// flight at once (<= 0: runtime.GOMAXPROCS(0)). Cells are independent —
+// each builds its own engine and solver cache — and results are
+// assembled by cell index, so the grid is identical at every worker
+// count; only the wall time changes.
+func RunTableIIWorkers(workers int) *Grid {
+	return runGrid(tools.TableII(), bombs.TableII(), workers)
+}
+
+// runGrid fans profile x bomb cells over a bounded worker pool.
+func runGrid(profiles []tools.Profile, rows []*bombs.Bomb, workers int) *Grid {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	g := &Grid{Cells: make(map[string]map[string]*Cell)}
 	for _, p := range profiles {
 		g.Tools = append(g.Tools, p.Name())
 	}
-	g.Rows = bombs.TableII()
+	g.Rows = rows
+
+	type job struct {
+		b *bombs.Bomb
+		p tools.Profile
+		i int // paper column index
+	}
+	var jobs []job
 	for _, b := range g.Rows {
 		g.Cells[b.Name] = make(map[string]*Cell)
 		for i, p := range profiles {
-			g.Cells[b.Name][p.Name()] = RunCell(b, p, i)
+			jobs = append(jobs, job{b: b, p: p, i: i})
 		}
+	}
+	cells := make([]*Cell, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				cells[j] = RunCell(jobs[j].b, jobs[j].p, jobs[j].i)
+			}
+		}()
+	}
+	for j := range jobs {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+	for j, c := range cells {
+		g.Cells[jobs[j].b.Name][jobs[j].p.Name()] = c
 	}
 	return g
 }

@@ -1,0 +1,161 @@
+package solver
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"repro/internal/sym"
+)
+
+// Cache is a bounded LRU front for Solve. Negation queries inside one
+// concolic run share long constraint prefixes, and parallel workers in a
+// batch can issue the very same query before the scheduler's dedup maps
+// catch up; the cache collapses those repeats into one SAT search.
+//
+// Only the bit-blasting path is cached. Its raw model is a pure function
+// of the constraint slice and the conflict budget, so entries are keyed
+// by sym.CanonicalKey plus the budget, and the seed-dependent steps
+// (completion and minimization) run per call on a copy — a hit returns
+// bit-for-bit what a fresh Solve would have. Float systems go through the
+// stochastic search, whose result depends on the caller's seed, so they
+// bypass the cache. Unknown verdicts caused by the wall-clock deadline
+// (as opposed to the deterministic conflict budget) are not stored.
+//
+// A Cache is safe for concurrent use by multiple goroutines.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recent
+	entries map[string]*list.Element
+
+	hits, misses, evictions, bypasses uint64
+}
+
+// DefaultCacheSize is the entry bound used when NewCache is given a
+// non-positive capacity.
+const DefaultCacheSize = 4096
+
+type cacheEntry struct {
+	key string
+	res cachedResult
+}
+
+// cachedResult is the seed-independent part of a Solve outcome.
+type cachedResult struct {
+	status    Status
+	conflicts int64
+	model     map[string]uint64 // raw model; nil unless status is sat
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	Hits, Misses, Evictions, Bypasses uint64
+	Len                               int
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// NewCache returns an empty cache bounded to capacity entries.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Evictions: c.evictions, Bypasses: c.bypasses,
+		Len: c.ll.Len(),
+	}
+}
+
+// Solve behaves exactly like the package-level Solve, consulting the
+// cache on the bitvector path.
+func (c *Cache) Solve(constraints []sym.Expr, opts Options) (Result, error) {
+	if len(constraints) == 0 {
+		return Result{}, ErrNoConstraints
+	}
+	applyDefaults(&opts)
+	if hasConstFalse(constraints) {
+		return Result{Status: StatusUnsat}, nil
+	}
+	if sym.HasFloat(constraints...) {
+		c.mu.Lock()
+		c.bypasses++
+		c.mu.Unlock()
+		return solveFloat(constraints, opts), nil
+	}
+
+	key := sym.CanonicalKey(constraints) + "|" + strconv.FormatInt(opts.MaxConflicts, 10)
+	if res, ok := c.lookup(key); ok {
+		return finishBV(res, constraints, opts), nil
+	}
+
+	st, model, conflicts, timedOut, err := solveBV(constraints, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res := cachedResult{status: st, conflicts: conflicts, model: model}
+	if !timedOut {
+		c.store(key, cachedResult{status: st, conflicts: conflicts, model: cloneEnv(model)})
+	}
+	return finishBV(res, constraints, opts), nil
+}
+
+// finishBV applies the caller-specific post-processing to a raw
+// bitvector result. res.model is consumed only through a copy, so cached
+// entries stay pristine.
+func finishBV(res cachedResult, constraints []sym.Expr, opts Options) Result {
+	if res.status != StatusSat {
+		return Result{Status: res.status, Conflicts: res.conflicts}
+	}
+	model := cloneEnv(res.model)
+	completeModel(model, constraints, opts.Seed)
+	minimizeModel(model, constraints, opts.Seed)
+	return Result{Status: StatusSat, Model: model, Conflicts: res.conflicts}
+}
+
+func (c *Cache) lookup(key string) (cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return cachedResult{}, false
+}
+
+func (c *Cache) store(key string, res cachedResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent worker computed the same (deterministic) result.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}

@@ -99,6 +99,30 @@ func Solve(constraints []sym.Expr, opts Options) (Result, error) {
 	if len(constraints) == 0 {
 		return Result{}, ErrNoConstraints
 	}
+	applyDefaults(&opts)
+
+	// Constant-false shortcut.
+	if hasConstFalse(constraints) {
+		return Result{Status: StatusUnsat}, nil
+	}
+
+	if sym.HasFloat(constraints...) {
+		return solveFloat(constraints, opts), nil
+	}
+
+	st, model, conflicts, _, err := solveBV(constraints, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if st == StatusSat {
+		completeModel(model, constraints, opts.Seed)
+		minimizeModel(model, constraints, opts.Seed)
+		return Result{Status: StatusSat, Model: model, Conflicts: conflicts}, nil
+	}
+	return Result{Status: st, Conflicts: conflicts}, nil
+}
+
+func applyDefaults(opts *Options) {
 	if opts.MaxConflicts <= 0 {
 		opts.MaxConflicts = DefaultMaxConflicts
 	}
@@ -108,60 +132,71 @@ func Solve(constraints []sym.Expr, opts Options) (Result, error) {
 	if opts.FP == 0 {
 		opts.FP = FPNone
 	}
+}
 
-	// Constant-false shortcut.
+func hasConstFalse(constraints []sym.Expr) bool {
 	for _, c := range constraints {
 		if k, ok := c.(*sym.Const); ok && k.V == 0 {
-			return Result{Status: StatusUnsat}, nil
+			return true
 		}
 	}
+	return false
+}
 
-	if sym.HasFloat(constraints...) {
-		if opts.FP == FPNone {
-			// Even without a floating-point theory, "v == c" (or an
-			// ordering) against an otherwise-unconstrained variable is
-			// trivially assignable — which is exactly how simulated
-			// external-call summaries produce the paper's false positives.
-			if model, ok := trivialFPAssign(constraints, opts.Seed); ok {
-				return Result{Status: StatusSat, Model: model}, nil
-			}
-			return Result{Status: StatusFloatUnsupported}, nil
+// solveFloat handles a float-bearing system according to the FP mode.
+func solveFloat(constraints []sym.Expr, opts Options) Result {
+	if opts.FP == FPNone {
+		// Even without a floating-point theory, "v == c" (or an
+		// ordering) against an otherwise-unconstrained variable is
+		// trivially assignable — which is exactly how simulated
+		// external-call summaries produce the paper's false positives.
+		if model, ok := trivialFPAssign(constraints, opts.Seed); ok {
+			return Result{Status: StatusSat, Model: model}
 		}
-		return fpSearch(constraints, opts), nil
+		return Result{Status: StatusFloatUnsupported}
 	}
+	return fpSearch(constraints, opts)
+}
 
+// solveBV decides a float-free system by bit-blasting. The returned model
+// is raw — straight from the SAT assignment, before seed completion and
+// minimization — so its value depends only on the constraint slice and
+// the conflict budget, never on the caller's seed. timedOut reports that
+// an Unknown verdict was (or may have been) caused by the wall-clock
+// deadline rather than the deterministic conflict budget.
+func solveBV(constraints []sym.Expr, opts Options) (st Status, model map[string]uint64, conflicts int64, timedOut bool, err error) {
 	var deadline time.Time
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
+	expired := func() bool {
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
 	s := sat.New()
 	enc := bitblast.New(s)
 	for _, c := range constraints {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return Result{Status: StatusUnknown}, nil
+		if expired() {
+			return StatusUnknown, nil, 0, true, nil
 		}
 		if err := enc.Assert(c); err != nil {
 			if errors.Is(err, bitblast.ErrFloat) {
-				return Result{Status: StatusFloatUnsupported}, nil
+				return StatusFloatUnsupported, nil, 0, false, nil
 			}
 			if errors.Is(err, bitblast.ErrBudget) {
-				return Result{Status: StatusUnknown}, nil
+				return StatusUnknown, nil, 0, false, nil
 			}
-			return Result{}, err
+			return 0, nil, 0, false, err
 		}
 	}
-	st := s.SolveDeadline(opts.MaxConflicts, deadline)
-	conflicts, _ := s.Stats()
-	switch st {
+	res := s.SolveDeadline(opts.MaxConflicts, deadline)
+	conflicts, _ = s.Stats()
+	switch res {
 	case sat.Sat:
-		model := enc.Model()
-		completeModel(model, constraints, opts.Seed)
-		minimizeModel(model, constraints, opts.Seed)
-		return Result{Status: StatusSat, Model: model, Conflicts: conflicts}, nil
+		return StatusSat, enc.Model(), conflicts, false, nil
 	case sat.Unsat:
-		return Result{Status: StatusUnsat, Conflicts: conflicts}, nil
+		return StatusUnsat, nil, conflicts, false, nil
 	default:
-		return Result{Status: StatusUnknown, Conflicts: conflicts}, nil
+		return StatusUnknown, nil, conflicts, expired(), nil
 	}
 }
 

@@ -1,0 +1,89 @@
+package sym
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// CanonicalKey returns a digest of a constraint slice that is stable
+// across processes and independent of pointer identity: structurally
+// equal systems produce equal keys, and (up to hash collisions) distinct
+// systems produce distinct keys. The constraint order is significant —
+// the key identifies the exact solver invocation, not just the logical
+// conjunction, so a cache fronted by it stays bit-for-bit deterministic.
+//
+// Expressions are DAGs with heavy sharing (crypto traces reuse register
+// state thousands of times), so the encoding assigns each distinct node
+// an id on first visit and references children by id; cost is linear in
+// the number of distinct nodes, never exponential in depth.
+func CanonicalKey(exprs []Expr) string {
+	h := sha256.New()
+	ids := make(map[Expr]int)
+	var buf [10 * 8]byte
+	for _, e := range exprs {
+		id := canonNode(h, ids, buf[:0], e)
+		canonRecord(h, buf[:0], 'T', uint64(id))
+	}
+	return string(h.Sum(nil))
+}
+
+// canonNode writes the node's record (children first) on first visit and
+// returns its id. A nil expression gets the reserved id 0.
+func canonNode(h hash.Hash, ids map[Expr]int, buf []byte, e Expr) int {
+	if e == nil {
+		return 0
+	}
+	if id, ok := ids[e]; ok {
+		return id
+	}
+	var id int
+	switch t := e.(type) {
+	case *Const:
+		id = nextID(ids, e)
+		canonRecord(h, buf, 'C', uint64(t.W), t.V, uint64(id))
+	case *Var:
+		id = nextID(ids, e)
+		canonRecord(h, buf, 'V', uint64(t.W), uint64(id))
+		h.Write([]byte(t.Name))
+		h.Write([]byte{0})
+	case *Bin:
+		a := canonNode(h, ids, buf, t.A)
+		b := canonNode(h, ids, buf, t.B)
+		id = nextID(ids, e)
+		canonRecord(h, buf, 'B', uint64(t.Op), uint64(t.Width()), uint64(a), uint64(b), uint64(id))
+	case *Un:
+		a := canonNode(h, ids, buf, t.A)
+		id = nextID(ids, e)
+		canonRecord(h, buf, 'U', uint64(t.Op), uint64(t.Width()),
+			uint64(int64(t.Arg)), uint64(int64(t.Arg2)), uint64(a), uint64(id))
+	case *ITE:
+		c := canonNode(h, ids, buf, t.Cond)
+		th := canonNode(h, ids, buf, t.Then)
+		el := canonNode(h, ids, buf, t.Else)
+		id = nextID(ids, e)
+		canonRecord(h, buf, 'I', uint64(c), uint64(th), uint64(el), uint64(id))
+	default:
+		id = nextID(ids, e)
+		canonRecord(h, buf, '?', uint64(id))
+	}
+	return id
+}
+
+// nextID assigns ids in first-visit order, so structurally identical DAGs
+// visited in the same order number their nodes identically.
+func nextID(ids map[Expr]int, e Expr) int {
+	id := len(ids) + 1
+	ids[e] = id
+	return id
+}
+
+func canonRecord(h hash.Hash, buf []byte, tag byte, words ...uint64) {
+	buf = append(buf, tag)
+	for _, w := range words {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], w)
+		buf = append(buf, tmp[:]...)
+	}
+	h.Write(buf)
+}

@@ -1,0 +1,73 @@
+package sym
+
+import "testing"
+
+func TestCanonicalKeyStructuralEquality(t *testing.T) {
+	mk := func() []Expr {
+		x := NewVar("x", 8)
+		y := NewVar("y", 8)
+		sum := NewBin(OpAdd, x, y)
+		return []Expr{
+			NewBin(OpEq, sum, NewConst(7, 8)),
+			NewBin(OpUlt, x, NewConst(4, 8)),
+		}
+	}
+	a, b := mk(), mk()
+	if CanonicalKey(a) != CanonicalKey(b) {
+		t.Error("structurally equal systems must share a key")
+	}
+}
+
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	x := NewVar("x", 8)
+	base := []Expr{NewBin(OpEq, x, NewConst(7, 8))}
+	variants := [][]Expr{
+		{NewBin(OpEq, x, NewConst(8, 8))},                  // different constant
+		{NewBin(OpNe, x, NewConst(7, 8))},                  // different operator
+		{NewBin(OpEq, NewVar("y", 8), NewConst(7, 8))},     // different variable
+		{NewBin(OpEq, NewVar("x", 16), NewConst(7, 16))},   // different width
+		{NewBin(OpEq, x, NewConst(7, 8)), True()},          // extra constraint
+		{NewBoolNot(NewBin(OpEq, x, NewConst(7, 8)))},      // wrapped
+	}
+	key := CanonicalKey(base)
+	for i, v := range variants {
+		if CanonicalKey(v) == key {
+			t.Errorf("variant %d collides with the base system", i)
+		}
+	}
+}
+
+func TestCanonicalKeyOrderSensitive(t *testing.T) {
+	// The key identifies the exact solver invocation; constraint order
+	// changes the SAT search and so must change the key.
+	a := NewBin(OpEq, NewVar("x", 8), NewConst(1, 8))
+	b := NewBin(OpEq, NewVar("y", 8), NewConst(2, 8))
+	if CanonicalKey([]Expr{a, b}) == CanonicalKey([]Expr{b, a}) {
+		t.Error("constraint order must be part of the key")
+	}
+}
+
+func TestCanonicalKeySharedDAGLinear(t *testing.T) {
+	// A deeply shared DAG (each level reuses the previous twice) has 2^60
+	// tree nodes; the canonical walk must stay linear in distinct nodes.
+	e := Expr(NewVar("x", 32))
+	for i := 0; i < 60; i++ {
+		e = NewBin(OpAdd, e, e)
+	}
+	sys := []Expr{NewBin(OpEq, e, NewConst(0, 32))}
+	k1 := CanonicalKey(sys)
+	k2 := CanonicalKey(sys)
+	if k1 != k2 || k1 == "" {
+		t.Error("canonical key unstable on shared DAG")
+	}
+}
+
+func TestCanonicalKeyExtractArgs(t *testing.T) {
+	x := NewVar("x", 32)
+	hi := NewExtract(x, 15, 8)
+	lo := NewExtract(x, 7, 0)
+	if CanonicalKey([]Expr{NewBin(OpEq, hi, NewConst(1, 8))}) ==
+		CanonicalKey([]Expr{NewBin(OpEq, lo, NewConst(1, 8))}) {
+		t.Error("extract bit ranges must be part of the key")
+	}
+}
