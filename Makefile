@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build race test test-short bench tables clean
+.PHONY: ci vet build race fuzz test test-short bench tables clean
 
 # ci is the gate: static checks, build, the concurrency-sensitive
-# packages under the race detector, then the full suite.
-ci: vet build race test
+# packages under the race detector, a short fuzz smoke on the solver
+# cache key, then the full suite.
+ci: vet build race fuzz test
 
 vet:
 	$(GO) vet ./...
@@ -13,7 +14,10 @@ build:
 	$(GO) build ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/solver/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/solver/... ./internal/service/...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCanonicalKey -fuzztime=5s ./internal/sym/
 
 test:
 	$(GO) test ./...

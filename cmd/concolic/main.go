@@ -4,9 +4,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bombs"
 	"repro/internal/core"
@@ -15,41 +17,46 @@ import (
 )
 
 func main() {
-	tool := flag.String("tool", "reference", "profile: bap, triton, angr, angr-nolib, reference")
+	tool := flag.String("tool", "reference",
+		"profile: "+strings.Join(tools.Names(), ", "))
 	verbose := flag.Bool("v", false, "print incidents and per-round progress")
 	workers := flag.Int("workers", 0, "concurrent exploration rounds (0 = all CPUs, 1 = sequential)")
 	stats := flag.Bool("stats", false, "print the engine work profile (rounds, queries, cache, wall time)")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock deadline for the whole analysis (0 = profile budget only); "+
+			"exercises the same context-cancellation path as concolicd")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: concolic [-tool name] <bomb-name>")
+		fmt.Fprintln(os.Stderr, "usage: concolic [-tool name] [-timeout d] <bomb-name>")
 		os.Exit(2)
 	}
 	b, ok := bombs.ByName(flag.Arg(0))
 	if !ok {
-		fmt.Fprintf(os.Stderr, "concolic: no bomb named %q (see cmd/bombs)\n", flag.Arg(0))
+		msg := fmt.Sprintf("concolic: no bomb named %q", flag.Arg(0))
+		if s := bombs.Closest(flag.Arg(0)); s != "" {
+			msg += fmt.Sprintf(" — did you mean %q?", s)
+		}
+		fmt.Fprintln(os.Stderr, msg+" (run cmd/bombs for the list)")
 		os.Exit(1)
 	}
-	var p tools.Profile
-	switch *tool {
-	case "bap":
-		p = tools.BAP()
-	case "triton":
-		p = tools.Triton()
-	case "angr":
-		p = tools.Angr()
-	case "angr-nolib":
-		p = tools.AngrNoLib()
-	case "reference":
-		p = tools.Reference()
-	default:
-		fmt.Fprintf(os.Stderr, "concolic: unknown tool %q\n", *tool)
+	p, ok := tools.ByName(*tool)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "concolic: unknown tool %q (choose from %s)\n",
+			*tool, strings.Join(tools.Names(), ", "))
 		os.Exit(1)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	p.Caps.Workers = *workers
 	en := core.New(b.Image(), b.BombAddr(), p.Caps)
-	out := en.Explore(b.Benign)
+	out := en.ExploreContext(ctx, b.Benign)
 
 	fmt.Printf("tool=%s bomb=%s verdict=%s rounds=%d\n",
 		p.Name(), b.Name, out.Verdict, out.Rounds)

@@ -1,0 +1,70 @@
+// Command concolicd serves concolic analyses over HTTP: clients submit
+// {bomb, tool, workers, budget} jobs, the service runs them on a bounded
+// worker pool over the shared engine, and job lifecycle, cancellation
+// and Prometheus metrics are all exposed under /v1 (see README and
+// DESIGN.md §10).
+//
+//	concolicd -addr :8344 -queue 64 -workers 4
+//	curl -s localhost:8344/v1/jobs -d '{"bomb":"jump","tool":"reference"}'
+//	curl -s localhost:8344/v1/jobs/job-000001
+//	curl -s -X DELETE localhost:8344/v1/jobs/job-000001
+//	curl -s localhost:8344/metrics
+//
+// SIGTERM (or SIGINT) begins a graceful drain: submissions get 503,
+// accepted jobs finish, and past -drain-timeout the remaining jobs are
+// cancelled through their contexts.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	queue := flag.Int("queue", service.DefaultQueueDepth,
+		"queued-job bound; submissions beyond it receive HTTP 429")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = all CPUs)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long a drain waits for accepted jobs before cancelling them")
+	flag.Parse()
+
+	srv := service.New(service.Config{QueueDepth: *queue, Workers: *workers})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("concolicd listening on %s (queue %d, workers %d)", *addr, *queue, w)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("concolicd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("concolicd: signal received, draining (timeout %v)", *drainTimeout)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.Drain(dctx)
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		httpSrv.Close()
+	}
+	log.Printf("concolicd: drained, bye")
+}

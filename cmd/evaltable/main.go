@@ -21,8 +21,20 @@ func main() {
 	extras := flag.Bool("extras", false, "render the extension-bomb study (loop, retjump, array3)")
 	diag := flag.Bool("diag", false, "with -table2: print per-cell root-cause diagnostics")
 	workers := flag.Int("workers", 0, "concurrent Table II cells (0 = all CPUs, 1 = sequential)")
+	jsonOut := flag.Bool("json", false, "emit the Table II grid plus aggregate engine stats as JSON and exit")
 	all := flag.Bool("all", false, "render everything")
 	flag.Parse()
+
+	if *jsonOut {
+		g := eval.RunTableIIWorkers(*workers)
+		out, err := eval.MarshalGrid(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(out, '\n'))
+		return
+	}
 
 	if !*table1 && !*table2 && !*fig3 && !*negative && !*reference && !*extras {
 		*all = true

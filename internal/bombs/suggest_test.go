@@ -1,0 +1,52 @@
+package bombs
+
+import "testing"
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"sha1", "sha", 1},
+		{"jump", "jumptab", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClosestSuggestsTypos(t *testing.T) {
+	cases := []struct {
+		query, want string
+	}{
+		{"sha", "sha1"},       // prefix typo
+		{"jumpta", "jumptab"}, // missing final letter
+		{"arglne", "arglen"},  // transposition (two substitutions)
+		{"time", "time"},      // exact names still resolve to themselves
+		{"zzzzzzzzzz", ""},    // nothing plausible
+		{"", ""},              // empty query never suggests
+	}
+	for _, c := range cases {
+		if got := Closest(c.query); got != c.want {
+			t.Errorf("Closest(%q) = %q, want %q", c.query, got, c.want)
+		}
+	}
+}
+
+func TestNamesCoversRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != len(All()) {
+		t.Fatalf("Names() has %d entries, registry has %d", len(names), len(All()))
+	}
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("Names() lists %q but ByName misses it", n)
+		}
+	}
+}

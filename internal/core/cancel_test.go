@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bombs"
+)
+
+// slowCaps returns reference capabilities tuned so exploration of a
+// crypto bomb runs for a long time: the conflict-bounded SAT queries on
+// sha1 take seconds each and the round budget allows many of them.
+func slowCaps() Capabilities {
+	caps := referenceCaps()
+	caps.TotalBudget = 10 * time.Minute
+	caps.SolverTimeout = 10 * time.Minute
+	caps.SolverConflicts = 50_000_000
+	caps.MaxRounds = 1000
+	return caps
+}
+
+// TestExploreContextCancel cancels a long-budget exploration shortly
+// after it starts and requires the engine to observe ctx.Done() promptly
+// — well before any of its own budgets — and report VerdictCancelled.
+func TestExploreContextCancel(t *testing.T) {
+	b, ok := bombs.ByName("sha1")
+	if !ok {
+		t.Fatal("no bomb sha1")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	en := New(b.Image(), b.BombAddr(), slowCaps())
+	start := time.Now()
+	out := en.ExploreContext(ctx, b.Benign)
+	elapsed := time.Since(start)
+	if out.Verdict != VerdictCancelled {
+		t.Fatalf("verdict = %s, want cancelled (detail %q)", out.Verdict, out.CrashDetail)
+	}
+	if !strings.Contains(out.CrashDetail, "cancelled") {
+		t.Errorf("detail = %q, want a cancellation message", out.CrashDetail)
+	}
+	// The binding budgets are minutes; observing the cancel within a few
+	// seconds means it interrupted a round, not a budget check.
+	if elapsed > 30*time.Second {
+		t.Errorf("cancel observed after %v; want prompt interruption", elapsed)
+	}
+}
+
+// TestExploreContextDeadline maps a context deadline to the wall-clock
+// budget verdict (paper outcome E), with its own detail string.
+func TestExploreContextDeadline(t *testing.T) {
+	b, ok := bombs.ByName("sha1")
+	if !ok {
+		t.Fatal("no bomb sha1")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	en := New(b.Image(), b.BombAddr(), slowCaps())
+	out := en.ExploreContext(ctx, b.Benign)
+	if out.Verdict != VerdictBudget {
+		t.Fatalf("verdict = %s, want budget-exhausted (detail %q)", out.Verdict, out.CrashDetail)
+	}
+	if !strings.Contains(out.CrashDetail, "context deadline") {
+		t.Errorf("detail = %q, want the context-deadline message", out.CrashDetail)
+	}
+}
+
+// TestExploreContextBackgroundIdentical requires ExploreContext with a
+// background context to reproduce Explore exactly (the determinism
+// guarantee the serving layer relies on).
+func TestExploreContextBackgroundIdentical(t *testing.T) {
+	for _, name := range []string{"jump", "arglen", "stack"} {
+		b, ok := bombs.ByName(name)
+		if !ok {
+			t.Fatalf("no bomb %s", name)
+		}
+		direct := New(b.Image(), b.BombAddr(), referenceCaps()).Explore(b.Benign)
+		viaCtx := New(b.Image(), b.BombAddr(), referenceCaps()).
+			ExploreContext(context.Background(), b.Benign)
+		if direct.Verdict != viaCtx.Verdict || direct.Rounds != viaCtx.Rounds ||
+			direct.Input.Argv1 != viaCtx.Input.Argv1 ||
+			direct.Input.TimeNow != viaCtx.Input.TimeNow ||
+			direct.Input.Pid != viaCtx.Input.Pid {
+			t.Errorf("%s: Explore %s/%d/%+v, ExploreContext %s/%d/%+v",
+				name, direct.Verdict, direct.Rounds, direct.Input,
+				viaCtx.Verdict, viaCtx.Rounds, viaCtx.Input)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -114,6 +115,9 @@ const (
 	VerdictCrashed
 	// VerdictBudget: a resource budget was exhausted (paper outcome E).
 	VerdictBudget
+	// VerdictCancelled: the caller's context was cancelled mid-exploration
+	// (service job cancellation); not a paper outcome.
+	VerdictCancelled
 )
 
 func (v Verdict) String() string {
@@ -126,6 +130,8 @@ func (v Verdict) String() string {
 		return "crashed"
 	case VerdictBudget:
 		return "budget-exhausted"
+	case VerdictCancelled:
+		return "cancelled"
 	}
 	return "invalid"
 }
@@ -214,6 +220,8 @@ type Engine struct {
 	out       *Outcome
 	incSeen   map[string]bool
 	deadline  time.Time
+	ctx       context.Context // set once per Explore; read-only afterwards
+	ctxBound  bool            // deadline comes from ctx, not TotalBudget
 	cache     *solver.Cache
 	stats     Stats
 }
@@ -248,21 +256,55 @@ func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
 		seenFlip:  make(map[string]bool),
 		incSeen:   make(map[string]bool),
 		out:       &Outcome{},
+		ctx:       context.Background(),
 		cache:     solver.NewCache(caps.SolverCacheSize),
 	}
 }
 
 // Explore runs the concolic loop from the seed input.
 func (en *Engine) Explore(seed bombs.Input) *Outcome {
+	return en.ExploreContext(context.Background(), seed)
+}
+
+// ExploreContext is Explore under a cancellation context: the serving
+// layer's contract with the engine. A context deadline tightens (never
+// loosens) the task wall-clock budget and yields VerdictBudget, exactly
+// like TotalBudget exhaustion; plain cancellation yields
+// VerdictCancelled. Both are observed between rounds, between negation
+// queries, and inside a running SAT query (at restart boundaries), so a
+// cancelled job stops mid-round instead of running to budget. Only the
+// step-bounded concrete run of an already-dispatched round is not
+// interruptible. With a background context the behaviour — including
+// every determinism guarantee — is identical to Explore.
+func (en *Engine) ExploreContext(ctx context.Context, seed bombs.Input) *Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	en.ctx = ctx
 	start := time.Now()
 	en.deadline = start.Add(en.caps.TotalBudget)
+	if d, ok := ctx.Deadline(); ok && d.Before(en.deadline) {
+		en.deadline = d
+		en.ctxBound = true
+	}
 	en.push(seed)
 	terminal := false
 loop:
 	for en.frontierLen() > 0 && en.out.Rounds < en.caps.MaxRounds {
+		if err := ctx.Err(); err != nil {
+			en.out.Verdict, en.out.CrashDetail = ctxVerdict(err)
+			terminal = true
+			break
+		}
 		if time.Now().After(en.deadline) {
+			// The ctx timer can lag time.Now() by a tick; attribute the
+			// timeout to whichever limit actually binds.
 			en.out.Verdict = VerdictBudget
-			en.out.CrashDetail = "analysis timeout (task wall-clock budget)"
+			if en.ctxBound {
+				en.out.CrashDetail = "analysis timeout (context deadline)"
+			} else {
+				en.out.CrashDetail = "analysis timeout (task wall-clock budget)"
+			}
 			terminal = true
 			break
 		}
@@ -278,6 +320,13 @@ loop:
 		}
 	}
 	if !terminal {
+		if err := ctx.Err(); err != nil {
+			// Cancelled mid-round: negation was cut short, so an empty
+			// frontier here means "stopped", not "explored everything".
+			en.out.Verdict, en.out.CrashDetail = ctxVerdict(err)
+			en.finishStats(start)
+			return en.out
+		}
 		if en.out.SolverExhausted {
 			en.out.Verdict = VerdictBudget
 			en.out.CrashDetail = "constraint solving exhausted its budget"
@@ -291,6 +340,16 @@ loop:
 	}
 	en.finishStats(start)
 	return en.out
+}
+
+// ctxVerdict maps a context error to the engine verdict and detail: a
+// deadline is a wall-clock budget (paper outcome E), a plain cancel is
+// the serving layer stopping the job.
+func ctxVerdict(err error) (Verdict, string) {
+	if err == context.DeadlineExceeded {
+		return VerdictBudget, "analysis timeout (context deadline)"
+	}
+	return VerdictCancelled, "exploration cancelled: " + err.Error()
 }
 
 func (en *Engine) finishStats(start time.Time) {
@@ -403,7 +462,6 @@ func (en *Engine) mergeIncidents(ins []symexec.Incident) {
 		en.out.Incidents = append(en.out.Incidents, in)
 	}
 }
-
 
 func (en *Engine) incident(in symexec.Incident) {
 	en.mergeIncidents([]symexec.Incident{in})

@@ -185,6 +185,11 @@ func (en *Engine) applyRound(rec *roundRec) bool {
 // batch.
 func (en *Engine) runRound(in bombs.Input, idx int) *roundRec {
 	rec := &roundRec{idx: idx}
+	if en.ctx.Err() != nil {
+		// Cancelled while the batch was in flight: skip the concrete run;
+		// the scheduler's context check ends exploration after replay.
+		return rec
+	}
 
 	cfg := in.Config()
 	cfg.Record = true
@@ -276,6 +281,11 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result) {
 	// depth-first scheduling pops it first (negate the deepest unexplored
 	// branch — the classic DFS concolic strategy).
 	for i := 0; i < len(sr.Constraints); i++ {
+		if en.ctx.Err() != nil {
+			// Cancellation is not budget exhaustion: stop recording and
+			// let the scheduler's context check decide the verdict.
+			return
+		}
 		if time.Now().After(en.deadline) {
 			rec.emit(event{kind: evSolverExhausted})
 			return
@@ -300,7 +310,7 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result) {
 		system = append(system, sym.NewBoolNot(pc.Expr))
 
 		rec.queries++
-		resu, err := en.cache.Solve(system, solver.Options{
+		resu, err := en.cache.SolveContext(en.ctx, system, solver.Options{
 			MaxConflicts: en.caps.SolverConflicts,
 			FP:           en.caps.FP,
 			FPIterations: en.caps.FPIterations,

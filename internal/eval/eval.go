@@ -35,7 +35,10 @@ func Classify(out *core.Outcome) bombs.PaperOutcome {
 	if out.Verdict == core.VerdictSolved {
 		return bombs.OK
 	}
-	if out.Verdict == core.VerdictCrashed || out.Verdict == core.VerdictBudget {
+	if out.Verdict == core.VerdictCrashed || out.Verdict == core.VerdictBudget ||
+		out.Verdict == core.VerdictCancelled {
+		// A cancelled analysis never reached a conclusion; like a crash or
+		// budget exhaustion it is an abnormal exit.
 		return bombs.E
 	}
 	for _, c := range out.Claims {

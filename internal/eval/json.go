@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"encoding/json"
+
+	"repro/internal/bombs"
+)
+
+// The JSON rendering of a Table II run: the grid plus the aggregate
+// engine statistics. It is the machine-readable counterpart of
+// RenderTableII, consumed by evaltable -json, CI checks, and clients of
+// the concolicd batch workflow.
+
+// CellJSON is one bomb x tool cell.
+type CellJSON struct {
+	Outcome    string `json:"outcome"` // reported label (after overrides)
+	Mechanical string `json:"mechanical,omitempty"`
+	Paper      string `json:"paper,omitempty"`
+	Match      bool   `json:"match"`
+	Overridden bool   `json:"overridden,omitempty"`
+	Note       string `json:"note,omitempty"`
+	Verdict    string `json:"verdict"`
+	Rounds     int    `json:"rounds"`
+}
+
+// RowJSON is one bomb row of the grid.
+type RowJSON struct {
+	Bomb        string              `json:"bomb"`
+	Challenge   string              `json:"challenge"`
+	Description string              `json:"description"`
+	Cells       map[string]CellJSON `json:"cells"` // tool -> cell
+}
+
+// AggStatsJSON sums the engine work profile over every cell.
+type AggStatsJSON struct {
+	Cells          int     `json:"cells"`
+	Rounds         int     `json:"rounds"`
+	SolverQueries  int     `json:"solver_queries"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	WallMS         int64   `json:"wall_ms"` // summed per-cell engine time
+}
+
+// GridJSON is the full machine-readable Table II report.
+type GridJSON struct {
+	Tools  []string       `json:"tools"`
+	Rows   []RowJSON      `json:"rows"`
+	Solved map[string]int `json:"solved"` // tool -> solved cells
+	Match  int            `json:"match"`
+	Total  int            `json:"total"`
+	Stats  AggStatsJSON   `json:"stats"`
+}
+
+// ToJSON converts a completed grid into its JSON report form.
+func ToJSON(g *Grid) *GridJSON {
+	out := &GridJSON{
+		Tools:  append([]string(nil), g.Tools...),
+		Solved: make(map[string]int),
+	}
+	for _, t := range g.Tools {
+		out.Solved[t] = 0
+	}
+	for _, bomb := range g.Rows {
+		row := RowJSON{
+			Bomb:        bomb.Name,
+			Challenge:   bomb.Challenge,
+			Description: bomb.Description,
+			Cells:       make(map[string]CellJSON, len(g.Tools)),
+		}
+		for _, tool := range g.Tools {
+			c := g.Cell(bomb.Name, tool)
+			if c == nil {
+				continue
+			}
+			row.Cells[tool] = CellJSON{
+				Outcome:    label(c.Got),
+				Mechanical: label(c.Mechanical),
+				Paper:      label(c.Paper),
+				Match:      c.Match,
+				Overridden: c.Overridden,
+				Note:       c.Note,
+				Verdict:    c.Outcome.Verdict.String(),
+				Rounds:     c.Outcome.Rounds,
+			}
+			if c.Got == bombs.OK {
+				out.Solved[tool]++
+			}
+			s := c.Outcome.Stats
+			out.Stats.Cells++
+			out.Stats.Rounds += s.Rounds
+			out.Stats.SolverQueries += s.SolverQueries
+			out.Stats.CacheHits += s.CacheHits
+			out.Stats.CacheMisses += s.CacheMisses
+			out.Stats.CacheEvictions += s.CacheEvictions
+			out.Stats.WallMS += s.WallTime.Milliseconds()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	if lookups := out.Stats.CacheHits + out.Stats.CacheMisses; lookups > 0 {
+		out.Stats.CacheHitRate = float64(out.Stats.CacheHits) / float64(lookups)
+	}
+	out.Match, out.Total = g.Matches()
+	return out
+}
+
+// MarshalGrid renders the grid report as indented JSON.
+func MarshalGrid(g *Grid) ([]byte, error) {
+	return json.MarshalIndent(ToJSON(g), "", "  ")
+}

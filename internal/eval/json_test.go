@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/bombs"
+	"repro/internal/tools"
+)
+
+// TestGridJSONShape runs a reduced grid and checks the JSON report is
+// structurally faithful: every cell present, aggregates consistent, and
+// the document round-trips through encoding/json.
+func TestGridJSONShape(t *testing.T) {
+	profiles := []tools.Profile{
+		tools.FastBudgets(tools.BAP()),
+		tools.FastBudgets(tools.Triton()),
+	}
+	var rows []*bombs.Bomb
+	for _, name := range []string{"arglen", "jump"} {
+		b, ok := bombs.ByName(name)
+		if !ok {
+			t.Fatalf("no bomb %s", name)
+		}
+		rows = append(rows, b)
+	}
+	g := runGrid(profiles, rows, 2)
+
+	doc := ToJSON(g)
+	if len(doc.Tools) != 2 || len(doc.Rows) != 2 {
+		t.Fatalf("report shape %d tools x %d rows, want 2x2", len(doc.Tools), len(doc.Rows))
+	}
+	if doc.Stats.Cells != 4 {
+		t.Errorf("stats over %d cells, want 4", doc.Stats.Cells)
+	}
+	for _, row := range doc.Rows {
+		if len(row.Cells) != 2 {
+			t.Errorf("row %s has %d cells, want 2", row.Bomb, len(row.Cells))
+		}
+		for tool, cell := range row.Cells {
+			got := g.Cell(row.Bomb, tool)
+			if got == nil {
+				t.Fatalf("JSON invented cell %s/%s", row.Bomb, tool)
+			}
+			if cell.Outcome != label(got.Got) || cell.Rounds != got.Outcome.Rounds {
+				t.Errorf("%s/%s: JSON %s/%d, grid %s/%d",
+					row.Bomb, tool, cell.Outcome, cell.Rounds, label(got.Got), got.Outcome.Rounds)
+			}
+		}
+	}
+	match, total := g.Matches()
+	if doc.Match != match || doc.Total != total {
+		t.Errorf("agreement %d/%d, grid says %d/%d", doc.Match, doc.Total, match, total)
+	}
+
+	raw, err := MarshalGrid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back GridJSON
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Total != doc.Total || len(back.Rows) != len(doc.Rows) {
+		t.Error("round-tripped report lost fields")
+	}
+}

@@ -429,6 +429,15 @@ func (s *Solver) Solve(maxConflicts int64) Status {
 // means none); exceeding it returns Unknown, modeling the analysis
 // timeouts that produce the paper's E outcomes.
 func (s *Solver) SolveDeadline(maxConflicts int64, deadline time.Time) Status {
+	return s.SolveInterruptible(maxConflicts, deadline, nil)
+}
+
+// SolveInterruptible is SolveDeadline with an additional interruption
+// probe, polled at restart boundaries (every few hundred conflicts).
+// When interrupted returns true the search gives up with Unknown, which
+// is how a cancelled analysis context stops a long-running query without
+// waiting for its conflict or wall-clock budget. A nil probe means none.
+func (s *Solver) SolveInterruptible(maxConflicts int64, deadline time.Time, interrupted func() bool) Status {
 	if !s.ok {
 		return Unsat
 	}
@@ -438,6 +447,10 @@ func (s *Solver) SolveDeadline(maxConflicts int64, deadline time.Time) Status {
 	restart := int64(0)
 	for s.conflicts < maxConflicts {
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			s.backtrack(0)
+			return Unknown
+		}
+		if interrupted != nil && interrupted() {
 			s.backtrack(0)
 			return Unknown
 		}

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/tools"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. queued -> running -> done | failed; cancellation can strike
+// either live state.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether no further transition is possible.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// Request is the analysis a client submits: which bomb, which tool
+// profile, how many engine workers, and an optional per-job wall-clock
+// budget that becomes the exploration context's deadline.
+type Request struct {
+	Bomb     string `json:"bomb"`
+	Tool     string `json:"tool"`
+	Workers  int    `json:"workers,omitempty"`
+	BudgetMS int64  `json:"budget_ms,omitempty"`
+}
+
+// Validate checks the request against the bomb registry and the tool
+// table, filling the tool default. A miss on the bomb name carries a
+// closest-name suggestion, mirroring the concolic CLI.
+func (r *Request) Validate() error {
+	if r.Bomb == "" {
+		return errors.New("missing required field: bomb")
+	}
+	if _, ok := bombs.ByName(r.Bomb); !ok {
+		msg := fmt.Sprintf("unknown bomb %q", r.Bomb)
+		if s := bombs.Closest(r.Bomb); s != "" {
+			msg += fmt.Sprintf(" — did you mean %q?", s)
+		}
+		return errors.New(msg)
+	}
+	if r.Tool == "" {
+		r.Tool = "reference"
+	}
+	if _, ok := tools.ByName(r.Tool); !ok {
+		return fmt.Errorf("unknown tool %q (choose from %s)",
+			r.Tool, strings.Join(tools.Names(), ", "))
+	}
+	if r.Workers < 0 {
+		return errors.New("workers must be non-negative")
+	}
+	if r.BudgetMS < 0 {
+		return errors.New("budget_ms must be non-negative")
+	}
+	return nil
+}
+
+// RunStats is the engine work profile exposed per job.
+type RunStats struct {
+	Workers       int    `json:"workers"`
+	SolverQueries int    `json:"solver_queries"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	PeakFrontier  int    `json:"peak_frontier"`
+	WallMS        int64  `json:"wall_ms"`
+}
+
+// SolvedInput is the detonating input of a solved job.
+type SolvedInput struct {
+	Argv1   string            `json:"argv1"`
+	TimeNow uint64            `json:"time,omitempty"`
+	Pid     uint64            `json:"pid,omitempty"`
+	Web     map[string]string `json:"web,omitempty"`
+}
+
+// Result is a finished job's outcome. Label is exactly the Table II
+// cell eval.Classify produces for the same {bomb, tool, workers} tuple
+// ("" = correctly unreachable), so service results compare byte-for-byte
+// with the CLI and the evaluation harness.
+type Result struct {
+	Verdict string       `json:"verdict"`
+	Label   string       `json:"label"`
+	Detail  string       `json:"detail,omitempty"`
+	Rounds  int          `json:"rounds"`
+	Input   *SolvedInput `json:"input,omitempty"`
+	Stats   RunStats     `json:"stats"`
+}
+
+// resultFrom projects an engine outcome into the wire result.
+func resultFrom(out *core.Outcome) *Result {
+	res := &Result{
+		Verdict: out.Verdict.String(),
+		Label:   string(eval.Classify(out)),
+		Detail:  out.CrashDetail,
+		Rounds:  out.Rounds,
+		Stats: RunStats{
+			Workers:       out.Stats.Workers,
+			SolverQueries: out.Stats.SolverQueries,
+			CacheHits:     out.Stats.CacheHits,
+			CacheMisses:   out.Stats.CacheMisses,
+			PeakFrontier:  out.Stats.PeakFrontier,
+			WallMS:        out.Stats.WallTime.Milliseconds(),
+		},
+	}
+	if out.Verdict == core.VerdictSolved {
+		res.Input = &SolvedInput{
+			Argv1:   out.Input.Argv1,
+			TimeNow: out.Input.TimeNow,
+			Pid:     out.Input.Pid,
+			Web:     out.Input.Web,
+		}
+	}
+	return res
+}
+
+// Job is one queued analysis. All fields are guarded by the owning
+// Store's mutex; handlers only see View snapshots.
+type Job struct {
+	ID  string
+	Req Request
+
+	State           State
+	CancelRequested bool
+	Submitted       time.Time
+	Started         time.Time
+	Finished        time.Time
+	Error           string
+	Result          *Result
+
+	cancel context.CancelFunc // set while running
+}
+
+// View is the JSON snapshot of a job served to clients.
+type View struct {
+	ID              string  `json:"id"`
+	Bomb            string  `json:"bomb"`
+	Tool            string  `json:"tool"`
+	Workers         int     `json:"workers,omitempty"`
+	BudgetMS        int64   `json:"budget_ms,omitempty"`
+	State           State   `json:"state"`
+	CancelRequested bool    `json:"cancel_requested,omitempty"`
+	Submitted       string  `json:"submitted_at"`
+	Started         string  `json:"started_at,omitempty"`
+	Finished        string  `json:"finished_at,omitempty"`
+	Error           string  `json:"error,omitempty"`
+	Result          *Result `json:"result,omitempty"`
+}
+
+// view snapshots the job; call with the store lock held.
+func (j *Job) view() View {
+	v := View{
+		ID:              j.ID,
+		Bomb:            j.Req.Bomb,
+		Tool:            j.Req.Tool,
+		Workers:         j.Req.Workers,
+		BudgetMS:        j.Req.BudgetMS,
+		State:           j.State,
+		CancelRequested: j.CancelRequested,
+		Submitted:       j.Submitted.UTC().Format(time.RFC3339Nano),
+		Error:           j.Error,
+		Result:          j.Result,
+	}
+	if !j.Started.IsZero() {
+		v.Started = j.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.Finished.IsZero() {
+		v.Finished = j.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}

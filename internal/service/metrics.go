@@ -1,0 +1,144 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Metrics aggregates the service counters and renders them in the
+// Prometheus text exposition format, hand-rolled so the service carries
+// no dependency. Engine-level counters come from each finished job's
+// Outcome.Stats.
+type Metrics struct {
+	mu sync.Mutex
+
+	submitted uint64
+	rejected  uint64 // queue-full 429s
+	running   int
+	finished  map[State]uint64
+
+	rounds        uint64
+	solverQueries uint64
+	cacheHits     uint64
+	cacheMisses   uint64
+
+	wallBuckets []uint64 // one per wallBucketBound, non-cumulative
+	wallSum     float64
+	wallCount   uint64
+}
+
+// wallBucketBounds are the job wall-time histogram upper bounds, in
+// seconds; +Inf is implicit.
+var wallBucketBounds = []float64{0.01, 0.05, 0.25, 1, 5, 15, 60, 300}
+
+// NewMetrics returns zeroed counters.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		finished:    make(map[State]uint64),
+		wallBuckets: make([]uint64, len(wallBucketBounds)),
+	}
+}
+
+// JobSubmitted counts an accepted submission.
+func (m *Metrics) JobSubmitted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted++
+}
+
+// JobRejected counts a queue-full rejection.
+func (m *Metrics) JobRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+// JobStarted counts a worker picking a job up.
+func (m *Metrics) JobStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running++
+}
+
+// JobFinished counts a terminal transition. out may be nil (a job
+// cancelled while queued never ran); wasRunning balances the running
+// gauge.
+func (m *Metrics) JobFinished(state State, out *core.Outcome, wasRunning bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished[state]++
+	if wasRunning {
+		m.running--
+	}
+	if out == nil {
+		return
+	}
+	m.rounds += uint64(out.Stats.Rounds)
+	m.solverQueries += uint64(out.Stats.SolverQueries)
+	m.cacheHits += out.Stats.CacheHits
+	m.cacheMisses += out.Stats.CacheMisses
+	sec := out.Stats.WallTime.Seconds()
+	m.wallSum += sec
+	m.wallCount++
+	for i, bound := range wallBucketBounds {
+		if sec <= bound {
+			m.wallBuckets[i]++
+			break
+		}
+	}
+}
+
+// Render writes the Prometheus text exposition. Queue depth/capacity and
+// worker count are owned by the pool and passed in.
+func (m *Metrics) Render(queueDepth, queueCap, workers int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("concolicd_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted)
+	counter("concolicd_jobs_rejected_total", "Submissions rejected with 429 (queue full).", m.rejected)
+
+	fmt.Fprintf(&b, "# HELP concolicd_jobs_finished_total Jobs reaching a terminal state.\n")
+	fmt.Fprintf(&b, "# TYPE concolicd_jobs_finished_total counter\n")
+	states := []State{StateDone, StateCancelled, StateFailed}
+	for _, st := range states {
+		fmt.Fprintf(&b, "concolicd_jobs_finished_total{state=%q} %d\n", st, m.finished[st])
+	}
+
+	gauge("concolicd_jobs_running", "Jobs currently executing on the worker pool.", m.running)
+	gauge("concolicd_queue_depth", "Jobs waiting in the queue.", queueDepth)
+	gauge("concolicd_queue_capacity", "Queue bound; submissions beyond it receive 429.", queueCap)
+	gauge("concolicd_workers", "Worker pool size.", workers)
+
+	counter("concolicd_engine_rounds_total", "Exploration rounds across finished jobs.", m.rounds)
+	counter("concolicd_solver_queries_total", "Negation queries across finished jobs.", m.solverQueries)
+	counter("concolicd_solver_cache_hits_total", "Solver query cache hits across finished jobs.", m.cacheHits)
+	counter("concolicd_solver_cache_misses_total", "Solver query cache misses across finished jobs.", m.cacheMisses)
+	hitRate := 0.0
+	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
+		hitRate = float64(m.cacheHits) / float64(lookups)
+	}
+	gauge("concolicd_solver_cache_hit_ratio", "Cache hits over lookups across finished jobs.", fmt.Sprintf("%.4f", hitRate))
+
+	fmt.Fprintf(&b, "# HELP concolicd_job_wall_seconds Engine wall time per finished job.\n")
+	fmt.Fprintf(&b, "# TYPE concolicd_job_wall_seconds histogram\n")
+	cum := uint64(0)
+	for i, bound := range wallBucketBounds {
+		cum += m.wallBuckets[i]
+		fmt.Fprintf(&b, "concolicd_job_wall_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	fmt.Fprintf(&b, "concolicd_job_wall_seconds_bucket{le=\"+Inf\"} %d\n", m.wallCount)
+	fmt.Fprintf(&b, "concolicd_job_wall_seconds_sum %g\n", m.wallSum)
+	fmt.Fprintf(&b, "concolicd_job_wall_seconds_count %d\n", m.wallCount)
+	return b.String()
+}

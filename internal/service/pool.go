@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/tools"
+)
+
+// Submission errors surfaced as HTTP statuses by the handlers.
+var (
+	// ErrQueueFull is backpressure: the bounded queue is at capacity
+	// (HTTP 429).
+	ErrQueueFull = errors.New("job queue is full")
+	// ErrDraining rejects submissions during graceful shutdown (HTTP 503).
+	ErrDraining = errors.New("server is draining")
+)
+
+// pool runs queued jobs on a fixed set of workers. The queue is a
+// bounded channel: enqueue never blocks, it either claims a slot or
+// reports backpressure so the handler can answer 429 immediately.
+type pool struct {
+	store   *Store
+	metrics *Metrics
+	queue   chan *Job
+	resolve func(string) (tools.Profile, bool)
+	wg      sync.WaitGroup
+
+	// baseCtx parents every job context; baseCancel is the drain
+	// deadline's hard stop for still-running jobs.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newPool(store *Store, metrics *Metrics, depth, workers int, resolve func(string) (tools.Profile, bool)) *pool {
+	p := &pool{
+		store:   store,
+		metrics: metrics,
+		queue:   make(chan *Job, depth),
+		resolve: resolve,
+	}
+	p.baseCtx, p.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.work()
+	}
+	return p
+}
+
+// depth reports how many jobs are waiting (not yet picked up).
+func (p *pool) depth() int { return len(p.queue) }
+
+// enqueue claims a queue slot for the job or reports backpressure.
+func (p *pool) enqueue(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+func (p *pool) work() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: build the job context (cancel
+// plus optional budget deadline), run the engine under it, and record
+// the terminal state. The engine observes ctx.Done() between rounds,
+// between negation queries and inside SAT search, so DELETE or a
+// deadline stops the job mid-round.
+func (p *pool) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(p.baseCtx)
+	if j.Req.BudgetMS > 0 {
+		ctx, cancel = context.WithTimeout(p.baseCtx, time.Duration(j.Req.BudgetMS)*time.Millisecond)
+	}
+	defer cancel()
+
+	if !p.store.MarkRunning(j, cancel) {
+		// Cancelled while queued; the Cancel path already counted it.
+		return
+	}
+	p.metrics.JobStarted()
+
+	b, okB := bombs.ByName(j.Req.Bomb)
+	prof, okT := p.resolve(j.Req.Tool)
+	if !okB || !okT {
+		// Validation runs at submission; this guards registry drift.
+		p.store.Finish(j, StateFailed, nil, "request no longer resolvable")
+		p.metrics.JobFinished(StateFailed, nil, true)
+		return
+	}
+	prof.Caps.Workers = j.Req.Workers
+	en := core.New(b.Image(), b.BombAddr(), prof.Caps)
+	out := en.ExploreContext(ctx, b.Benign)
+
+	state := StateDone
+	if out.Verdict == core.VerdictCancelled {
+		state = StateCancelled
+	}
+	p.store.Finish(j, state, resultFrom(out), "")
+	p.metrics.JobFinished(state, out, true)
+}
+
+// drain closes the queue to new work and waits for the workers to
+// finish everything already accepted. If ctx expires first, running
+// jobs are hard-cancelled (their contexts fire) and the wait resumes —
+// bounded, because cancelled engines return promptly.
+func (p *pool) drain(ctx context.Context) {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		p.baseCancel()
+		<-done
+	}
+}

@@ -1,0 +1,129 @@
+// Package service is the concolicd serving layer: an HTTP JSON front
+// end that accepts analysis jobs ({bomb, tool, workers, budget}), runs
+// them on a bounded worker pool over the core engine, and exposes the
+// job lifecycle — submit, inspect, list, cancel — plus Prometheus-text
+// metrics and a health probe.
+//
+// The contract with the engine is context cancellation: every job runs
+// under its own context (cancelled by DELETE, expired by the per-job
+// budget, or parented away during drain), and core.ExploreContext
+// observes it between rounds, between negation queries, and inside SAT
+// search. Verdicts are byte-identical to the concolic CLI for the same
+// {bomb, tool, workers} tuple: the service adds scheduling around the
+// engine, never inside it.
+package service
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/tools"
+)
+
+// Config sizes the service.
+type Config struct {
+	// QueueDepth bounds waiting jobs; submissions beyond it receive 429
+	// (<= 0: DefaultQueueDepth).
+	QueueDepth int
+	// Workers is the job-level pool size (<= 0: runtime.GOMAXPROCS(0)).
+	// Each job may additionally run engine-internal round workers as
+	// requested per job.
+	Workers int
+	// ResolveProfile overrides tool-name resolution (tests inject reduced
+	// budgets; a deployment could pin custom profiles). Nil means
+	// tools.ByName. Validation still requires the name to exist there, so
+	// a resolver only adjusts capabilities, it cannot widen the API.
+	ResolveProfile func(name string) (tools.Profile, bool)
+}
+
+// DefaultQueueDepth bounds the queue when the config leaves it unset.
+const DefaultQueueDepth = 64
+
+// Server ties the store, pool and metrics together behind an http.Handler.
+type Server struct {
+	store    *Store
+	pool     *pool
+	metrics  *Metrics
+	mux      *http.ServeMux
+	queueCap int
+	workers  int
+	draining atomic.Bool
+}
+
+// New builds a ready-to-serve instance; its workers start immediately.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ResolveProfile == nil {
+		cfg.ResolveProfile = tools.ByName
+	}
+	s := &Server{
+		store:    NewStore(),
+		metrics:  NewMetrics(),
+		queueCap: cfg.QueueDepth,
+		workers:  cfg.Workers,
+	}
+	s.pool = newPool(s.store, s.metrics, cfg.QueueDepth, cfg.Workers, cfg.ResolveProfile)
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP interface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Submit validates and enqueues a job. It returns ErrQueueFull under
+// backpressure, ErrDraining during shutdown, and a RequestError for
+// malformed requests.
+func (s *Server) Submit(req Request) (View, error) {
+	if s.draining.Load() {
+		return View{}, ErrDraining
+	}
+	if err := req.Validate(); err != nil {
+		return View{}, &RequestError{err}
+	}
+	j := s.store.Add(req)
+	if err := s.pool.enqueue(j); err != nil {
+		s.store.Remove(j.ID)
+		if err == ErrQueueFull {
+			s.metrics.JobRejected()
+		}
+		return View{}, err
+	}
+	s.metrics.JobSubmitted()
+	v, _ := s.store.View(j.ID)
+	return v, nil
+}
+
+// Cancel requests cancellation of the named job (see Store.RequestCancel).
+func (s *Server) Cancel(id string) (State, error) {
+	st, err := s.store.RequestCancel(id)
+	if err == nil && st == StateCancelled {
+		// Cancelled while queued: it never reaches a worker, count it here.
+		s.metrics.JobFinished(StateCancelled, nil, false)
+	}
+	return st, err
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain begins graceful shutdown: new submissions are rejected with
+// 503, accepted jobs run to completion, and when ctx expires the
+// still-running jobs are cancelled through their contexts. It returns
+// once the pool is idle.
+func (s *Server) Drain(ctx context.Context) {
+	s.draining.Store(true)
+	s.pool.drain(ctx)
+}
+
+// RequestError marks a malformed submission (HTTP 400).
+type RequestError struct{ err error }
+
+func (e *RequestError) Error() string { return e.err.Error() }
+func (e *RequestError) Unwrap() error { return e.err }

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Store is the in-memory job registry. One mutex guards every job's
+// fields; all state transitions go through its methods so the lifecycle
+// invariants hold under concurrent handlers and workers.
+type Store struct {
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	nextID int
+}
+
+// NewStore returns an empty registry.
+func NewStore() *Store {
+	return &Store{jobs: make(map[string]*Job)}
+}
+
+// Add registers a new queued job and assigns its ID.
+func (s *Store) Add(req Request) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.nextID),
+		Req:       req,
+		State:     StateQueued,
+		Submitted: time.Now(),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j
+}
+
+// Remove deletes a job that never made it into the queue (submit
+// rollback on backpressure).
+func (s *Store) Remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// View snapshots one job.
+func (s *Store) View(id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return j.view(), true
+}
+
+// Views snapshots every job in submission order.
+func (s *Store) Views() []View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]View, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// MarkRunning transitions a popped job to running and installs its
+// cancel function. It returns false when the job was cancelled while
+// queued; the worker must then skip it without running anything.
+func (s *Store) MarkRunning(j *Job, cancel context.CancelFunc) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.State != StateQueued {
+		return false
+	}
+	j.State = StateRunning
+	j.Started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// Finish transitions a running job to a terminal state.
+func (s *Store) Finish(j *Job, state State, res *Result, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.State = state
+	j.Finished = time.Now()
+	j.Result = res
+	j.Error = errMsg
+	j.cancel = nil
+}
+
+// Cancellation errors.
+var (
+	ErrNotFound = errors.New("no such job")
+	// ErrFinished is returned when cancelling a job already in a terminal
+	// state (HTTP 409).
+	ErrFinished = errors.New("job already finished")
+)
+
+// RequestCancel cancels the named job. A queued job flips to cancelled
+// immediately (the worker will skip it); a running job gets its context
+// cancelled and reports back through the worker, which observes
+// ctx.Done() mid-round. The returned state is the job's state after the
+// request: cancelled, or running while the worker winds down.
+func (s *Store) RequestCancel(id string) (State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return "", ErrNotFound
+	}
+	switch {
+	case j.State == StateQueued:
+		j.State = StateCancelled
+		j.CancelRequested = true
+		j.Finished = time.Now()
+		return StateCancelled, nil
+	case j.State == StateRunning:
+		j.CancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return StateRunning, nil
+	default:
+		return j.State, ErrFinished
+	}
+}
+
+// Counts tallies jobs by state (queue introspection for metrics).
+func (s *Store) Counts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[State]int, 5)
+	for _, j := range s.jobs {
+		out[j.State]++
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"container/list"
+	"context"
 	"strconv"
 	"sync"
 
@@ -88,6 +89,14 @@ func (c *Cache) Stats() CacheStats {
 // Solve behaves exactly like the package-level Solve, consulting the
 // cache on the bitvector path.
 func (c *Cache) Solve(constraints []sym.Expr, opts Options) (Result, error) {
+	return c.SolveContext(context.Background(), constraints, opts)
+}
+
+// SolveContext is Solve under a cancellation context (see the package
+// SolveContext). Unknown verdicts caused by cancellation are, like
+// deadline timeouts, never stored: only results that depend purely on
+// the constraint slice and the conflict budget enter the cache.
+func (c *Cache) SolveContext(ctx context.Context, constraints []sym.Expr, opts Options) (Result, error) {
 	if len(constraints) == 0 {
 		return Result{}, ErrNoConstraints
 	}
@@ -99,7 +108,7 @@ func (c *Cache) Solve(constraints []sym.Expr, opts Options) (Result, error) {
 		c.mu.Lock()
 		c.bypasses++
 		c.mu.Unlock()
-		return solveFloat(constraints, opts), nil
+		return solveFloat(ctx, constraints, opts), nil
 	}
 
 	key := sym.CanonicalKey(constraints) + "|" + strconv.FormatInt(opts.MaxConflicts, 10)
@@ -107,7 +116,7 @@ func (c *Cache) Solve(constraints []sym.Expr, opts Options) (Result, error) {
 		return finishBV(res, constraints, opts), nil
 	}
 
-	st, model, conflicts, timedOut, err := solveBV(constraints, opts)
+	st, model, conflicts, timedOut, err := solveBV(ctx, constraints, opts)
 	if err != nil {
 		return Result{}, err
 	}

@@ -13,6 +13,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -96,6 +97,15 @@ var ErrNoConstraints = errors.New("solver: empty constraint system")
 
 // Solve decides the conjunction of the given width-1 constraints.
 func Solve(constraints []sym.Expr, opts Options) (Result, error) {
+	return SolveContext(context.Background(), constraints, opts)
+}
+
+// SolveContext is Solve under a cancellation context. A cancelled or
+// deadline-expired context makes the query give up with StatusUnknown
+// mid-search instead of running to its conflict or wall-clock budget;
+// the context deadline tightens (never loosens) opts.Timeout. With a
+// background context the result is identical to Solve.
+func SolveContext(ctx context.Context, constraints []sym.Expr, opts Options) (Result, error) {
 	if len(constraints) == 0 {
 		return Result{}, ErrNoConstraints
 	}
@@ -107,10 +117,10 @@ func Solve(constraints []sym.Expr, opts Options) (Result, error) {
 	}
 
 	if sym.HasFloat(constraints...) {
-		return solveFloat(constraints, opts), nil
+		return solveFloat(ctx, constraints, opts), nil
 	}
 
-	st, model, conflicts, _, err := solveBV(constraints, opts)
+	st, model, conflicts, _, err := solveBV(ctx, constraints, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -144,7 +154,7 @@ func hasConstFalse(constraints []sym.Expr) bool {
 }
 
 // solveFloat handles a float-bearing system according to the FP mode.
-func solveFloat(constraints []sym.Expr, opts Options) Result {
+func solveFloat(ctx context.Context, constraints []sym.Expr, opts Options) Result {
 	if opts.FP == FPNone {
 		// Even without a floating-point theory, "v == c" (or an
 		// ordering) against an otherwise-unconstrained variable is
@@ -155,7 +165,7 @@ func solveFloat(constraints []sym.Expr, opts Options) Result {
 		}
 		return Result{Status: StatusFloatUnsupported}
 	}
-	return fpSearch(constraints, opts)
+	return fpSearch(ctx, constraints, opts)
 }
 
 // solveBV decides a float-free system by bit-blasting. The returned model
@@ -163,14 +173,18 @@ func solveFloat(constraints []sym.Expr, opts Options) Result {
 // minimization — so its value depends only on the constraint slice and
 // the conflict budget, never on the caller's seed. timedOut reports that
 // an Unknown verdict was (or may have been) caused by the wall-clock
-// deadline rather than the deterministic conflict budget.
-func solveBV(constraints []sym.Expr, opts Options) (st Status, model map[string]uint64, conflicts int64, timedOut bool, err error) {
+// deadline or by context cancellation rather than the deterministic
+// conflict budget.
+func solveBV(ctx context.Context, constraints []sym.Expr, opts Options) (st Status, model map[string]uint64, conflicts int64, timedOut bool, err error) {
 	var deadline time.Time
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
 	expired := func() bool {
-		return !deadline.IsZero() && time.Now().After(deadline)
+		return ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline))
 	}
 	s := sat.New()
 	enc := bitblast.New(s)
@@ -188,7 +202,7 @@ func solveBV(constraints []sym.Expr, opts Options) (st Status, model map[string]
 			return 0, nil, 0, false, err
 		}
 	}
-	res := s.SolveDeadline(opts.MaxConflicts, deadline)
+	res := s.SolveInterruptible(opts.MaxConflicts, deadline, func() bool { return ctx.Err() != nil })
 	conflicts, _ = s.Stats()
 	switch res {
 	case sat.Sat:
@@ -317,7 +331,7 @@ func bareVarSide(b *sym.Bin) (v *sym.Var, other sym.Expr, leftVar bool) {
 // system concretely. Moves include random byte mutations, digit-targeted
 // mutations (inputs are usually numeric strings), and wholesale numeric
 // rendering of log-uniform floats into byte-variable groups.
-func fpSearch(constraints []sym.Expr, opts Options) Result {
+func fpSearch(ctx context.Context, constraints []sym.Expr, opts Options) Result {
 	rng := rand.New(rand.NewSource(opts.RandSeed + 1))
 	widths := sym.VarWidths(constraints...)
 	names := sym.Vars(constraints...)
@@ -343,6 +357,9 @@ func fpSearch(constraints []sym.Expr, opts Options) Result {
 	groups := byteGroups(names, widths)
 
 	for it := 0; it < opts.FPIterations; it++ {
+		if it&1023 == 0 && ctx.Err() != nil {
+			return Result{Status: StatusUnknown}
+		}
 		cand := cloneEnv(env)
 		switch rng.Intn(10) {
 		case 0, 1, 2:

@@ -1,0 +1,136 @@
+package sym
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildSystem interprets fuzz bytes as a tiny stack-machine program over
+// a pool of expression nodes. Nodes are built raw (no constructor
+// simplification) so the canonicalizer sees arbitrary shapes, and pool
+// picks create genuine DAG sharing. delta shifts every constant value:
+// delta 0 twice gives a structurally identical twin under fresh
+// pointers, any other delta gives a provably distinct system whenever a
+// constant is reachable from the emitted constraints.
+func buildSystem(data []byte, delta uint64) []Expr {
+	widths := []int{1, 8, 16, 32, 64}
+	pool := []Expr{&Var{Name: "seed", W: 8}}
+	pick := func(b byte) Expr { return pool[int(b)%len(pool)] }
+	var sys []Expr
+	for i := 0; i+3 < len(data); i += 4 {
+		op, x, y, z := data[i], data[i+1], data[i+2], data[i+3]
+		switch op % 7 {
+		case 0:
+			pool = append(pool, &Const{
+				W: widths[int(x)%len(widths)],
+				V: (uint64(y)<<8 | uint64(z)) + delta,
+			})
+		case 1:
+			names := []string{"argv1!0", "argv1!1", "env!time", "env!pid"}
+			pool = append(pool, &Var{
+				Name: names[int(x)%len(names)],
+				W:    widths[int(y)%len(widths)],
+			})
+		case 2:
+			bop := BinOp(int(x)%int(OpFLe)) + 1
+			pool = append(pool, &Bin{
+				Op: bop, A: pick(y), B: pick(z),
+				w: widths[int(op)%len(widths)],
+			})
+		case 3:
+			uop := UnOp(int(x)%int(OpBoolNot)) + 1
+			pool = append(pool, &Un{
+				Op: uop, A: pick(y),
+				Arg: int(z % 64), Arg2: int(z % 8),
+				w: widths[int(x)%len(widths)],
+			})
+		case 4:
+			pool = append(pool, &ITE{Cond: pick(x), Then: pick(y), Else: pick(z)})
+		case 5:
+			sys = append(sys, pick(x))
+		case 6:
+			// Doubling chain: z levels each reusing the previous node
+			// twice — an exponential tree that must stay linear as a DAG.
+			e := pick(x)
+			for k := 0; k < int(z); k++ {
+				e = &Bin{Op: OpAdd, A: e, B: e, w: e.Width()}
+			}
+			pool = append(pool, e)
+		}
+	}
+	if len(sys) == 0 {
+		sys = append(sys, pool[len(pool)-1])
+	}
+	return sys
+}
+
+// hasReachableConst reports whether any *Const is reachable from the
+// system — the precondition for the delta-distinctness property.
+func hasReachableConst(sys []Expr) bool {
+	seen := make(map[Expr]bool)
+	var walk func(e Expr) bool
+	walk = func(e Expr) bool {
+		if e == nil || seen[e] {
+			return false
+		}
+		seen[e] = true
+		switch t := e.(type) {
+		case *Const:
+			return true
+		case *Bin:
+			return walk(t.A) || walk(t.B)
+		case *Un:
+			return walk(t.A)
+		case *ITE:
+			return walk(t.Cond) || walk(t.Then) || walk(t.Else)
+		}
+		return false
+	}
+	for _, e := range sys {
+		if walk(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzCanonicalKey checks the cache-key contract on arbitrary systems:
+// rebuilding from the same bytes yields the same key (pointer identity
+// never leaks in), mutating any reachable constant yields a different
+// key, dropping a constraint yields a different key, and deep or
+// heavily shared DAGs neither panic nor blow up.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{2, 5, 0, 0, 5, 1, 0, 0})
+	f.Add([]byte{6, 0, 0, 60, 5, 0, 0, 0})       // 2^60-node shared tree
+	f.Add(bytes.Repeat([]byte{2, 13, 1, 2}, 64)) // long combine chain
+	f.Add([]byte{0, 2, 0, 7, 2, 13, 1, 1, 5, 1, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys := buildSystem(data, 0)
+		k1 := CanonicalKey(sys)
+		if len(k1) != 32 {
+			t.Fatalf("key length %d, want 32 (sha-256)", len(k1))
+		}
+		// Rebuild: fresh pointers, identical structure, identical key.
+		if k2 := CanonicalKey(buildSystem(data, 0)); k2 != k1 {
+			t.Error("rebuilding the same system changed the key")
+		}
+		// Same nodes revisited: the walk must not mutate its input.
+		if k3 := CanonicalKey(sys); k3 != k1 {
+			t.Error("re-keying the same slice changed the key")
+		}
+		// Distinct systems get distinct keys.
+		if hasReachableConst(sys) {
+			if kd := CanonicalKey(buildSystem(data, 1)); kd == k1 {
+				t.Error("shifting every constant did not change the key")
+			}
+		}
+		if len(sys) > 1 {
+			if kp := CanonicalKey(sys[:len(sys)-1]); kp == k1 {
+				t.Error("dropping the final constraint did not change the key")
+			}
+		}
+	})
+}

@@ -22,12 +22,12 @@ func TestCanonicalKeyDistinguishes(t *testing.T) {
 	x := NewVar("x", 8)
 	base := []Expr{NewBin(OpEq, x, NewConst(7, 8))}
 	variants := [][]Expr{
-		{NewBin(OpEq, x, NewConst(8, 8))},                  // different constant
-		{NewBin(OpNe, x, NewConst(7, 8))},                  // different operator
-		{NewBin(OpEq, NewVar("y", 8), NewConst(7, 8))},     // different variable
-		{NewBin(OpEq, NewVar("x", 16), NewConst(7, 16))},   // different width
-		{NewBin(OpEq, x, NewConst(7, 8)), True()},          // extra constraint
-		{NewBoolNot(NewBin(OpEq, x, NewConst(7, 8)))},      // wrapped
+		{NewBin(OpEq, x, NewConst(8, 8))},                // different constant
+		{NewBin(OpNe, x, NewConst(7, 8))},                // different operator
+		{NewBin(OpEq, NewVar("y", 8), NewConst(7, 8))},   // different variable
+		{NewBin(OpEq, NewVar("x", 16), NewConst(7, 16))}, // different width
+		{NewBin(OpEq, x, NewConst(7, 8)), True()},        // extra constraint
+		{NewBoolNot(NewBin(OpEq, x, NewConst(7, 8)))},    // wrapped
 	}
 	key := CanonicalKey(base)
 	for i, v := range variants {

@@ -264,6 +264,29 @@ func TableII() []Profile {
 	return []Profile{BAP(), Triton(), Angr(), AngrNoLib()}
 }
 
+// Names lists every selectable profile name, in Table II order plus the
+// reference engine.
+func Names() []string {
+	return []string{"bap", "triton", "angr", "angr-nolib", "reference"}
+}
+
+// ByName returns the profile selected by its CLI/service name.
+func ByName(name string) (Profile, bool) {
+	switch name {
+	case "bap":
+		return BAP(), true
+	case "triton":
+		return Triton(), true
+	case "angr":
+		return Angr(), true
+	case "angr-nolib":
+		return AngrNoLib(), true
+	case "reference":
+		return Reference(), true
+	}
+	return Profile{}, false
+}
+
 // FastBudgets returns a copy of the profile with sharply reduced solver
 // and exploration budgets, for benchmarks and smoke tests. Outcomes that
 // depend on budget exhaustion (E) are unaffected in direction — they

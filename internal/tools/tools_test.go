@@ -20,6 +20,29 @@ func TestTableIIProfiles(t *testing.T) {
 	}
 }
 
+func TestByNameCoversEveryProfile(t *testing.T) {
+	want := map[string]string{
+		"bap": "BAP", "triton": "Triton", "angr": "Angr",
+		"angr-nolib": "Angr-NoLib", "reference": "Reference",
+	}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %d entries", names, len(want))
+	}
+	for _, n := range names {
+		p, ok := ByName(n)
+		if !ok {
+			t.Fatalf("ByName(%q) missing", n)
+		}
+		if p.Name() != want[n] {
+			t.Errorf("ByName(%q).Name() = %s, want %s", n, p.Name(), want[n])
+		}
+	}
+	if _, ok := ByName("klee"); ok {
+		t.Error("ByName accepted an unknown tool")
+	}
+}
+
 func TestOverridesReferenceRealBombs(t *testing.T) {
 	for _, p := range TableII() {
 		for name, ov := range p.Overrides {
