@@ -3,8 +3,8 @@ GO ?= go
 .PHONY: ci vet build race fuzz test test-short bench tables clean
 
 # ci is the gate: static checks, build, the concurrency-sensitive
-# packages under the race detector, a short fuzz smoke on the solver
-# cache key, then the full suite.
+# packages under the race detector, short fuzz smokes on the solver
+# cache key and the interning equivalence property, then the full suite.
 ci: vet build race fuzz test
 
 vet:
@@ -14,10 +14,11 @@ build:
 	$(GO) build ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/solver/... ./internal/service/...
+	$(GO) test -race -count=1 ./internal/sym/... ./internal/core/... ./internal/solver/... ./internal/service/...
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCanonicalKey -fuzztime=5s ./internal/sym/
+	$(GO) test -run '^$$' -fuzz FuzzInternEval -fuzztime=5s ./internal/sym/
 
 test:
 	$(GO) test ./...
@@ -29,6 +30,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExploreParallel|BenchmarkSolverCacheHitRate' -benchtime 3x ./internal/core/...
 	$(GO) test -run '^$$' -bench 'BenchmarkInputKey' ./internal/core/...
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheSolveHit|BenchmarkSolveUncached|BenchmarkCanonicalKey' ./internal/solver/...
+	$(GO) test -run '^$$' -bench 'BenchmarkCanonicalKeyInterned|BenchmarkCanonicalKeyStable|BenchmarkInternConstruct' ./internal/sym/
+	$(GO) test -run '^$$' -bench 'BenchmarkBitblastSharedDAG' -benchtime 3x ./internal/bitblast/
 
 tables:
 	$(GO) run ./cmd/evaltable -all

@@ -89,6 +89,12 @@ func main() {
 			fmt.Printf(" hit-rate=%.0f%%", 100*float64(s.CacheHits)/float64(lookups))
 		}
 		fmt.Println()
+		fmt.Printf("stats: intern-hits=%d intern-misses=%d arena-nodes=%d",
+			s.InternHits, s.InternMisses, s.ArenaNodes)
+		if s.InternHits+s.InternMisses > 0 {
+			fmt.Printf(" intern-hit-rate=%.0f%%", 100*s.InternHitRate())
+		}
+		fmt.Println()
 	}
 	if *verbose {
 		for _, in := range out.Incidents {

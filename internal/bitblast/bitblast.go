@@ -25,6 +25,13 @@ var ErrBudget = errors.New("bitblast: gate budget exhausted")
 const DefaultGateBudget = 4_000_000
 
 // Encoder lowers expressions into a sat.Solver.
+//
+// The per-node CNF cache is keyed on node pointers, which the sym
+// arena's hash-consing makes structural: every constructor-built term is
+// interned, so two structurally equal subterms — even built through
+// different paths, rounds or workers — are one pointer and encode into
+// CNF gates exactly once. Assert re-interns its root to extend the same
+// guarantee to raw (struct-literal) expressions from tests.
 type Encoder struct {
 	s        *sat.Solver
 	varBit   map[string][]int // sym variable -> sat variables, LSB first
@@ -46,6 +53,10 @@ func New(s *sat.Solver) *Encoder {
 	s.AddClause(e.tru)
 	return e
 }
+
+// Gates returns the number of fresh gate variables allocated so far —
+// the circuit-size metric shared-subterm caching keeps down.
+func (e *Encoder) Gates() int { return e.gates }
 
 func (e *Encoder) fls() sat.Lit { return e.tru.Not() }
 
@@ -70,6 +81,10 @@ func (e *Encoder) Assert(c sym.Expr) error {
 	if c.Width() != 1 {
 		return fmt.Errorf("bitblast: assert of width-%d expression", c.Width())
 	}
+	// Canonicalize so the pointer-keyed cache sees one node per distinct
+	// structure. Constructor-built inputs are already interned (O(1));
+	// raw trees are canonicalized once here.
+	c = sym.Intern(c)
 	bits, err := e.encode(c)
 	if err != nil {
 		return err

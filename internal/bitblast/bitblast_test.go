@@ -268,3 +268,48 @@ func TestConcatExtract(t *testing.T) {
 		t.Errorf("model a=%#x b=%#x", m["a"], m["b"])
 	}
 }
+
+// TestSharedSubtermEncodedOnce is the structural-miss regression test for
+// the hash-consing arena: the same subexpression built twice through
+// different construction paths must hit the encoder's per-node cache, so
+// asserting a constraint over it twice must not double the gate count.
+func TestSharedSubtermEncodedOnce(t *testing.T) {
+	build := func(detour bool) sym.Expr {
+		x := sym.NewVar("x", 32)
+		// (x*3)+7 — each call runs a fresh constructor chain (distinct
+		// pointers before hash-consing), and the detour variant takes a
+		// different API route through identity-simplifying wrappers.
+		mul := sym.NewBin(sym.OpMul, x, sym.NewConst(3, 32))
+		if detour {
+			mul = sym.NewZExt(sym.NewExtract(mul, 31, 0), 32)
+			mul = sym.NewNot(sym.NewNot(mul))
+		}
+		return sym.NewBin(sym.OpAdd, mul, sym.NewConst(7, 32))
+	}
+	a, b := build(false), build(true)
+	if a != b {
+		t.Fatalf("interning failed: distinct pointers for structurally equal terms")
+	}
+
+	s := sat.New()
+	e := New(s)
+	if err := e.Assert(sym.NewBin(sym.OpNe, a, sym.NewConst(0, 32))); err != nil {
+		t.Fatal(err)
+	}
+	g1 := e.Gates()
+	if g1 == 0 {
+		t.Fatal("expected gates from first assert")
+	}
+	if err := e.Assert(sym.NewBin(sym.OpNe, b, sym.NewConst(1, 32))); err != nil {
+		t.Fatal(err)
+	}
+	g2 := e.Gates()
+	// The second assert reuses the cached CNF for (x*3)+7; only the fresh
+	// top-level comparison may allocate gates. Before interning, the two
+	// construction paths produced distinct pointers and the whole circuit
+	// was rebuilt, roughly doubling the count.
+	if grew := g2 - g1; grew*4 > g1 {
+		t.Errorf("second assert allocated %d gates on top of %d; shared subterm was re-encoded", grew, g1)
+	}
+
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/bin"
 	"repro/internal/bombs"
 	"repro/internal/solver"
+	"repro/internal/sym"
 	"repro/internal/symexec"
 	"repro/internal/trace"
 )
@@ -77,6 +78,15 @@ type Capabilities struct {
 	// SolverCacheSize bounds the engine's solver query cache
 	// (<= 0: solver.DefaultCacheSize).
 	SolverCacheSize int
+}
+
+// ResolvedWorkers returns the worker count Explore will actually use:
+// Workers, or runtime.GOMAXPROCS(0) when unset.
+func (c Capabilities) ResolvedWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // SearchStrategy selects how new inputs are scheduled.
@@ -166,6 +176,23 @@ type Stats struct {
 	Workers int
 	// WallTime is the Explore call's duration.
 	WallTime time.Duration
+	// InternHits/InternMisses report the sym hash-consing arena's lookup
+	// traffic during this Explore call (deltas, not process totals). A
+	// hit means a constructor returned an existing node instead of
+	// allocating — the structural-sharing rate of the workload.
+	InternHits   uint64
+	InternMisses uint64
+	// ArenaNodes is the process-wide arena population after the call:
+	// the number of distinct interned terms alive.
+	ArenaNodes uint64
+}
+
+// InternHitRate is InternHits over total lookups, 0 when idle.
+func (s Stats) InternHitRate() float64 {
+	if tot := s.InternHits + s.InternMisses; tot > 0 {
+		return float64(s.InternHits) / float64(tot)
+	}
+	return 0
 }
 
 // Outcome is the engine's result for one directed-search task.
@@ -224,6 +251,7 @@ type Engine struct {
 	ctxBound  bool            // deadline comes from ctx, not TotalBudget
 	cache     *solver.Cache
 	stats     Stats
+	arena0    sym.ArenaStats // arena counters at Explore entry, for deltas
 }
 
 // New builds an engine targeting the given address (the bomb symbol).
@@ -243,10 +271,7 @@ func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
 	if caps.TotalBudget <= 0 {
 		caps.TotalBudget = DefaultTotalBudget
 	}
-	workers := caps.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := caps.ResolvedWorkers()
 	return &Engine{
 		img:       img,
 		caps:      caps,
@@ -282,6 +307,7 @@ func (en *Engine) ExploreContext(ctx context.Context, seed bombs.Input) *Outcome
 	}
 	en.ctx = ctx
 	start := time.Now()
+	en.arena0 = sym.ArenaSnapshot()
 	en.deadline = start.Add(en.caps.TotalBudget)
 	if d, ok := ctx.Deadline(); ok && d.Before(en.deadline) {
 		en.deadline = d
@@ -360,6 +386,10 @@ func (en *Engine) finishStats(start time.Time) {
 	en.stats.CacheEvictions = cs.Evictions
 	en.stats.Workers = en.workers
 	en.stats.WallTime = time.Since(start)
+	as := sym.ArenaSnapshot()
+	en.stats.InternHits = as.Hits - en.arena0.Hits
+	en.stats.InternMisses = as.Misses - en.arena0.Misses
+	en.stats.ArenaNodes = as.Size
 	en.out.Stats = en.stats
 }
 
@@ -413,7 +443,9 @@ func flipKeyFor(pc symexec.PathConstraint, occ, argvLen int) string {
 		b.Grow(24)
 		b.WriteString(strconv.FormatUint(pc.PC, 16))
 		b.WriteString("|jump|")
-		b.WriteString(pc.Expr.String())
+		// The interned id identifies the target expression exactly and in
+		// O(1); String() is O(tree) and exponential on shared DAGs.
+		b.WriteString(sym.CanonicalKey([]sym.Expr{pc.Expr}))
 		return b.String()
 	}
 	b.Grow(24)

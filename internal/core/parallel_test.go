@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bombs"
 	"repro/internal/core"
+	"repro/internal/sym"
 	"repro/internal/tools"
 )
 
@@ -113,5 +114,51 @@ func TestStatsPopulated(t *testing.T) {
 	}
 	if s.CacheHits+s.CacheMisses == 0 {
 		t.Error("cache saw no lookups")
+	}
+}
+
+// TestArenaConcurrentInterning hammers the sym hash-consing arena from
+// the engine's worker count of goroutines, all building the same terms
+// plus per-goroutine private ones. Every goroutine must receive the very
+// same pointer for a shared term (whoever interns first wins, everyone
+// else observes it), which is what keeps parallel rounds' expressions
+// mergeable by pointer. Run under `make race` to check the sharded table
+// for data races.
+func TestArenaConcurrentInterning(t *testing.T) {
+	workers := core.Capabilities{}.ResolvedWorkers()
+	if workers < 4 {
+		workers = 4
+	}
+	const rounds = 2000
+
+	results := make([][]sym.Expr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]sym.Expr, rounds)
+			for i := 0; i < rounds; i++ {
+				// Shared across goroutines: same structure every round.
+				x := sym.NewVar("shared", 64)
+				e := sym.NewBin(sym.OpAdd,
+					sym.NewBin(sym.OpMul, x, sym.NewConst(uint64(i%64)+2, 64)),
+					sym.NewConst(uint64(i%17)+1, 64))
+				out[i] = e
+				// Private to this goroutine: must not collide.
+				_ = sym.NewBin(sym.OpEq, sym.NewVar("w", 8), sym.NewConst(uint64(w), 8))
+			}
+			results[w] = out
+		}()
+	}
+	wg.Wait()
+
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("goroutine %d round %d: interning returned a different pointer", w, i)
+			}
+		}
 	}
 }

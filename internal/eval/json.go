@@ -40,7 +40,13 @@ type AggStatsJSON struct {
 	CacheMisses    uint64  `json:"cache_misses"`
 	CacheEvictions uint64  `json:"cache_evictions"`
 	CacheHitRate   float64 `json:"cache_hit_rate"`
-	WallMS         int64   `json:"wall_ms"` // summed per-cell engine time
+	// Hash-consing arena traffic, summed over cells; ArenaNodes is the
+	// final process-wide population (last cell wins, not a sum).
+	InternHits    uint64  `json:"intern_hits"`
+	InternMisses  uint64  `json:"intern_misses"`
+	InternHitRate float64 `json:"intern_hit_rate"`
+	ArenaNodes    uint64  `json:"arena_nodes"`
+	WallMS        int64   `json:"wall_ms"` // summed per-cell engine time
 }
 
 // GridJSON is the full machine-readable Table II report.
@@ -94,12 +100,20 @@ func ToJSON(g *Grid) *GridJSON {
 			out.Stats.CacheHits += s.CacheHits
 			out.Stats.CacheMisses += s.CacheMisses
 			out.Stats.CacheEvictions += s.CacheEvictions
+			out.Stats.InternHits += s.InternHits
+			out.Stats.InternMisses += s.InternMisses
+			if s.ArenaNodes > out.Stats.ArenaNodes {
+				out.Stats.ArenaNodes = s.ArenaNodes
+			}
 			out.Stats.WallMS += s.WallTime.Milliseconds()
 		}
 		out.Rows = append(out.Rows, row)
 	}
 	if lookups := out.Stats.CacheHits + out.Stats.CacheMisses; lookups > 0 {
 		out.Stats.CacheHitRate = float64(out.Stats.CacheHits) / float64(lookups)
+	}
+	if lookups := out.Stats.InternHits + out.Stats.InternMisses; lookups > 0 {
+		out.Stats.InternHitRate = float64(out.Stats.InternHits) / float64(lookups)
 	}
 	out.Match, out.Total = g.Matches()
 	return out

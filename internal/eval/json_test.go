@@ -33,6 +33,16 @@ func TestGridJSONShape(t *testing.T) {
 	if doc.Stats.Cells != 4 {
 		t.Errorf("stats over %d cells, want 4", doc.Stats.Cells)
 	}
+	// Any exploration builds sym terms, so the interning aggregates must
+	// be populated and internally consistent.
+	if doc.Stats.ArenaNodes == 0 {
+		t.Error("stats report zero arena nodes after a grid run")
+	}
+	if doc.Stats.InternHits+doc.Stats.InternMisses == 0 {
+		t.Error("stats report zero intern lookups after a grid run")
+	} else if r := doc.Stats.InternHitRate; r < 0 || r > 1 {
+		t.Errorf("intern hit rate %v outside [0,1]", r)
+	}
 	for _, row := range doc.Rows {
 		if len(row.Cells) != 2 {
 			t.Errorf("row %s has %d cells, want 2", row.Bomb, len(row.Cells))

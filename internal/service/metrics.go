@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sym"
 )
 
 // Metrics aggregates the service counters and renders them in the
@@ -129,6 +130,16 @@ func (m *Metrics) Render(queueDepth, queueCap, workers int) string {
 		hitRate = float64(m.cacheHits) / float64(lookups)
 	}
 	gauge("concolicd_solver_cache_hit_ratio", "Cache hits over lookups across finished jobs.", fmt.Sprintf("%.4f", hitRate))
+
+	// Hash-consing arena counters are process-global (the arena is shared
+	// by every job), so they are read live rather than summed from
+	// Outcome.Stats deltas.
+	as := sym.ArenaSnapshot()
+	gauge("concolicd_sym_arena_nodes", "Distinct interned sym terms alive in the process arena.", as.Size)
+	counter("concolicd_sym_intern_hits_total", "Constructor calls answered by an existing arena node.", as.Hits)
+	counter("concolicd_sym_intern_misses_total", "Constructor calls that allocated a new arena node.", as.Misses)
+	counter("concolicd_sym_intern_fallbacks_total", "Constructor calls past the arena cap (un-interned nodes).", as.Fallbacks)
+	gauge("concolicd_sym_intern_hit_ratio", "Arena hits over lookups since process start.", fmt.Sprintf("%.4f", as.HitRate()))
 
 	fmt.Fprintf(&b, "# HELP concolicd_job_wall_seconds Engine wall time per finished job.\n")
 	fmt.Fprintf(&b, "# TYPE concolicd_job_wall_seconds histogram\n")

@@ -286,6 +286,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"concolicd_workers 1",
 		"concolicd_engine_rounds_total",
 		"concolicd_solver_cache_hits_total",
+		"concolicd_sym_arena_nodes",
+		"concolicd_sym_intern_hits_total",
+		"concolicd_sym_intern_misses_total",
+		"concolicd_sym_intern_hit_ratio",
 		"concolicd_job_wall_seconds_count 1",
 	} {
 		if !strings.Contains(text, want) {

@@ -16,7 +16,10 @@ import (
 //
 // Only the bit-blasting path is cached. Its raw model is a pure function
 // of the constraint slice and the conflict budget, so entries are keyed
-// by sym.CanonicalKey plus the budget, and the seed-dependent steps
+// by sym.CanonicalKey plus the budget. With the hash-consing arena the
+// key is the constraints' intern ids — O(1) per constraint, no tree walk
+// or hashing — and stays exact: structurally equal systems map to one
+// entry even when built by different workers. The seed-dependent steps
 // (completion and minimization) run per call on a copy — a hit returns
 // bit-for-bit what a fresh Solve would have. Float systems go through the
 // stochastic search, whose result depends on the caller's seed, so they

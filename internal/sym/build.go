@@ -3,6 +3,11 @@ package sym
 // Simplifying constructors. Every expression the executor builds goes
 // through these, so constant subtrees fold away and the solver sees small
 // terms. Simplification preserves Eval semantics exactly (property-tested).
+//
+// Results are hash-consed (see intern.go): building the same term twice
+// returns the same pointer, so structural equality between
+// constructor-built expressions is pointer equality and downstream
+// per-node caches hit on shared subterms regardless of construction path.
 
 // NewBin builds a binary operation, folding constants and applying cheap
 // algebraic identities.
@@ -54,7 +59,9 @@ func NewBin(op BinOp, a, b Expr) Expr {
 		}
 	}
 
-	// x == x and friends on identical subtrees (cheap pointer check).
+	// x == x and friends on identical subtrees. Interning makes this
+	// pointer check structural: any two constructor-built equal terms
+	// share one node.
 	if a == b {
 		switch op {
 		case OpEq, OpUle, OpSle:
@@ -68,7 +75,7 @@ func NewBin(op BinOp, a, b Expr) Expr {
 		}
 	}
 
-	return &Bin{Op: op, A: a, B: b, w: w}
+	return internBin(op, a, b, w)
 }
 
 // NewNot builds bitwise negation.
@@ -80,7 +87,7 @@ func NewNot(a Expr) Expr {
 	if u, ok := a.(*Un); ok && u.Op == OpNot {
 		return u.A
 	}
-	return &Un{Op: OpNot, A: a, w: a.Width()}
+	return internUn(OpNot, a, 0, 0, a.Width())
 }
 
 // NewNeg builds two's-complement negation.
@@ -88,7 +95,7 @@ func NewNeg(a Expr) Expr {
 	if c, ok := a.(*Const); ok {
 		return NewConst(-c.V, c.W)
 	}
-	return &Un{Op: OpNeg, A: a, w: a.Width()}
+	return internUn(OpNeg, a, 0, 0, a.Width())
 }
 
 // NewBoolNot negates a width-1 expression.
@@ -121,7 +128,7 @@ func NewBoolNot(a Expr) Expr {
 			return NewBin(OpSlt, b.B, b.A)
 		}
 	}
-	return &Un{Op: OpBoolNot, A: a, w: 1}
+	return internUn(OpBoolNot, a, 0, 0, 1)
 }
 
 // NewZExt zero-extends a to w bits.
@@ -135,7 +142,7 @@ func NewZExt(a Expr, w int) Expr {
 	if c, ok := a.(*Const); ok {
 		return NewConst(c.V, w)
 	}
-	return &Un{Op: OpZExt, A: a, Arg: w, w: w}
+	return internUn(OpZExt, a, w, 0, w)
 }
 
 // NewSExt sign-extends a to w bits.
@@ -149,7 +156,7 @@ func NewSExt(a Expr, w int) Expr {
 	if c, ok := a.(*Const); ok {
 		return NewConst(signExtend(c.V, c.W), w)
 	}
-	return &Un{Op: OpSExt, A: a, Arg: w, w: w}
+	return internUn(OpSExt, a, w, 0, w)
 }
 
 // NewExtract takes bits hi..lo (inclusive) of a.
@@ -188,7 +195,7 @@ func NewExtract(a Expr, hi, lo int) Expr {
 			return NewExtract(b.A, hi-bw, lo-bw)
 		}
 	}
-	return &Un{Op: OpExtract, A: a, Arg: hi, Arg2: lo, w: w}
+	return internUn(OpExtract, a, hi, lo, w)
 }
 
 // NewConcat concatenates a (high bits) with b (low bits).
@@ -213,7 +220,7 @@ func NewITE(cond, then, els Expr) Expr {
 	if then == els {
 		return then
 	}
-	return &ITE{Cond: cond, Then: then, Else: els}
+	return internITE(cond, then, els)
 }
 
 // NewI2F converts a signed 64-bit integer to f64 bits.
@@ -221,7 +228,7 @@ func NewI2F(a Expr) Expr {
 	if c, ok := a.(*Const); ok {
 		return NewConst(Eval(&Un{Op: OpI2F, A: c, w: 64}, nil), 64)
 	}
-	return &Un{Op: OpI2F, A: a, w: 64}
+	return internUn(OpI2F, a, 0, 0, 64)
 }
 
 // NewF2I truncates f64 bits to a signed 64-bit integer.
@@ -229,7 +236,7 @@ func NewF2I(a Expr) Expr {
 	if c, ok := a.(*Const); ok {
 		return NewConst(Eval(&Un{Op: OpF2I, A: c, w: 64}, nil), 64)
 	}
-	return &Un{Op: OpF2I, A: a, w: 64}
+	return internUn(OpF2I, a, 0, 0, 64)
 }
 
 // Bytes splits a wide expression into its little-endian byte expressions.

@@ -6,76 +6,158 @@ import (
 	"hash"
 )
 
-// CanonicalKey returns a digest of a constraint slice that is stable
-// across processes and independent of pointer identity: structurally
-// equal systems produce equal keys, and (up to hash collisions) distinct
-// systems produce distinct keys. The constraint order is significant —
-// the key identifies the exact solver invocation, not just the logical
-// conjunction, so a cache fronted by it stays bit-for-bit deterministic.
+// CanonicalKey returns a key for a constraint slice such that
+// structurally equal systems produce equal keys and distinct systems
+// produce distinct keys — exactly, not up to hash collisions. The
+// constraint order is significant: the key identifies the exact solver
+// invocation, not just the logical conjunction, so a cache fronted by it
+// stays bit-for-bit deterministic.
 //
-// Expressions are DAGs with heavy sharing (crypto traces reuse register
-// state thousands of times), so the encoding assigns each distinct node
-// an id on first visit and references children by id; cost is linear in
-// the number of distinct nodes, never exponential in depth.
+// With the hash-consing arena, each constraint's identity is its intern
+// id, so the fast path is O(1) per constraint: one id read and an 8-byte
+// append, no tree walk and no hashing. Raw (un-interned) expressions are
+// canonicalized first — linear in distinct nodes, the same cost the old
+// sha-256 walk paid on every call. Only when the arena is full does the
+// key fall back to the StableKey digest walk.
+//
+// Keys are process-local (intern ids are assigned in arrival order); use
+// StableKey for a cross-process-stable form.
 func CanonicalKey(exprs []Expr) string {
-	h := sha256.New()
-	ids := make(map[Expr]int)
-	var buf [10 * 8]byte
-	for _, e := range exprs {
-		id := canonNode(h, ids, buf[:0], e)
-		canonRecord(h, buf[:0], 'T', uint64(id))
+	buf := make([]byte, 1+8*len(exprs))
+	buf[0] = 'i'
+	for i, e := range exprs {
+		id := InternID(e)
+		if id == 0 {
+			if e = Intern(e); e == nil {
+				continue // nil constraint: id 0
+			}
+			if id = InternID(e); id == 0 {
+				// Arena full: fall back to the structural digest walk.
+				// The 's' prefix keeps the two key namespaces disjoint.
+				return "s" + StableKey(exprs)
+			}
+		}
+		binary.LittleEndian.PutUint64(buf[1+8*i:], id)
 	}
-	return string(h.Sum(nil))
+	return string(buf)
 }
 
-// canonNode writes the node's record (children first) on first visit and
-// returns its id. A nil expression gets the reserved id 0.
-func canonNode(h hash.Hash, ids map[Expr]int, buf []byte, e Expr) int {
+// StableKey returns a sha-256 digest of the constraint slice that is
+// stable across processes and independent of pointer identity AND of the
+// input's sharing pattern: structurally equal systems produce equal keys
+// whether a subterm appears as one shared node or as duplicate copies,
+// and (up to hash collisions) distinct systems produce distinct keys.
+// This is the slow path behind CanonicalKey — kept for cross-process
+// cache keys, collision verification and debugging.
+//
+// Expressions are DAGs with heavy sharing (crypto traces reuse register
+// state thousands of times), so the encoding hash-conses locally: each
+// distinct STRUCTURE gets an id on first appearance (duplicate-copy
+// subtrees collapse onto one id) and later references are by id; cost is
+// linear in distinct nodes, never exponential in depth.
+func StableKey(exprs []Expr) string {
+	st := &stableState{
+		h:   sha256.New(),
+		ptr: make(map[Expr]int),
+		str: make(map[stableNodeKey]int),
+	}
+	var buf [10 * 8]byte
+	for _, e := range exprs {
+		id := canonNode(st, buf[:0], e)
+		canonRecord(st.h, buf[:0], 'T', uint64(id))
+	}
+	return string(st.h.Sum(nil))
+}
+
+// stableState is the per-call hash-consing context for StableKey. ptr
+// memoizes visited pointers; str maps node structures to ids so
+// duplicate copies of one subterm collapse onto the first id.
+type stableState struct {
+	h    hash.Hash
+	ptr  map[Expr]int
+	str  map[stableNodeKey]int
+	next int
+}
+
+// stableNodeKey identifies a node's structure: kind tag, scalars, and
+// the already-canonical ids of its children. One composite struct covers
+// every kind; unused fields stay zero.
+type stableNodeKey struct {
+	tag       byte
+	op, w     int
+	arg, arg2 int
+	a, b, c   int
+	name      string
+	v         uint64
+}
+
+// canonNode returns the structural id for e, writing its record
+// (children first) if this structure has not appeared before. A nil
+// expression gets the reserved id 0.
+func canonNode(st *stableState, buf []byte, e Expr) int {
 	if e == nil {
 		return 0
 	}
-	if id, ok := ids[e]; ok {
+	if id, ok := st.ptr[e]; ok {
 		return id
 	}
 	var id int
 	switch t := e.(type) {
 	case *Const:
-		id = nextID(ids, e)
-		canonRecord(h, buf, 'C', uint64(t.W), t.V, uint64(id))
+		key := stableNodeKey{tag: 'C', w: t.W, v: t.V}
+		if id = st.str[key]; id == 0 {
+			id = st.fresh(key)
+			canonRecord(st.h, buf, 'C', uint64(t.W), t.V, uint64(id))
+		}
 	case *Var:
-		id = nextID(ids, e)
-		canonRecord(h, buf, 'V', uint64(t.W), uint64(id))
-		h.Write([]byte(t.Name))
-		h.Write([]byte{0})
+		key := stableNodeKey{tag: 'V', w: t.W, name: t.Name}
+		if id = st.str[key]; id == 0 {
+			id = st.fresh(key)
+			canonRecord(st.h, buf, 'V', uint64(t.W), uint64(id))
+			st.h.Write([]byte(t.Name))
+			st.h.Write([]byte{0})
+		}
 	case *Bin:
-		a := canonNode(h, ids, buf, t.A)
-		b := canonNode(h, ids, buf, t.B)
-		id = nextID(ids, e)
-		canonRecord(h, buf, 'B', uint64(t.Op), uint64(t.Width()), uint64(a), uint64(b), uint64(id))
+		a := canonNode(st, buf, t.A)
+		b := canonNode(st, buf, t.B)
+		key := stableNodeKey{tag: 'B', op: int(t.Op), w: t.Width(), a: a, b: b}
+		if id = st.str[key]; id == 0 {
+			id = st.fresh(key)
+			canonRecord(st.h, buf, 'B', uint64(t.Op), uint64(t.Width()), uint64(a), uint64(b), uint64(id))
+		}
 	case *Un:
-		a := canonNode(h, ids, buf, t.A)
-		id = nextID(ids, e)
-		canonRecord(h, buf, 'U', uint64(t.Op), uint64(t.Width()),
-			uint64(int64(t.Arg)), uint64(int64(t.Arg2)), uint64(a), uint64(id))
+		a := canonNode(st, buf, t.A)
+		key := stableNodeKey{tag: 'U', op: int(t.Op), w: t.Width(),
+			arg: t.Arg, arg2: t.Arg2, a: a}
+		if id = st.str[key]; id == 0 {
+			id = st.fresh(key)
+			canonRecord(st.h, buf, 'U', uint64(t.Op), uint64(t.Width()),
+				uint64(int64(t.Arg)), uint64(int64(t.Arg2)), uint64(a), uint64(id))
+		}
 	case *ITE:
-		c := canonNode(h, ids, buf, t.Cond)
-		th := canonNode(h, ids, buf, t.Then)
-		el := canonNode(h, ids, buf, t.Else)
-		id = nextID(ids, e)
-		canonRecord(h, buf, 'I', uint64(c), uint64(th), uint64(el), uint64(id))
+		c := canonNode(st, buf, t.Cond)
+		th := canonNode(st, buf, t.Then)
+		el := canonNode(st, buf, t.Else)
+		key := stableNodeKey{tag: 'I', a: c, b: th, c: el}
+		if id = st.str[key]; id == 0 {
+			id = st.fresh(key)
+			canonRecord(st.h, buf, 'I', uint64(c), uint64(th), uint64(el), uint64(id))
+		}
 	default:
-		id = nextID(ids, e)
-		canonRecord(h, buf, '?', uint64(id))
+		// Foreign Expr implementation: pointer identity is all we have.
+		st.next++
+		id = st.next
+		canonRecord(st.h, buf, '?', uint64(id))
 	}
+	st.ptr[e] = id
 	return id
 }
 
-// nextID assigns ids in first-visit order, so structurally identical DAGs
-// visited in the same order number their nodes identically.
-func nextID(ids map[Expr]int, e Expr) int {
-	id := len(ids) + 1
-	ids[e] = id
-	return id
+// fresh allocates the next id for a first-seen structure.
+func (st *stableState) fresh(key stableNodeKey) int {
+	st.next++
+	st.str[key] = st.next
+	return st.next
 }
 
 func canonRecord(h hash.Hash, buf []byte, tag byte, words ...uint64) {

@@ -96,9 +96,11 @@ func hasReachableConst(sys []Expr) bool {
 
 // FuzzCanonicalKey checks the cache-key contract on arbitrary systems:
 // rebuilding from the same bytes yields the same key (pointer identity
-// never leaks in), mutating any reachable constant yields a different
+// never leaks in — the raw nodes are interned to the same canonical
+// arena entries), mutating any reachable constant yields a different
 // key, dropping a constraint yields a different key, and deep or
-// heavily shared DAGs neither panic nor blow up.
+// heavily shared DAGs neither panic nor blow up. The sha-256 StableKey
+// slow path is held to the same properties.
 func FuzzCanonicalKey(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2, 3})
@@ -110,12 +112,18 @@ func FuzzCanonicalKey(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sys := buildSystem(data, 0)
 		k1 := CanonicalKey(sys)
-		if len(k1) != 32 {
-			t.Fatalf("key length %d, want 32 (sha-256)", len(k1))
+		if want := 1 + 8*len(sys); len(k1) != want {
+			t.Fatalf("key length %d, want %d (interned-id fast path)", len(k1), want)
+		}
+		if ks := StableKey(sys); len(ks) != 32 {
+			t.Fatalf("stable key length %d, want 32 (sha-256)", len(ks))
 		}
 		// Rebuild: fresh pointers, identical structure, identical key.
 		if k2 := CanonicalKey(buildSystem(data, 0)); k2 != k1 {
 			t.Error("rebuilding the same system changed the key")
+		}
+		if s1, s2 := StableKey(sys), StableKey(buildSystem(data, 0)); s1 != s2 {
+			t.Error("rebuilding the same system changed the stable key")
 		}
 		// Same nodes revisited: the walk must not mutate its input.
 		if k3 := CanonicalKey(sys); k3 != k1 {

@@ -113,6 +113,7 @@ const (
 type Const struct {
 	W int
 	V uint64
+	hc
 }
 
 // Width implements Expr.
@@ -132,6 +133,7 @@ func (c *Const) String() string {
 type Var struct {
 	Name string
 	W    int
+	hc
 }
 
 // Width implements Expr.
@@ -144,6 +146,7 @@ type Bin struct {
 	Op   BinOp
 	A, B Expr
 	w    int
+	hc
 }
 
 // Width implements Expr.
@@ -161,6 +164,7 @@ type Un struct {
 	Arg  int
 	Arg2 int
 	w    int
+	hc
 }
 
 // Width implements Expr.
@@ -193,6 +197,7 @@ type ITE struct {
 	Cond Expr
 	Then Expr
 	Else Expr
+	hc
 }
 
 // Width implements Expr.
@@ -210,17 +215,19 @@ func mask(w int) uint64 {
 	return (uint64(1) << uint(w)) - 1
 }
 
-// NewConst builds a constant, truncating v to w bits.
+// NewConst builds a constant, truncating v to w bits. The result is
+// interned: structurally equal constants share one node.
 func NewConst(v uint64, w int) *Const {
-	return &Const{W: w, V: v & mask(w)}
+	return internConst(w, v&mask(w))
 }
 
 // True and False are the width-1 constants.
 func True() *Const  { return NewConst(1, 1) }
 func False() *Const { return NewConst(0, 1) }
 
-// NewVar builds a variable reference.
-func NewVar(name string, w int) *Var { return &Var{Name: name, W: w} }
+// NewVar builds a variable reference. The result is interned:
+// structurally equal variables share one node.
+func NewVar(name string, w int) *Var { return internVar(name, w) }
 
 // Vars returns the variable names appearing in the expressions, sorted.
 // Expressions are DAGs with heavy sharing (crypto traces reuse register
@@ -395,23 +402,61 @@ func smtExpr(e Expr) string {
 	return "?"
 }
 
+// evalMemoMin is the tree size beyond which Eval switches from the
+// plain recursive walk to a memoized one. The memo exists to tame
+// exponential tree blowup on heavily-shared DAGs, where the tree count
+// dwarfs this threshold immediately; flat terms with little sharing
+// stay on the allocation-free walk, which matters because the FP local
+// search evaluates the same modest terms hundreds of thousands of
+// times and a per-call map there costs more than the walk itself.
+const evalMemoMin = 4096
+
 // Eval computes the concrete value of e under the environment (variable
 // name -> value). Missing variables evaluate to zero.
+//
+// Expressions are DAGs with heavy sharing, and hash-consing makes the
+// sharing pervasive: a term's tree form can be exponentially larger
+// than its node count. Eval therefore memoizes shared subterms when the
+// precomputed tree count (stamped at interning) is large, staying
+// linear in distinct nodes; small terms keep the allocation-free walk.
 func Eval(e Expr, env map[string]uint64) uint64 {
+	if m := meta(e); m != nil && m.tn > evalMemoMin {
+		return evalExpr(e, env, make(map[Expr]uint64))
+	}
+	return evalExpr(e, env, nil)
+}
+
+func evalExpr(e Expr, env map[string]uint64, memo map[Expr]uint64) uint64 {
+	if memo != nil {
+		if v, ok := memo[e]; ok {
+			return v
+		}
+	}
+	v := evalNode(e, env, memo)
+	if memo != nil {
+		switch e.(type) {
+		case *Bin, *Un, *ITE:
+			memo[e] = v
+		}
+	}
+	return v
+}
+
+func evalNode(e Expr, env map[string]uint64, memo map[Expr]uint64) uint64 {
 	switch t := e.(type) {
 	case *Const:
 		return t.V
 	case *Var:
 		return env[t.Name] & mask(t.W)
 	case *Bin:
-		a := Eval(t.A, env)
-		b := Eval(t.B, env)
+		a := evalExpr(t.A, env, memo)
+		b := evalExpr(t.B, env, memo)
 		if t.Op == OpConcat {
 			return ((a << uint(t.B.Width())) | b) & mask(t.w)
 		}
 		return evalBin(t.Op, a, b, t.A.Width()) & mask(t.w)
 	case *Un:
-		a := Eval(t.A, env)
+		a := evalExpr(t.A, env, memo)
 		switch t.Op {
 		case OpNot:
 			return ^a & mask(t.w)
@@ -441,10 +486,10 @@ func Eval(e Expr, env map[string]uint64) uint64 {
 			return (a ^ 1) & 1
 		}
 	case *ITE:
-		if Eval(t.Cond, env)&1 == 1 {
-			return Eval(t.Then, env)
+		if evalExpr(t.Cond, env, memo)&1 == 1 {
+			return evalExpr(t.Then, env, memo)
 		}
-		return Eval(t.Else, env)
+		return evalExpr(t.Else, env, memo)
 	}
 	return 0
 }

@@ -1,0 +1,60 @@
+package sym
+
+import "testing"
+
+// benchDeepSystem builds a constraint system over a deep shared chain —
+// the shape of an engine negation query late in a run: a long register
+// dataflow chain compared against several constants.
+func benchDeepSystem(depth, constraints int) []Expr {
+	e := Expr(NewVar("x", 64))
+	for i := 0; i < depth; i++ {
+		e = NewBin(OpAdd, NewBin(OpMul, e, NewVar("k", 64)), NewConst(uint64(i)+1, 64))
+	}
+	sys := make([]Expr, constraints)
+	for i := range sys {
+		sys[i] = NewBin(OpEq, e, NewConst(uint64(i)*977+5, 64))
+	}
+	return sys
+}
+
+// BenchmarkCanonicalKeyInterned measures the interned-id fast path: one
+// id read plus an 8-byte append per constraint, independent of term
+// depth. Compare against BenchmarkCanonicalKeyStable — the digest walk
+// the key was computed with before hash-consing.
+func BenchmarkCanonicalKeyInterned(b *testing.B) {
+	sys := benchDeepSystem(200, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k := CanonicalKey(sys); len(k) != 1+8*len(sys) {
+			b.Fatalf("key length %d", len(k))
+		}
+	}
+}
+
+// BenchmarkCanonicalKeyStable measures the sha-256 structural walk on
+// the same system — the pre-interning cost of every cache lookup, now
+// only the arena-full fallback.
+func BenchmarkCanonicalKeyStable(b *testing.B) {
+	sys := benchDeepSystem(200, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k := StableKey(sys); len(k) != 32 {
+			b.Fatalf("key length %d", len(k))
+		}
+	}
+}
+
+// BenchmarkInternConstruct measures raw constructor throughput with the
+// arena on the hot path: half the calls are fresh structures (misses),
+// half rebuild the previous term (hits).
+func BenchmarkInternConstruct(b *testing.B) {
+	x := NewVar("x", 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewBin(OpXor, x, NewConst(uint64(i%4096), 64))
+		_ = NewBin(OpAdd, e, e)
+	}
+}

@@ -1,0 +1,184 @@
+package sym
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInternPointerIdentity is the arena's core contract: building the
+// same term through fresh constructor calls returns the same pointer,
+// and distinct terms get distinct pointers.
+func TestInternPointerIdentity(t *testing.T) {
+	build := func() Expr {
+		x := NewVar("x", 32)
+		return NewBin(OpAdd, NewBin(OpMul, x, NewConst(3, 32)), NewConst(7, 32))
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatal("two constructor chains over the same structure returned distinct pointers")
+	}
+	if !Interned(a) || InternID(a) == 0 {
+		t.Error("constructor result is not interned")
+	}
+	c := NewBin(OpAdd, NewBin(OpMul, NewVar("x", 32), NewConst(3, 32)), NewConst(8, 32))
+	if a == c {
+		t.Error("distinct terms interned to one pointer")
+	}
+	if InternID(a) == InternID(c) {
+		t.Error("distinct terms share an intern id")
+	}
+
+	// Width participates in identity.
+	if NewVar("x", 32) == Expr(NewVar("x", 64)) {
+		t.Error("vars of different widths interned together")
+	}
+	if NewConst(5, 8) == NewConst(5, 16) {
+		t.Error("consts of different widths interned together")
+	}
+}
+
+// TestInternDigestAndTreeNodes checks the per-node metadata stamped at
+// construction: digests are non-zero and structural, tree counts follow
+// the tree (not the DAG).
+func TestInternDigestAndTreeNodes(t *testing.T) {
+	x := NewVar("x", 64)
+	e := NewBin(OpXor, x, NewConst(1, 64))
+	for i := 0; i < 10; i++ {
+		// e*e doubles the tree while adding one DAG node per level.
+		e = NewBin(OpMul, e, e)
+	}
+	if Digest(e) == 0 {
+		t.Fatal("zero digest on interned node")
+	}
+	e2 := NewBin(OpMul, e, e) // one more level, fresh path
+	if Digest(e2) == 0 || Digest(e2) == Digest(e) {
+		t.Error("digest did not change with structure")
+	}
+	// Tree count: leaf pair (x ^ 1) is 3 nodes, each level is 2n+1.
+	want := uint64(3)
+	for i := 0; i < 10; i++ {
+		want = 2*want + 1
+	}
+	if got := TreeNodes(e); got != want {
+		t.Errorf("TreeNodes = %d, want %d", got, want)
+	}
+	if sz := Size(e); sz != 13 {
+		t.Errorf("DAG size = %d, want 13", sz)
+	}
+}
+
+// TestArenaStatsCounters watches the snapshot counters move: a fresh
+// term is a miss, a rebuild is a hit.
+func TestArenaStatsCounters(t *testing.T) {
+	before := ArenaSnapshot()
+	v := NewVar("arena-stats-probe", 32) // unique name: guaranteed miss
+	mid := ArenaSnapshot()
+	if mid.Misses <= before.Misses {
+		t.Error("fresh var did not count as a miss")
+	}
+	if mid.Size <= before.Size {
+		t.Error("fresh var did not grow the arena")
+	}
+	_ = NewVar("arena-stats-probe", 32)
+	after := ArenaSnapshot()
+	if after.Hits <= mid.Hits {
+		t.Error("rebuilding the var did not count as a hit")
+	}
+	if after.Size != mid.Size {
+		t.Error("rebuilding the var grew the arena")
+	}
+	if r := after.HitRate(); r <= 0 || r >= 1 {
+		t.Errorf("hit rate %v outside (0,1) after mixed traffic", r)
+	}
+	_ = v
+}
+
+// TestInternRawTree canonicalizes a struct-literal tree and checks it
+// lands on the very node the constructors would build.
+func TestInternRawTree(t *testing.T) {
+	raw := &Bin{
+		Op: OpAdd,
+		A:  &Var{Name: "y", W: 16},
+		B:  &Const{W: 16, V: 9},
+		w:  16,
+	}
+	if Interned(raw) {
+		t.Fatal("struct literal is interned")
+	}
+	canon := Intern(raw)
+	if !Interned(canon) {
+		t.Fatal("Intern returned an un-interned node")
+	}
+	if built := NewBin(OpAdd, NewVar("y", 16), NewConst(9, 16)); canon != built {
+		t.Error("Intern and the constructors disagree on the canonical node")
+	}
+	// Structure preserved exactly.
+	if raw.String() != canon.String() {
+		t.Errorf("Intern changed the term: %s -> %s", raw, canon)
+	}
+	if Intern(canon) != canon {
+		t.Error("Intern of an interned node is not the identity")
+	}
+}
+
+// TestArenaCapFallback fills a tiny arena and checks the degradation
+// path: constructions keep working un-interned, digests stay
+// precomputed, and CanonicalKey switches to the stable namespace.
+func TestArenaCapFallback(t *testing.T) {
+	resetArena(4)
+	t.Cleanup(func() { resetArena(DefaultArenaCap) })
+
+	var last Expr
+	for i := uint64(0); i < 16; i++ {
+		last = NewConst(i, 32)
+	}
+	s := ArenaSnapshot()
+	if s.Fallbacks == 0 {
+		t.Fatal("no fallbacks after exceeding the cap")
+	}
+	if s.Size > 4 {
+		t.Errorf("arena size %d exceeds cap 4", s.Size)
+	}
+	if Interned(last) {
+		t.Error("node created past the cap is interned")
+	}
+	if Digest(last) == 0 {
+		t.Error("fallback node lost its precomputed digest")
+	}
+	key := CanonicalKey([]Expr{last})
+	if !strings.HasPrefix(key, "s") || len(key) != 33 {
+		t.Errorf("full-arena key %q not in the stable namespace", key)
+	}
+	// Keys from the two namespaces never collide: 'i' vs 's' prefix.
+	if interned := CanonicalKey([]Expr{NewConst(0, 32)}); interned[0] != 'i' {
+		t.Errorf("interned key %q not in the id namespace", interned)
+	}
+}
+
+// TestEvalDeepSharedDAG evaluates a 2^200-node tree that is 600-odd
+// distinct DAG nodes — the shape that hung model minimization before
+// Eval memoized shared subterms. Must complete (and fast).
+func TestEvalDeepSharedDAG(t *testing.T) {
+	x := NewVar("x", 64)
+	e := NewBin(OpXor, x, NewConst(0x1234, 64))
+	for i := 0; i < 200; i++ {
+		e = NewBin(OpMul, e, e)
+		e = NewBin(OpAdd, e, NewConst(uint64(i)+1, 64))
+	}
+	env := map[string]uint64{"x": 0xdeadbeef}
+	v1 := Eval(e, env)
+	if v2 := Eval(e, env); v2 != v1 {
+		t.Errorf("repeated Eval differs: %#x vs %#x", v1, v2)
+	}
+	if TreeNodes(e) != ^uint64(0) {
+		t.Error("tree count did not saturate on a 2^200-node tree")
+	}
+	// The memoized result must match a by-hand fold of the same chain.
+	want := (uint64(0xdeadbeef) ^ 0x1234)
+	for i := 0; i < 200; i++ {
+		want = want*want + uint64(i) + 1
+	}
+	if v1 != want {
+		t.Errorf("Eval = %#x, want %#x", v1, want)
+	}
+}
