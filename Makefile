@@ -4,7 +4,8 @@ GO ?= go
 
 # ci is the gate: static checks, build, the concurrency-sensitive
 # packages under the race detector, short fuzz smokes on the solver
-# cache key and the interning equivalence property, then the full suite.
+# cache key, the interning equivalence property and the COW memory
+# (clone/write vs a deep-copy reference model), then the full suite.
 ci: vet build race fuzz test
 
 vet:
@@ -14,11 +15,12 @@ build:
 	$(GO) build ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sym/... ./internal/core/... ./internal/solver/... ./internal/service/...
+	$(GO) test -race -count=1 ./internal/sym/... ./internal/core/... ./internal/solver/... ./internal/service/... ./internal/mem/... ./internal/gos/... ./internal/lift/...
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCanonicalKey -fuzztime=5s ./internal/sym/
 	$(GO) test -run '^$$' -fuzz FuzzInternEval -fuzztime=5s ./internal/sym/
+	$(GO) test -run '^$$' -fuzz FuzzMemoryCOW -fuzztime=5s ./internal/mem/
 
 test:
 	$(GO) test ./...
@@ -28,6 +30,8 @@ test-short:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExploreParallel|BenchmarkSolverCacheHitRate' -benchtime 3x ./internal/core/...
+	$(GO) test -run '^$$' -bench 'BenchmarkExploreCheckpointed|BenchmarkExploreFromScratch' -benchtime 3x ./internal/core/...
+	$(GO) test -run '^$$' -bench 'BenchmarkMemClone|BenchmarkMemCloneWriteFault' ./internal/mem/...
 	$(GO) test -run '^$$' -bench 'BenchmarkInputKey' ./internal/core/...
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheSolveHit|BenchmarkSolveUncached|BenchmarkCanonicalKey' ./internal/solver/...
 	$(GO) test -run '^$$' -bench 'BenchmarkCanonicalKeyInterned|BenchmarkCanonicalKeyStable|BenchmarkInternConstruct' ./internal/sym/

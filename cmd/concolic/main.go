@@ -25,6 +25,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0,
 		"wall-clock deadline for the whole analysis (0 = profile budget only); "+
 			"exercises the same context-cancellation path as concolicd")
+	checkpoint := flag.String("checkpoint", "auto",
+		"snapshot-replay policy: auto (resume rounds from checkpoints) or off "+
+			"(re-execute every round from _start; identical outcomes)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -55,6 +58,15 @@ func main() {
 	}
 
 	p.Caps.Workers = *workers
+	switch *checkpoint {
+	case "auto":
+		p.Caps.Checkpoint = core.CheckpointAuto
+	case "off":
+		p.Caps.Checkpoint = core.CheckpointOff
+	default:
+		fmt.Fprintf(os.Stderr, "concolic: unknown -checkpoint %q (auto or off)\n", *checkpoint)
+		os.Exit(2)
+	}
 	en := core.New(b.Image(), b.BombAddr(), p.Caps)
 	out := en.ExploreContext(ctx, b.Benign)
 
@@ -95,6 +107,9 @@ func main() {
 			fmt.Printf(" intern-hit-rate=%.0f%%", 100*s.InternHitRate())
 		}
 		fmt.Println()
+		fmt.Printf("stats: checkpoints=%d resumes=%d skipped-instructions=%d cow-faults=%d prefix-constraints-reused=%d\n",
+			s.CheckpointsTaken, s.CheckpointResumes, s.InstructionsSkipped,
+			s.PagesCOWFaulted, s.PrefixConstraintsReused)
 	}
 	if *verbose {
 		for _, in := range out.Incidents {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 )
 
@@ -22,11 +23,25 @@ func main() {
 	diag := flag.Bool("diag", false, "with -table2: print per-cell root-cause diagnostics")
 	workers := flag.Int("workers", 0, "concurrent Table II cells (0 = all CPUs, 1 = sequential)")
 	jsonOut := flag.Bool("json", false, "emit the Table II grid plus aggregate engine stats as JSON and exit")
+	checkpoint := flag.String("checkpoint", "auto",
+		"snapshot-replay policy for the Table II grid: auto or off (identical outcomes, different work profile)")
 	all := flag.Bool("all", false, "render everything")
 	flag.Parse()
 
+	var pol core.CheckpointPolicy
+	switch *checkpoint {
+	case "auto":
+		pol = core.CheckpointAuto
+	case "off":
+		pol = core.CheckpointOff
+	default:
+		fmt.Fprintf(os.Stderr, "evaltable: unknown -checkpoint %q (auto or off)\n", *checkpoint)
+		os.Exit(2)
+	}
+	runTableII := func() *eval.Grid { return eval.RunTableIICheckpoint(*workers, pol) }
+
 	if *jsonOut {
-		g := eval.RunTableIIWorkers(*workers)
+		g := runTableII()
 		out, err := eval.MarshalGrid(g)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
@@ -43,7 +58,7 @@ func main() {
 		fmt.Println(eval.RenderTableI())
 	}
 	if *all || *table2 {
-		g := eval.RunTableIIWorkers(*workers)
+		g := runTableII()
 		fmt.Println(eval.RenderTableII(g))
 		if *diag {
 			fmt.Println(eval.RenderDiagnostics(g))

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bombs"
+	"repro/internal/gos"
+	"repro/internal/trace"
+)
+
+// The checkpointing scheduler (the "checkpoint" box of the paper's
+// Figure 1 loop) lets a round replay its input from the deepest machine
+// snapshot that provably precedes the input's divergence point, instead
+// of re-executing from _start. The key soundness fact: a snapshot taken
+// at trace position L during a run on input b is a valid start state for
+// a run on input x exactly when no instruction in the shared trace
+// prefix [0, L) observed any state that differs between b and x. The
+// differing state is known precisely — the differing argv bytes, plus
+// the time/pid/web facets when they changed — so validity reduces to a
+// conservative scan of the recorded prefix (divergeIndex). Replay then
+// restores the snapshot, patches the differing argv bytes, stitches a
+// copy of the parent's trace prefix, and lets the machine run; by
+// construction the continued run is byte-identical to a from-scratch
+// run on x, which is what keeps checkpointed and non-checkpointed
+// explorations' outcomes equal.
+
+// CheckpointPolicy selects the engine's snapshot-replay behaviour.
+type CheckpointPolicy int
+
+// Checkpoint policies.
+const (
+	// CheckpointAuto (the zero value) resumes each candidate from the
+	// deepest valid machine snapshot of its parent's run.
+	CheckpointAuto CheckpointPolicy = iota
+	// CheckpointOff re-executes every round from the program entry point
+	// (the pre-checkpointing behaviour; outcomes are identical, only the
+	// work profile changes).
+	CheckpointOff
+)
+
+// Checkpoint-scheduler tuning.
+const (
+	// ckptCadenceDivisor and ckptMinCadence derive the snapshot interval
+	// from the step budget; gos thins the set geometrically beyond its
+	// retention bound, so short runs get fine-grained resume points and
+	// long runs keep whole-run coverage.
+	ckptCadenceDivisor = 4096
+	ckptMinCadence     = 128
+	// maxPlanTraceLen stops attaching replay plans to candidates whose
+	// parent trace is huge: each pending plan keeps its parent trace
+	// alive, and for pathological runs re-executing is cheaper than the
+	// retained memory.
+	maxPlanTraceLen = 50_000
+	// maxPlanCkpts caps the checkpoints carried per plan, keeping the
+	// deepest ones (largest instruction skip).
+	maxPlanCkpts = 48
+)
+
+func snapshotCadence(stepBudget int) int {
+	c := stepBudget / ckptCadenceDivisor
+	if c < ckptMinCadence {
+		c = ckptMinCadence
+	}
+	return c
+}
+
+// candidate is one frontier entry: the input to try plus, when
+// checkpointing is on, the replay plan inherited from the round that
+// generated it.
+type candidate struct {
+	in   bombs.Input
+	plan *replayPlan
+}
+
+// checkpoint pairs a machine snapshot with the input whose run produced
+// it; validity checks are always relative to that base input.
+type checkpoint struct {
+	snap *gos.Snapshot
+	base bombs.Input
+	// validUpTo is the divergence bound of this checkpoint against the
+	// *current* plan's run: the plan's trace prefix [0, validUpTo) is
+	// identical to the base run's. Re-derived at each generation.
+	validUpTo int
+}
+
+// replayPlan is what a parent round hands each of its children: the
+// parent's recorded trace (the shared prefix source), the parent's
+// input, and every checkpoint — own or inherited — still valid against
+// that trace. argv1Addr is the guest address of argv1's string bytes,
+// which is layout-determined and identical across runs (argv0 is the
+// constant program name).
+type replayPlan struct {
+	parent    bombs.Input
+	trace     *trace.Trace
+	argv1Addr uint64
+	ckpts     []checkpoint // ascending TraceLen
+}
+
+// best returns the deepest checkpoint valid for replaying input next,
+// or nil when every snapshot lies at or past the divergence point.
+func (p *replayPlan) best(next bombs.Input) *checkpoint {
+	if p == nil || len(p.ckpts) == 0 {
+		return nil
+	}
+	d := divergeIndex(p.trace, diffInputs(p.parent, next, p.argv1Addr))
+	for i := len(p.ckpts) - 1; i >= 0; i-- {
+		ck := &p.ckpts[i]
+		lim := min(d, ck.validUpTo)
+		if ck.snap.TraceLen <= lim && ck.snap.TraceLen > 0 {
+			return ck
+		}
+	}
+	return nil
+}
+
+// inputDiff describes the guest-visible state that differs between two
+// inputs: a byte range of argv1 plus per-facet flags.
+type inputDiff struct {
+	argvLo, argvHi uint64 // differing argv1 bytes, [lo, hi); empty if lo >= hi
+	time, pid, web bool
+	other          bool // stdin/files differ: no sharing possible
+}
+
+func (d inputDiff) empty() bool {
+	return d.argvLo >= d.argvHi && !d.time && !d.pid && !d.web && !d.other
+}
+
+// diffInputs computes the state difference between a checkpoint's base
+// input and a candidate input. argvAddr is the guest address of argv1.
+// The argv range covers every differing byte including the NUL
+// terminators, so length changes are part of the range.
+func diffInputs(base, next bombs.Input, argvAddr uint64) inputDiff {
+	var d inputDiff
+	if base.Argv1 != next.Argv1 {
+		a, b := base.Argv1, next.Argv1
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		// Compare over [0, maxLen] so the NUL of the shorter string is
+		// included in the differing range.
+		lo, hi := -1, -1
+		for i := 0; i <= maxLen; i++ {
+			var ca, cb byte
+			if i < len(a) {
+				ca = a[i]
+			}
+			if i < len(b) {
+				cb = b[i]
+			}
+			if ca != cb {
+				if lo < 0 {
+					lo = i
+				}
+				hi = i
+			}
+		}
+		if lo >= 0 {
+			d.argvLo = argvAddr + uint64(lo)
+			d.argvHi = argvAddr + uint64(hi) + 1
+		}
+	}
+	d.time = base.TimeNow != next.TimeNow
+	d.pid = base.Pid != next.Pid
+	d.web = !webEqual(base.Web, next.Web)
+	d.other = !filesEqual(base.Files, next.Files)
+	return d
+}
+
+func webEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func filesEqual(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || string(w) != string(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// divergeIndex returns the index of the first trace entry that may
+// observe (read or write) any state in the diff, or tr.Len() when the
+// whole trace is diff-free. Entries at or past the returned index may
+// depend on the differing input; everything before it is guaranteed
+// identical across both runs.
+func divergeIndex(tr *trace.Trace, d inputDiff) int {
+	if d.other {
+		return 0
+	}
+	if d.empty() {
+		return tr.Len()
+	}
+	for i := range tr.Entries {
+		if entryTouches(&tr.Entries[i], d) {
+			return i
+		}
+	}
+	return tr.Len()
+}
+
+// overlaps reports whether the n-byte guest range at addr intersects the
+// diff's argv byte range.
+func (d inputDiff) overlaps(addr, n uint64) bool {
+	return d.argvLo < d.argvHi && addr < d.argvHi && addr+n > d.argvLo
+}
+
+// entryTouches conservatively reports whether one executed instruction
+// could observe the diff. Memory accesses are widened to 8 bytes (the
+// largest access size); syscall path strings are modelled from the
+// recorded path length (they are read byte-wise from guest memory
+// without a dedicated trace entry).
+func entryTouches(e *trace.Entry, d inputDiff) bool {
+	if s := e.Sys; s != nil {
+		switch s.Num {
+		case trace.SysTime:
+			if d.time {
+				return true
+			}
+		case trace.SysGetpid:
+			if d.pid {
+				return true
+			}
+		case trace.SysWebGet:
+			if d.web {
+				return true
+			}
+		}
+		if d.argvLo < d.argvHi {
+			if len(s.Data) > 0 && d.overlaps(s.Addr, uint64(len(s.Data))) {
+				return true
+			}
+			if s.Num == trace.SysPipe && d.overlaps(s.Addr, 16) {
+				return true
+			}
+			if s.Path != "" && d.overlaps(s.Args[0], uint64(len(s.Path))+1) {
+				return true
+			}
+		}
+		return false
+	}
+	if e.Exc != nil && d.argvLo < d.argvHi {
+		// Handled exceptions push a resume address at an SP the trace does
+		// not record; give up sharing past them rather than model it.
+		return true
+	}
+	// Widen every recorded memory access to 8 bytes; entries without a
+	// memory operand carry Addr == 0, which can never reach the argv
+	// block's high addresses.
+	return d.overlaps(e.Addr, 8)
+}
+
+// makePlan assembles the replay plan a finished round publishes to its
+// children: the round's own snapshots (base = this round's input, valid
+// over the whole trace) plus inherited checkpoints still valid against
+// this round's trace, deepest-capped.
+func makePlan(cur bombs.Input, res *gos.Result, snaps []*gos.Snapshot, inherited *replayPlan) *replayPlan {
+	if res.Trace == nil || res.Trace.Len() > maxPlanTraceLen {
+		return nil
+	}
+	if len(res.Argv) < 2 {
+		return nil // no argv1: nothing to patch, but also nothing to key on
+	}
+	p := &replayPlan{parent: cur, trace: res.Trace, argv1Addr: res.Argv[1].Addr}
+	if inherited != nil {
+		for i := range inherited.ckpts {
+			ck := inherited.ckpts[i]
+			// Re-derive the validity bound against this run's trace: the
+			// inherited bound still applies (this trace's prefix under it is
+			// the ancestor's), further limited by where this run's prefix
+			// stopped matching the checkpoint's base.
+			v := divergeIndex(res.Trace, diffInputs(ck.base, cur, p.argv1Addr))
+			if v > ck.validUpTo {
+				v = ck.validUpTo
+			}
+			if ck.snap.TraceLen <= v {
+				p.ckpts = append(p.ckpts, checkpoint{snap: ck.snap, base: ck.base, validUpTo: v})
+			}
+		}
+	}
+	for _, s := range snaps {
+		if s.TraceLen > res.Trace.Len() {
+			continue
+		}
+		p.ckpts = append(p.ckpts, checkpoint{snap: s, base: cur, validUpTo: res.Trace.Len()})
+	}
+	// Inherited checkpoints and own snapshots can interleave in depth;
+	// keep the list ascending so best() finds the deepest valid one.
+	sort.Slice(p.ckpts, func(i, j int) bool {
+		return p.ckpts[i].snap.TraceLen < p.ckpts[j].snap.TraceLen
+	})
+	if len(p.ckpts) > maxPlanCkpts {
+		// Keep the deepest ones (largest skip) but always retain the
+		// shallowest: it is typically the pre-input snapshot — the only
+		// valid resume point for siblings that mutate bytes read early.
+		kept := append([]checkpoint{p.ckpts[0]}, p.ckpts[len(p.ckpts)-maxPlanCkpts+1:]...)
+		p.ckpts = kept
+	}
+	if len(p.ckpts) == 0 {
+		return nil
+	}
+	return p
+}

@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/tools"
+)
+
+// exploreCkpt runs one full exploration of the named bomb with the given
+// checkpoint policy at Workers=1 (the deterministic sequential schedule).
+func exploreCkpt(tb testing.TB, name string, pol core.CheckpointPolicy) *core.Outcome {
+	return exploreCkptProfile(tb, name, pol, tools.FastBudgets(tools.Reference()))
+}
+
+func exploreCkptProfile(tb testing.TB, name string, pol core.CheckpointPolicy, p tools.Profile) *core.Outcome {
+	bomb, ok := bombs.ByName(name)
+	if !ok {
+		tb.Fatalf("%s missing", name)
+	}
+	caps := p.Caps
+	caps.Workers = 1
+	caps.Checkpoint = pol
+	en := core.New(bomb.Image(), bomb.BombAddr(), caps)
+	return en.Explore(bomb.Benign)
+}
+
+// TestCheckpointSkipsInstructions asserts the headline property of the
+// checkpointing scheduler on a deep multi-round bomb: rounds resume from
+// snapshots, the replayed prefixes add up to a measurable instruction
+// skip, and the symbolic pass reuses constraints anchored inside the
+// replayed prefix — all without changing the verdict or round count.
+func TestCheckpointSkipsInstructions(t *testing.T) {
+	on := exploreCkpt(t, "loop", core.CheckpointAuto)
+	off := exploreCkpt(t, "loop", core.CheckpointOff)
+	if on.Verdict != off.Verdict || on.Rounds != off.Rounds || on.Input.Argv1 != off.Input.Argv1 {
+		t.Fatalf("checkpointing changed the outcome: on=%v/%d/%q off=%v/%d/%q",
+			on.Verdict, on.Rounds, on.Input.Argv1, off.Verdict, off.Rounds, off.Input.Argv1)
+	}
+	if on.Stats.CheckpointResumes == 0 {
+		t.Fatal("no round resumed from a checkpoint")
+	}
+	if on.Stats.InstructionsSkipped == 0 {
+		t.Fatal("resumed rounds skipped no instructions")
+	}
+	if on.Stats.CheckpointsTaken == 0 {
+		t.Fatal("no snapshots were taken")
+	}
+	if off.Stats.CheckpointResumes != 0 || off.Stats.InstructionsSkipped != 0 ||
+		off.Stats.CheckpointsTaken != 0 || off.Stats.PagesCOWFaulted != 0 {
+		t.Fatalf("CheckpointOff reported checkpoint work: %+v", off.Stats)
+	}
+}
+
+// TestCheckpointReusesPrefixConstraints uses the float bomb, whose
+// children diverge deep inside the iteration (the differing argv bytes
+// are consumed late), so rounds resume from snapshots past earlier
+// tainted branches and the symbolic pass inherits those branches'
+// constraints from the replayed prefix. The loop bomb cannot show this:
+// atoi consumes every argv byte up front, so its only valid resume point
+// precedes all input-dependent branches.
+func TestCheckpointReusesPrefixConstraints(t *testing.T) {
+	// FastBudgets caps MaxRounds at 12; float needs ~41 rounds before its
+	// children diverge deep enough to resume past tainted branches, so
+	// raise only the round and wall budgets.
+	p := tools.FastBudgets(tools.Reference())
+	p.Caps.MaxRounds = 60
+	p.Caps.TotalBudget = 60 * time.Second
+	on := exploreCkptProfile(t, "float", core.CheckpointAuto, p)
+	off := exploreCkptProfile(t, "float", core.CheckpointOff, p)
+	if on.Verdict != off.Verdict || on.Rounds != off.Rounds || on.Input.Argv1 != off.Input.Argv1 {
+		t.Fatalf("checkpointing changed the outcome: on=%v/%d/%q off=%v/%d/%q",
+			on.Verdict, on.Rounds, on.Input.Argv1, off.Verdict, off.Rounds, off.Input.Argv1)
+	}
+	if on.Stats.PrefixConstraintsReused == 0 {
+		t.Fatal("no path constraints were reused from replayed prefixes")
+	}
+}
+
+// BenchmarkExploreCheckpointed and BenchmarkExploreFromScratch measure
+// the same exploration of the loop bomb — the deepest multi-round case
+// in the suite (69 rounds, each lengthening a loop's trace) — with and
+// without snapshot replay. The instructions-skipped metric reports how
+// much concrete re-execution the checkpoints removed per exploration.
+func benchProfile() tools.Profile {
+	// FastBudgets solver limits, but enough rounds to let the loop bomb
+	// run its full 69-round iterative lengthening.
+	p := tools.FastBudgets(tools.Reference())
+	p.Caps.MaxRounds = 80
+	p.Caps.TotalBudget = 60 * time.Second
+	return p
+}
+
+func BenchmarkExploreCheckpointed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := exploreCkptProfile(b, "loop", core.CheckpointAuto, benchProfile())
+		if out.Verdict != core.VerdictSolved {
+			b.Fatalf("verdict %v", out.Verdict)
+		}
+		b.ReportMetric(float64(out.Stats.InstructionsSkipped), "skipped-instrs/op")
+		b.ReportMetric(float64(out.Stats.CheckpointResumes), "resumes/op")
+	}
+}
+
+func BenchmarkExploreFromScratch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := exploreCkptProfile(b, "loop", core.CheckpointOff, benchProfile())
+		if out.Verdict != core.VerdictSolved {
+			b.Fatalf("verdict %v", out.Verdict)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core_test
+
+// Concurrency tests for the copy-on-write machinery the checkpointing
+// scheduler leans on: a parallel batch hands the same replay plan — and
+// with it the same quiescent snapshots and shared memory pages — to
+// every worker, so clones and private writes race against each other in
+// exactly the pattern exercised here. Run under `make race`.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/tools"
+)
+
+// TestCOWConcurrentCloneWrite hammers a quiescent parent Memory with
+// ResolvedWorkers goroutines, each cloning it and writing through its
+// own clone. The parent must stay byte-identical, and every clone must
+// see its own writes over the parent's bytes — the contract the engine
+// relies on when several workers resume from one snapshot at once.
+func TestCOWConcurrentCloneWrite(t *testing.T) {
+	workers := core.Capabilities{}.ResolvedWorkers()
+	if workers < 4 {
+		workers = 4
+	}
+	const pages = 16
+	const rounds = 50
+
+	parent := mem.New()
+	for p := 0; p < pages; p++ {
+		for b := 0; b < 8; b++ {
+			parent.StoreByte(uint64(p*mem.PageSize+b), byte(p+b))
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				c := parent.Clone()
+				// Touch every page: each write COW-faults a shared page
+				// while sibling goroutines fault their own copies of it.
+				for p := 0; p < pages; p++ {
+					addr := uint64(p*mem.PageSize + w%8)
+					c.StoreByte(addr, byte(0xA0+w))
+					if got := c.LoadByte(addr); got != byte(0xA0+w) {
+						errs <- "clone lost its own write"
+						return
+					}
+				}
+				// Unwritten offsets must still show the parent's bytes.
+				for p := 0; p < pages; p++ {
+					off := (w + 1) % 8
+					want := byte(p + off)
+					if w%8 == off {
+						continue
+					}
+					if got := c.LoadByte(uint64(p*mem.PageSize + off)); got != want {
+						errs <- "clone saw a sibling's write"
+						return
+					}
+				}
+				c.Reset()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	for p := 0; p < pages; p++ {
+		for b := 0; b < 8; b++ {
+			if got := parent.LoadByte(uint64(p*mem.PageSize + b)); got != byte(p+b) {
+				t.Fatalf("parent page %d byte %d corrupted: %#x", p, b, got)
+			}
+		}
+	}
+}
+
+// TestCheckpointedExploreRace runs a checkpoint-heavy exploration at
+// several worker counts under the race detector: parallel rounds resume
+// from the same plan's snapshots (concurrent Snapshot.Resume → Memory
+// clones → private COW faults) while the owning round's machine keeps
+// executing. The loop bomb resumes on nearly every round, so this is
+// the densest snapshot-sharing workload the engine produces.
+func TestCheckpointedExploreRace(t *testing.T) {
+	bomb, ok := bombs.ByName("loop")
+	if !ok {
+		t.Fatal("loop missing")
+	}
+	want := exploreWith(bomb, tools.FastBudgets(tools.Reference()), 1)
+	for _, workers := range []int{2, core.Capabilities{}.ResolvedWorkers()} {
+		out := exploreWith(bomb, tools.FastBudgets(tools.Reference()), workers)
+		if out.Verdict != want.Verdict || out.Rounds != want.Rounds {
+			t.Fatalf("workers=%d: verdict %v rounds %d, want %v/%d",
+				workers, out.Verdict, out.Rounds, want.Verdict, want.Rounds)
+		}
+		if out.Stats.CheckpointResumes == 0 {
+			t.Fatalf("workers=%d: checkpointing never engaged", workers)
+		}
+	}
+}

@@ -78,6 +78,14 @@ type Capabilities struct {
 	// SolverCacheSize bounds the engine's solver query cache
 	// (<= 0: solver.DefaultCacheSize).
 	SolverCacheSize int
+
+	// Checkpoint selects the snapshot-replay policy: CheckpointAuto (the
+	// zero value) resumes each candidate from the deepest machine
+	// snapshot that precedes its divergence point, re-executing only the
+	// suffix; CheckpointOff re-executes every round from the entry point.
+	// Outcomes are byte-identical either way — only the work profile
+	// (instructions executed, pages copied) changes.
+	Checkpoint CheckpointPolicy
 }
 
 // ResolvedWorkers returns the worker count Explore will actually use:
@@ -185,6 +193,22 @@ type Stats struct {
 	// ArenaNodes is the process-wide arena population after the call:
 	// the number of distinct interned terms alive.
 	ArenaNodes uint64
+
+	// CheckpointsTaken counts resumable machine snapshots captured across
+	// all concrete runs of this Explore call.
+	CheckpointsTaken int
+	// CheckpointResumes counts rounds that started from a snapshot
+	// instead of the program entry point.
+	CheckpointResumes int
+	// InstructionsSkipped sums the shared-prefix instructions that
+	// resumed rounds did not re-execute.
+	InstructionsSkipped int64
+	// PagesCOWFaulted counts guest memory pages copied on write across
+	// all runs (snapshot sharing plus fork sharing).
+	PagesCOWFaulted uint64
+	// PrefixConstraintsReused counts path constraints derived from
+	// replayed trace prefixes rather than from re-traced instructions.
+	PrefixConstraintsReused int
 }
 
 // InternHitRate is InternHits over total lookups, 0 when idle.
@@ -242,7 +266,7 @@ type Engine struct {
 
 	seenInput map[string]bool
 	seenFlip  map[string]bool
-	queue     []bombs.Input
+	queue     []candidate
 	head      int // first live BFS element of queue
 	out       *Outcome
 	incSeen   map[string]bool
@@ -313,7 +337,7 @@ func (en *Engine) ExploreContext(ctx context.Context, seed bombs.Input) *Outcome
 		en.deadline = d
 		en.ctxBound = true
 	}
-	en.push(seed)
+	en.push(candidate{in: seed})
 	terminal := false
 loop:
 	for en.frontierLen() > 0 && en.out.Rounds < en.caps.MaxRounds {
@@ -400,13 +424,13 @@ func min(a, b int) int {
 	return b
 }
 
-func (en *Engine) push(in bombs.Input) {
-	key := inputKey(in)
+func (en *Engine) push(c candidate) {
+	key := inputKey(c.in)
 	if en.seenInput[key] || len(en.seenInput) >= en.caps.MaxCandidates {
 		return
 	}
 	en.seenInput[key] = true
-	en.queue = append(en.queue, in)
+	en.queue = append(en.queue, c)
 }
 
 // inputKey is an injective encoding of an input's facets, used to dedup

@@ -58,6 +58,7 @@ type event struct {
 	incident symexec.Incident
 	claim    Claim
 	input    bombs.Input // push payload, fault input, or solving input
+	plan     *replayPlan // replay plan attached to a push
 	tainted  int
 	verdict  Verdict
 	detail   string
@@ -68,17 +69,25 @@ type roundRec struct {
 	idx     int // 1-based round number, assigned at dispatch
 	events  []event
 	queries int // solver queries issued (stats)
+
+	// Checkpoint work profile of this round (stats; deterministic for a
+	// fixed schedule, identical across worker counts).
+	ckptsTaken   int
+	resumed      bool
+	skippedSteps int64
+	cowFaults    uint64
+	prefixReused int
 }
 
 func (r *roundRec) emit(ev event) { r.events = append(r.events, ev) }
 
 // popBatch removes up to n candidates from the frontier in strategy
 // order.
-func (en *Engine) popBatch(n int) []bombs.Input {
+func (en *Engine) popBatch(n int) []candidate {
 	if f := en.frontierLen(); n > f {
 		n = f
 	}
-	batch := make([]bombs.Input, 0, n)
+	batch := make([]candidate, 0, n)
 	for i := 0; i < n; i++ {
 		if en.caps.Search == SearchDFS {
 			last := len(en.queue) - 1
@@ -107,7 +116,7 @@ func (en *Engine) frontierLen() int { return len(en.queue) - en.head }
 // runBatch executes the batch's rounds, in parallel when more than one
 // worker is available. Workers only read engine state (image, caps,
 // deadline, the frozen dedup maps) and the mutex-guarded solver cache.
-func (en *Engine) runBatch(batch []bombs.Input) []*roundRec {
+func (en *Engine) runBatch(batch []candidate) []*roundRec {
 	base := en.out.Rounds
 	recs := make([]*roundRec, len(batch))
 	if len(batch) == 1 {
@@ -132,6 +141,13 @@ func (en *Engine) applyRound(rec *roundRec) bool {
 	en.out.Rounds++
 	en.out.CandidatesTried++
 	en.stats.SolverQueries += rec.queries
+	en.stats.CheckpointsTaken += rec.ckptsTaken
+	en.stats.InstructionsSkipped += rec.skippedSteps
+	en.stats.PagesCOWFaulted += rec.cowFaults
+	en.stats.PrefixConstraintsReused += rec.prefixReused
+	if rec.resumed {
+		en.stats.CheckpointResumes++
+	}
 	var gated map[string]bool
 	for i := range rec.events {
 		ev := &rec.events[i]
@@ -166,7 +182,7 @@ func (en *Engine) applyRound(rec *roundRec) bool {
 		case evMark:
 			en.seenFlip[ev.flip] = true
 		case evPush:
-			en.push(ev.input)
+			en.push(candidate{in: ev.input, plan: ev.plan})
 		case evTerminal:
 			en.out.Verdict = ev.verdict
 			en.out.CrashDetail = ev.detail
@@ -182,8 +198,10 @@ func (en *Engine) applyRound(rec *roundRec) bool {
 // runRound executes one concrete run plus its symbolic pass and negation
 // solving, recording effects instead of applying them. It must not write
 // any engine state: it may run concurrently with other rounds of the same
-// batch.
-func (en *Engine) runRound(in bombs.Input, idx int) *roundRec {
+// batch (snapshots in the candidate's plan are quiescent and safe to
+// resume from several workers at once).
+func (en *Engine) runRound(c candidate, idx int) *roundRec {
+	in := c.in
 	rec := &roundRec{idx: idx}
 	if en.ctx.Err() != nil {
 		// Cancelled while the batch was in flight: skip the concrete run;
@@ -191,16 +209,47 @@ func (en *Engine) runRound(in bombs.Input, idx int) *roundRec {
 		return rec
 	}
 
+	ckptOn := en.caps.Checkpoint == CheckpointAuto
 	cfg := in.Config()
 	cfg.Record = true
 	cfg.MaxSteps = en.caps.StepBudget
 	cfg.WatchAddrs = []uint64{en.target}
-	m, err := gos.New(en.img, cfg)
-	if err != nil {
-		rec.emit(event{kind: evTerminal, verdict: VerdictCrashed, detail: err.Error()})
-		return rec
+	if ckptOn {
+		cfg.SnapshotEvery = snapshotCadence(en.caps.StepBudget)
+	}
+
+	// Checkpointed replay: restore the deepest snapshot that provably
+	// precedes this input's divergence from its parent, patch the
+	// differing argv bytes, and continue on a stitched copy of the shared
+	// trace prefix. Any failure falls back to a from-scratch run — the
+	// outcome is identical either way.
+	var m *gos.Machine
+	prefixLen := 0
+	if ckptOn && c.plan != nil {
+		if ck := c.plan.best(in); ck != nil {
+			rm, err := ck.snap.Resume(cfg, c.plan.trace.PrefixCopy(ck.snap.TraceLen))
+			if err == nil && in.Argv1 != ck.base.Argv1 {
+				err = rm.PatchArgv(1, in.Argv1, len(ck.base.Argv1))
+			}
+			if err == nil {
+				m = rm
+				prefixLen = ck.snap.TraceLen
+				rec.resumed = true
+				rec.skippedSteps = int64(ck.snap.Steps)
+			}
+		}
+	}
+	if m == nil {
+		nm, err := gos.New(en.img, cfg)
+		if err != nil {
+			rec.emit(event{kind: evTerminal, verdict: VerdictCrashed, detail: err.Error()})
+			return rec
+		}
+		m = nm
 	}
 	res := m.Run()
+	rec.ckptsTaken = len(m.Snapshots())
+	rec.cowFaults = m.COWFaults()
 
 	if res.Reason == gos.StopFault {
 		rec.emit(event{kind: evFault, input: in})
@@ -261,13 +310,29 @@ func (en *Engine) runRound(in bombs.Input, idx int) *roundRec {
 		return rec
 	}
 
-	en.negate(rec, in, sr)
+	// Constraints anchored inside the replayed prefix were derived from
+	// trace entries this round did not re-execute.
+	if rec.resumed {
+		for i := range sr.Constraints {
+			if sr.Constraints[i].Index < prefixLen {
+				rec.prefixReused++
+			}
+		}
+	}
+
+	var childPlan *replayPlan
+	if ckptOn {
+		childPlan = makePlan(in, res, m.Snapshots(), c.plan)
+	}
+	en.negate(rec, in, sr, childPlan)
 	return rec
 }
 
 // negate builds and solves the negation of each explorable constraint
-// (generational search) and records the resulting inputs.
-func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result) {
+// (generational search) and records the resulting inputs. childPlan, when
+// non-nil, rides along on every pushed candidate so the child round can
+// resume from this round's snapshots.
+func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, childPlan *replayPlan) {
 	// Forward occurrence numbering keeps flip keys stable across rounds
 	// (the n-th execution of a loop branch keeps its identity as traces
 	// lengthen).
@@ -362,6 +427,6 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result) {
 			continue
 		}
 		rec.emit(event{kind: evMark, flip: flipKey})
-		rec.emit(event{kind: evPush, flip: flipKey, input: next})
+		rec.emit(event{kind: evPush, flip: flipKey, input: next, plan: childPlan})
 	}
 }

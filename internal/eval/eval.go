@@ -166,6 +166,18 @@ func RunTableIIWorkers(workers int) *Grid {
 	return runGrid(tools.TableII(), bombs.TableII(), workers)
 }
 
+// RunTableIICheckpoint evaluates the grid under an explicit checkpoint
+// policy. Outcomes are identical at either policy (the differential grid
+// test asserts it); only the engine work profile — and therefore the
+// aggregate checkpoint stats in the JSON output — changes.
+func RunTableIICheckpoint(workers int, pol core.CheckpointPolicy) *Grid {
+	profiles := tools.TableII()
+	for i := range profiles {
+		profiles[i].Caps.Checkpoint = pol
+	}
+	return runGrid(profiles, bombs.TableII(), workers)
+}
+
 // runGrid fans profile x bomb cells over a bounded worker pool.
 func runGrid(profiles []tools.Profile, rows []*bombs.Bomb, workers int) *Grid {
 	if workers <= 0 {

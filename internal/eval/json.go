@@ -46,7 +46,13 @@ type AggStatsJSON struct {
 	InternMisses  uint64  `json:"intern_misses"`
 	InternHitRate float64 `json:"intern_hit_rate"`
 	ArenaNodes    uint64  `json:"arena_nodes"`
-	WallMS        int64   `json:"wall_ms"` // summed per-cell engine time
+	// Checkpoint-scheduler work profile, summed over cells.
+	CheckpointsTaken        int    `json:"checkpoints_taken"`
+	CheckpointResumes       int    `json:"checkpoint_resumes"`
+	InstructionsSkipped     int64  `json:"instructions_skipped"`
+	PagesCOWFaulted         uint64 `json:"pages_cow_faulted"`
+	PrefixConstraintsReused int    `json:"prefix_constraints_reused"`
+	WallMS                  int64  `json:"wall_ms"` // summed per-cell engine time
 }
 
 // GridJSON is the full machine-readable Table II report.
@@ -105,6 +111,11 @@ func ToJSON(g *Grid) *GridJSON {
 			if s.ArenaNodes > out.Stats.ArenaNodes {
 				out.Stats.ArenaNodes = s.ArenaNodes
 			}
+			out.Stats.CheckpointsTaken += s.CheckpointsTaken
+			out.Stats.CheckpointResumes += s.CheckpointResumes
+			out.Stats.InstructionsSkipped += s.InstructionsSkipped
+			out.Stats.PagesCOWFaulted += s.PagesCOWFaulted
+			out.Stats.PrefixConstraintsReused += s.PrefixConstraintsReused
 			out.Stats.WallMS += s.WallTime.Milliseconds()
 		}
 		out.Rows = append(out.Rows, row)

@@ -45,6 +45,10 @@ type Config struct {
 	// WatchAddrs lists instruction addresses whose execution should be
 	// reported in Result.Watched (the directed-search target check).
 	WatchAddrs []uint64
+	// SnapshotEvery takes a resumable machine snapshot roughly every N
+	// executed instructions, at the next scheduler-slice boundary
+	// (0 = never). Snapshots are retrieved with Machine.Snapshots.
+	SnapshotEvery int
 }
 
 // Defaults for Config zero values.
@@ -109,6 +113,21 @@ type Machine struct {
 	tr      *trace.Trace
 	watched map[uint64]bool
 	steps   int
+
+	snaps    []*Snapshot
+	lastSnap int // step count at the most recent snapshot
+
+	// Rolling pre-input snapshot: re-taken every few steps while the
+	// trace has not yet observed any input surface, then frozen — the
+	// deepest machine state valid as a replay start for inputs that
+	// differ from this run's in any way (see rollEarly).
+	early     *Snapshot
+	earlyDone bool
+	earlyScan int // trace cursor of the input-surface scan
+
+	sliceN     int  // steps executed in the in-progress scheduler slice
+	sliceLeft  int  // resumed runs: remaining quantum of the interrupted slice
+	resumePick bool // resumed runs: first slice goes to threads[cur] unpruned
 
 	stopped bool
 	reason  StopReason
@@ -268,18 +287,40 @@ func (m *Machine) loadRoot(img *bin.Image) {
 // ArgvRegions returns where the loader placed the argument strings.
 func (m *Machine) ArgvRegions() []Region { return m.argv }
 
+// COWFaults sums the copy-on-write page faults across the memories of
+// all processes in the machine — how many guest pages were copied
+// because a write hit a page shared with a snapshot or a forked child.
+func (m *Machine) COWFaults() uint64 {
+	var n uint64
+	for _, p := range m.procs {
+		n += p.mem.COWFaults()
+	}
+	return n
+}
+
 // Program returns the decoded program.
 func (m *Machine) Program() *vm.Program { return m.prog }
 
 // Run executes the machine to completion and returns the result.
 func (m *Machine) Run() *Result {
 	for !m.stopped {
-		t := m.pickThread()
+		var t *thread
+		if m.resumePick {
+			// First slice after a mid-slice resume: continue the
+			// interrupted thread directly. pickThread would prune dead
+			// threads now, but the snapshotted run prunes only at its next
+			// boundary, and the round-robin position depends on it.
+			m.resumePick = false
+			t = m.threads[m.cur]
+		} else {
+			t = m.pickThread()
+		}
 		if t == nil {
 			m.stop(StopDeadlock, 0)
 			break
 		}
 		m.runSlice(t)
+		m.maybeSnapshot()
 	}
 	res := &Result{
 		Reason:     m.reason,
@@ -319,10 +360,26 @@ func (m *Machine) pickThread() *thread {
 
 // runSlice runs one scheduler quantum on thread t.
 func (m *Machine) runSlice(t *thread) {
-	for n := 0; n < m.cfg.Quantum && !m.stopped && !t.dead && t.block.kind == blockNone; n++ {
+	// A machine resumed from a mid-slice snapshot finishes the interrupted
+	// slice first (sliceLeft steps), so its future slice boundaries — and
+	// with them the thread round-robin — land exactly where the
+	// snapshotted run's would.
+	quantum := m.cfg.Quantum
+	if m.sliceLeft > 0 {
+		quantum = m.sliceLeft
+		m.sliceLeft = 0
+	}
+	for n := 0; n < quantum && !m.stopped && !t.dead && t.block.kind == blockNone; n++ {
 		if m.steps >= m.cfg.MaxSteps {
 			m.stop(StopMaxSteps, 0)
 			return
+		}
+		m.sliceN = m.cfg.Quantum - quantum + n
+		if m.cfg.SnapshotEvery > 0 && (!m.earlyDone || m.steps <= earlySnapBound) {
+			// Between instructions the machine is just as quiescent as
+			// between slices; early snapshots need this finer granularity
+			// because input is typically read within the first slice.
+			m.earlySnapshots()
 		}
 		m.steps++
 		if _, seen := m.watched[t.cpu.PC]; seen {
@@ -351,6 +408,7 @@ func (m *Machine) runSlice(t *thread) {
 		}
 		m.record(e)
 	}
+	m.sliceN = 0
 	m.cur = (m.cur + 1) % maxInt(len(m.threads), 1)
 }
 

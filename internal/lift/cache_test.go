@@ -1,0 +1,76 @@
+package lift
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestCachedMatchesLift(t *testing.T) {
+	instrs := []isa.Instr{
+		{Op: isa.OpAdd, Mode: isa.ModeRR, R1: 1, R2: 2},
+		{Op: isa.OpMov, Mode: isa.ModeRI, R1: 3, Imm: 42},
+		{Op: isa.OpLd, Mode: isa.ModeRM, Size: 8, R1: 1, R2: 2, Imm: 8},
+		{Op: isa.OpPush, Mode: isa.ModeR, R1: 5},
+		{Op: isa.OpFadd, Mode: isa.ModeRR, R1: 1, R2: 2},
+		{Op: isa.OpJe, Mode: isa.ModeI, Imm: 0x100},
+	}
+	opts := []Options{{}, {NoFloat: true}, {NoPushPop: true}}
+	for _, in := range instrs {
+		for _, o := range opts {
+			want, wantErr := Lift(in, 0x1000, o)
+			for pass := 0; pass < 2; pass++ { // miss then hit
+				got, err := Cached(in, 0x1000, o)
+				if (err == nil) != (wantErr == nil) {
+					t.Fatalf("%v %+v: err %v, want %v", in, o, err, wantErr)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v %+v: stmts %v, want %v", in, o, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCachedDistinguishesOptions guards against a cache key that ignores
+// the capability gates: the same float instruction must lift under the
+// full profile and fail under NoFloat, whichever is asked first.
+func TestCachedDistinguishesOptions(t *testing.T) {
+	in := isa.Instr{Op: isa.OpFmul, Mode: isa.ModeRR, R1: 1, R2: 2}
+	if _, err := Cached(in, 0x2000, Options{}); err != nil {
+		t.Fatalf("full profile rejected fmul: %v", err)
+	}
+	if _, err := Cached(in, 0x2000, Options{NoFloat: true}); err == nil {
+		t.Fatal("NoFloat profile lifted fmul")
+	}
+}
+
+// TestCachedConcurrent exercises the sharded table from many goroutines
+// (run under make race): every worker must observe results equivalent to
+// an uncached Lift.
+func TestCachedConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in := isa.Instr{Op: isa.OpAdd, Mode: isa.ModeRI, R1: isa.Reg(i % 8), Imm: int64(i % 32)}
+				nextPC := uint64(0x3000 + 4*(i%64))
+				got, err := Cached(in, nextPC, Options{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want, _ := Lift(in, nextPC, Options{})
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("cached lift diverged for %v@%#x", in, nextPC)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

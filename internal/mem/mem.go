@@ -2,25 +2,45 @@
 // virtual machine. Addresses are 64-bit; storage is allocated lazily in
 // fixed-size pages so that the sparse layout of a loaded binary (text low,
 // data in the middle, stack high) costs almost nothing.
+//
+// Memory is copy-on-write: Clone shares the underlying pages with the
+// parent (bumping a per-page refcount) and the first write to a shared
+// page copies just that page. Cloning is therefore O(allocated pages) in
+// pointer bookkeeping and O(1) in page data for untouched pages, which is
+// what makes engine checkpoints and fork() cheap.
+//
+// Concurrency contract: a quiescent Memory (no writer running) may be
+// cloned by any number of goroutines concurrently, and sibling clones may
+// then be written from different goroutines; the copy-on-write fault path
+// synchronises on the page refcount. A single Memory value must not be
+// written from two goroutines at once.
 package mem
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // PageSize is the granularity of lazy allocation.
 const PageSize = 4096
 
 type page struct {
+	// refs counts how many Memory values currently reference this page.
+	// Pages with refs > 1 are immutable; a write copies the page first.
+	refs int32
 	data [PageSize]byte
 }
 
-// Memory is a sparse 64-bit byte-addressable memory. The zero value is not
-// ready for use; call New.
+// Memory is a sparse 64-bit byte-addressable memory. The zero value is an
+// empty memory ready for use, equivalent to New() (Reset also re-arms a
+// used memory back to that state).
 type Memory struct {
 	pages map[uint64]*page
+	// cowFaults counts pages that were copied because a write hit a page
+	// shared with another Memory.
+	cowFaults uint64
 }
 
 // New returns an empty memory.
@@ -28,32 +48,85 @@ func New() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
-// Clone returns a deep copy of the memory. Used to implement fork() and
-// engine checkpoints.
+// Clone returns a copy-on-write snapshot of the memory. The clone shares
+// every page with the receiver until one side writes to it; only then is
+// that single page copied. Used to implement fork() and engine
+// checkpoints. A quiescent memory may be cloned concurrently.
 func (m *Memory) Clone() *Memory {
-	c := New()
+	c := &Memory{pages: make(map[uint64]*page, len(m.pages))}
 	for base, p := range m.pages {
-		np := &page{}
-		np.data = p.data
-		c.pages[base] = np
+		atomic.AddInt32(&p.refs, 1)
+		c.pages[base] = p
 	}
 	return c
 }
 
-// Reset drops all pages.
+// Reset drops all pages, returning the memory to the empty ready state
+// (the same state as the zero value or a fresh New()).
 func (m *Memory) Reset() {
-	m.pages = make(map[uint64]*page)
+	for _, p := range m.pages {
+		atomic.AddInt32(&p.refs, -1)
+	}
+	m.pages = nil
+	m.cowFaults = 0
 }
 
 // PageCount returns the number of allocated pages.
 func (m *Memory) PageCount() int { return len(m.pages) }
 
+// COWFaults returns how many pages this memory copied because a write hit
+// a page shared with a clone.
+func (m *Memory) COWFaults() uint64 { return m.cowFaults }
+
+// SharedPages returns how many of this memory's pages are currently
+// shared with at least one other Memory. Intended for tests and stats.
+func (m *Memory) SharedPages() int {
+	n := 0
+	for _, p := range m.pages {
+		if atomic.LoadInt32(&p.refs) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	base := addr &^ uint64(PageSize-1)
 	p := m.pages[base]
 	if p == nil && create {
-		p = &page{}
+		if m.pages == nil {
+			m.pages = make(map[uint64]*page)
+		}
+		p = &page{refs: 1}
 		m.pages[base] = p
+	}
+	return p
+}
+
+// writablePage returns the page containing addr, guaranteed exclusive to
+// this memory, copying it first if it is shared (a COW fault).
+//
+// The fault path copies the data before releasing the reference: a
+// sibling that subsequently observes refs == 1 is the sole owner and may
+// write in place, and the atomic decrement orders our copy before its
+// writes.
+func (m *Memory) writablePage(addr uint64) *page {
+	base := addr &^ uint64(PageSize-1)
+	p := m.pages[base]
+	if p == nil {
+		if m.pages == nil {
+			m.pages = make(map[uint64]*page)
+		}
+		p = &page{refs: 1}
+		m.pages[base] = p
+		return p
+	}
+	if atomic.LoadInt32(&p.refs) > 1 {
+		np := &page{refs: 1, data: p.data}
+		atomic.AddInt32(&p.refs, -1)
+		m.pages[base] = np
+		m.cowFaults++
+		return np
 	}
 	return p
 }
@@ -69,7 +142,7 @@ func (m *Memory) LoadByte(addr uint64) byte {
 
 // StoreByte stores one byte at addr.
 func (m *Memory) StoreByte(addr uint64, b byte) {
-	p := m.pageFor(addr, true)
+	p := m.writablePage(addr)
 	p.data[addr%PageSize] = b
 }
 

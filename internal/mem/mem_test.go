@@ -107,6 +107,111 @@ func TestReset(t *testing.T) {
 	if m.PageCount() != 0 || m.LoadByte(1) != 0 {
 		t.Error("Reset did not clear memory")
 	}
+	// A reset memory must be fully usable again, like the zero value.
+	m.StoreByte(2, 2)
+	if m.LoadByte(2) != 2 {
+		t.Error("Reset memory not writable")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	// The documented invariant: the zero value is an empty memory ready
+	// for use, exactly what Reset re-arms a used memory back to.
+	var m Memory
+	if m.LoadByte(123) != 0 || m.PageCount() != 0 {
+		t.Error("zero value not an empty memory")
+	}
+	m.StoreByte(123, 7)
+	if m.LoadByte(123) != 7 {
+		t.Error("zero value not writable")
+	}
+	c := m.Clone()
+	if c.LoadByte(123) != 7 {
+		t.Error("clone of zero-value-backed memory lost data")
+	}
+
+	var z Memory
+	z.Reset() // must not panic, must stay usable
+	z.StoreByte(9, 9)
+	if z.LoadByte(9) != 9 {
+		t.Error("Reset zero value not writable")
+	}
+
+	var c2 Memory
+	if c3 := c2.Clone(); c3.PageCount() != 0 {
+		t.Error("clone of empty zero value not empty")
+	}
+}
+
+func TestCloneSharesPages(t *testing.T) {
+	m := New()
+	for i := 0; i < 8; i++ {
+		m.StoreByte(uint64(i)*PageSize, byte(i+1))
+	}
+	c := m.Clone()
+	if c.PageCount() != 8 {
+		t.Fatalf("clone PageCount = %d, want 8", c.PageCount())
+	}
+	if got := c.SharedPages(); got != 8 {
+		t.Errorf("clone SharedPages = %d, want 8 (all shared before any write)", got)
+	}
+	if c.COWFaults() != 0 {
+		t.Errorf("COWFaults = %d before any write, want 0", c.COWFaults())
+	}
+
+	// Writing one byte must fault exactly one page and leave the rest shared.
+	c.StoreByte(3*PageSize+5, 0xff)
+	if got := c.COWFaults(); got != 1 {
+		t.Errorf("COWFaults after one write = %d, want 1", got)
+	}
+	if got := c.SharedPages(); got != 7 {
+		t.Errorf("SharedPages after one write = %d, want 7", got)
+	}
+	// A second write to the now-private page must not fault again.
+	c.StoreByte(3*PageSize+6, 0xfe)
+	if got := c.COWFaults(); got != 1 {
+		t.Errorf("COWFaults after second write to same page = %d, want 1", got)
+	}
+	// Parent sees none of it.
+	if m.LoadByte(3*PageSize+5) != 0 || m.LoadByte(3*PageSize) != 4 {
+		t.Error("parent page changed by clone write")
+	}
+}
+
+func TestCloneChainIsolation(t *testing.T) {
+	a := New()
+	a.WriteCString(0x100, "aaaa")
+	b := a.Clone()
+	c := b.Clone()
+	b.WriteCString(0x100, "bbbb")
+	c.WriteCString(0x100, "cccc")
+	a.WriteCString(0x100, "AAAA")
+	for _, tc := range []struct {
+		m    *Memory
+		want string
+	}{{a, "AAAA"}, {b, "bbbb"}, {c, "cccc"}} {
+		if got := tc.m.ReadCString(0x100, 16); got != tc.want {
+			t.Errorf("chain member = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestResetReleasesSharing(t *testing.T) {
+	m := New()
+	m.StoreByte(0, 1)
+	c := m.Clone()
+	if m.SharedPages() != 1 {
+		t.Fatal("page not shared after clone")
+	}
+	c.Reset()
+	if got := m.SharedPages(); got != 0 {
+		t.Errorf("SharedPages after clone Reset = %d, want 0", got)
+	}
+	// With sharing released, a parent write must not count as a fault.
+	m.StoreByte(0, 2)
+	if m.COWFaults() != 0 {
+		t.Errorf("COWFaults = %d after writing unshared page, want 0", m.COWFaults())
+	}
 }
 
 func TestPagesSorted(t *testing.T) {

@@ -26,6 +26,12 @@ type Metrics struct {
 	cacheHits     uint64
 	cacheMisses   uint64
 
+	checkpointsTaken    uint64
+	checkpointResumes   uint64
+	instructionsSkipped uint64
+	pagesCOWFaulted     uint64
+	prefixReused        uint64
+
 	wallBuckets []uint64 // one per wallBucketBound, non-cumulative
 	wallSum     float64
 	wallCount   uint64
@@ -81,6 +87,11 @@ func (m *Metrics) JobFinished(state State, out *core.Outcome, wasRunning bool) {
 	m.solverQueries += uint64(out.Stats.SolverQueries)
 	m.cacheHits += out.Stats.CacheHits
 	m.cacheMisses += out.Stats.CacheMisses
+	m.checkpointsTaken += uint64(out.Stats.CheckpointsTaken)
+	m.checkpointResumes += uint64(out.Stats.CheckpointResumes)
+	m.instructionsSkipped += uint64(out.Stats.InstructionsSkipped)
+	m.pagesCOWFaulted += out.Stats.PagesCOWFaulted
+	m.prefixReused += uint64(out.Stats.PrefixConstraintsReused)
 	sec := out.Stats.WallTime.Seconds()
 	m.wallSum += sec
 	m.wallCount++
@@ -130,6 +141,12 @@ func (m *Metrics) Render(queueDepth, queueCap, workers int) string {
 		hitRate = float64(m.cacheHits) / float64(lookups)
 	}
 	gauge("concolicd_solver_cache_hit_ratio", "Cache hits over lookups across finished jobs.", fmt.Sprintf("%.4f", hitRate))
+
+	counter("concolicd_checkpoints_taken_total", "Machine snapshots recorded across finished jobs.", m.checkpointsTaken)
+	counter("concolicd_checkpoint_resumes_total", "Rounds resumed from a snapshot instead of _start.", m.checkpointResumes)
+	counter("concolicd_checkpoint_instructions_skipped_total", "Guest instructions skipped via checkpointed replay.", m.instructionsSkipped)
+	counter("concolicd_checkpoint_cow_faults_total", "Memory pages copied on write under snapshot sharing.", m.pagesCOWFaulted)
+	counter("concolicd_checkpoint_prefix_constraints_total", "Path constraints re-derived from replayed trace prefixes.", m.prefixReused)
 
 	// Hash-consing arena counters are process-global (the arena is shared
 	// by every job), so they are read live rather than summed from

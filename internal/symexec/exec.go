@@ -209,7 +209,7 @@ func (x *exec) handleInstr(e *trace.Entry) {
 		return
 	}
 	ilen := e.Instr.EncodedLen()
-	stmts, err := lift.Lift(e.Instr, e.PC+uint64(ilen), x.opts.Lift)
+	stmts, err := lift.Cached(e.Instr, e.PC+uint64(ilen), x.opts.Lift)
 	if err != nil {
 		// Unsupported instruction: only an error when symbolic data is
 		// involved; either way the symbolic effect is lost.

@@ -1,0 +1,44 @@
+package vm
+
+import "repro/internal/mem"
+
+// State is a resumable snapshot of one hardware thread: the register
+// file, the memory handle it executes against, and the position of its
+// owner (scheduler cursor, trace length) at capture time. The guest OS
+// stores one State per thread inside a machine snapshot; the engine's
+// checkpointing scheduler restores them to replay an input from its
+// divergence point instead of from _start.
+//
+// The memory handle is a copy-on-write clone, so holding a State pins no
+// page copies; each Restore hands out a fresh clone and leaves the State
+// itself intact, so one checkpoint can seed any number of resumed runs.
+type State struct {
+	CPU      CPU         // register file and flags, by value
+	Mem      *mem.Memory // copy-on-write memory handle
+	Cursor   int         // owner's scheduler cursor at capture
+	TracePos int         // owner's trace length at capture
+}
+
+// Checkpoint captures a running (cpu, memory) pair into a frozen State.
+// The memory is snapshotted copy-on-write: no page data is copied until
+// the running side writes again.
+func Checkpoint(cpu *CPU, m *mem.Memory, cursor, tracePos int) *State {
+	return &State{CPU: *cpu, Mem: m.Clone(), Cursor: cursor, TracePos: tracePos}
+}
+
+// Checkpoint returns an independent frozen duplicate of the state, so a
+// stored checkpoint can itself be checkpointed (e.g. when a snapshot
+// inherited from a parent run is re-published to a child's plan).
+func (s *State) Checkpoint() *State {
+	c := *s
+	c.Mem = s.Mem.Clone()
+	return &c
+}
+
+// Restore materialises a runnable CPU and memory from the checkpoint.
+// The returned values are private to the caller; the State is unchanged
+// and can be restored again.
+func (s *State) Restore() (*CPU, *mem.Memory) {
+	cpu := s.CPU
+	return &cpu, s.Mem.Clone()
+}
