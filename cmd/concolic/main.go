@@ -28,6 +28,9 @@ func main() {
 	checkpoint := flag.String("checkpoint", "auto",
 		"snapshot-replay policy: auto (resume rounds from checkpoints) or off "+
 			"(re-execute every round from _start; identical outcomes)")
+	solverMode := flag.String("solver", "fresh",
+		"negation-query solving: fresh (one SAT instance per query) or incremental "+
+			"(per-round assumption-based sessions; equivalent verdicts, possibly different inputs)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -65,6 +68,15 @@ func main() {
 		p.Caps.Checkpoint = core.CheckpointOff
 	default:
 		fmt.Fprintf(os.Stderr, "concolic: unknown -checkpoint %q (auto or off)\n", *checkpoint)
+		os.Exit(2)
+	}
+	switch *solverMode {
+	case "fresh":
+		p.Caps.SolverMode = core.SolverFresh
+	case "incremental":
+		p.Caps.SolverMode = core.SolverIncremental
+	default:
+		fmt.Fprintf(os.Stderr, "concolic: unknown -solver %q (fresh or incremental)\n", *solverMode)
 		os.Exit(2)
 	}
 	en := core.New(b.Image(), b.BombAddr(), p.Caps)
@@ -110,6 +122,8 @@ func main() {
 		fmt.Printf("stats: checkpoints=%d resumes=%d skipped-instructions=%d cow-faults=%d prefix-constraints-reused=%d\n",
 			s.CheckpointsTaken, s.CheckpointResumes, s.InstructionsSkipped,
 			s.PagesCOWFaulted, s.PrefixConstraintsReused)
+		fmt.Printf("stats: solver-sessions=%d incremental-checks=%d learned-retained=%d guard-literals=%d\n",
+			s.SolverSessions, s.IncrementalChecks, s.LearnedClausesRetained, s.GuardLiterals)
 	}
 	if *verbose {
 		for _, in := range out.Incidents {

@@ -25,6 +25,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the Table II grid plus aggregate engine stats as JSON and exit")
 	checkpoint := flag.String("checkpoint", "auto",
 		"snapshot-replay policy for the Table II grid: auto or off (identical outcomes, different work profile)")
+	solverMode := flag.String("solver", "fresh",
+		"negation-query solving for the Table II grid: fresh (one SAT instance per query) "+
+			"or incremental (per-round assumption-based sessions; identical verdict labels)")
 	all := flag.Bool("all", false, "render everything")
 	flag.Parse()
 
@@ -38,7 +41,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "evaltable: unknown -checkpoint %q (auto or off)\n", *checkpoint)
 		os.Exit(2)
 	}
-	runTableII := func() *eval.Grid { return eval.RunTableIICheckpoint(*workers, pol) }
+	var mode core.SolverMode
+	switch *solverMode {
+	case "fresh":
+		mode = core.SolverFresh
+	case "incremental":
+		mode = core.SolverIncremental
+	default:
+		fmt.Fprintf(os.Stderr, "evaltable: unknown -solver %q (fresh or incremental)\n", *solverMode)
+		os.Exit(2)
+	}
+	runTableII := func() *eval.Grid {
+		return eval.RunTableII(eval.Options{Workers: *workers, Checkpoint: pol, SolverMode: mode})
+	}
 
 	if *jsonOut {
 		g := runTableII()

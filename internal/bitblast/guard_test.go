@@ -1,0 +1,85 @@
+package bitblast
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sat"
+	"repro/internal/sym"
+)
+
+// TestAssertGuardedActivation encodes x==5 behind a guard and checks the
+// constraint binds exactly when the guard is assumed, then stays retired
+// after ~g is asserted.
+func TestAssertGuardedActivation(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	x := sym.NewVar("x", 8)
+	g, err := e.AssertGuarded(sym.NewBin(sym.OpEq, x, sym.NewConst(5, 8)))
+	if err != nil {
+		t.Fatalf("AssertGuarded: %v", err)
+	}
+	if e.Guards() != 1 {
+		t.Fatalf("Guards() = %d, want 1", e.Guards())
+	}
+
+	if st := s.SolveAssuming([]sat.Lit{g}, 0, time.Time{}, nil); st != sat.Sat {
+		t.Fatalf("guard on: %v, want sat", st)
+	}
+	if m := e.Model(); m["x"] != 5 {
+		t.Errorf("guard on: x=%d, want 5", m["x"])
+	}
+
+	// With the guard retired the permanent constraint x==7 must win.
+	s.AddClause(g.Not())
+	if err := e.Assert(sym.NewBin(sym.OpEq, x, sym.NewConst(7, 8))); err != nil {
+		t.Fatalf("Assert after retire: %v", err)
+	}
+	if st := s.Solve(0); st != sat.Sat {
+		t.Fatalf("guard off: %v, want sat", st)
+	}
+	if m := e.Model(); m["x"] != 7 {
+		t.Errorf("guard off: x=%d, want 7", m["x"])
+	}
+}
+
+// TestAssertGuardedConflictingChecks models the session pattern: one
+// prefix, several mutually exclusive negation checks, each under its own
+// guard on one persistent instance.
+func TestAssertGuardedConflictingChecks(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	x := sym.NewVar("x", 8)
+	if err := e.Assert(sym.NewBin(sym.OpUlt, x, sym.NewConst(10, 8))); err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+	for want := uint64(0); want < 4; want++ {
+		g, err := e.AssertGuarded(sym.NewBin(sym.OpEq, x, sym.NewConst(want, 8)))
+		if err != nil {
+			t.Fatalf("check %d: %v", want, err)
+		}
+		if st := s.SolveAssuming([]sat.Lit{g}, 0, time.Time{}, nil); st != sat.Sat {
+			t.Fatalf("check %d: %v, want sat", want, st)
+		}
+		if m := e.Model(); m["x"] != want {
+			t.Errorf("check %d: x=%d", want, m["x"])
+		}
+		s.AddClause(g.Not())
+	}
+	// An infeasible check against the prefix must come back unsat with
+	// the guard in the final conflict, and leave the instance usable.
+	g, err := e.AssertGuarded(sym.NewBin(sym.OpEq, x, sym.NewConst(200, 8)))
+	if err != nil {
+		t.Fatalf("infeasible check: %v", err)
+	}
+	if st := s.SolveAssuming([]sat.Lit{g}, 0, time.Time{}, nil); st != sat.Unsat {
+		t.Fatalf("infeasible check: %v, want unsat", st)
+	}
+	if fc := s.FinalConflict(); len(fc) != 1 || fc[0] != g {
+		t.Errorf("final conflict %v, want [%v]", fc, g)
+	}
+	s.AddClause(g.Not())
+	if st := s.Solve(0); st != sat.Sat {
+		t.Errorf("instance unusable after infeasible guarded check: %v", st)
+	}
+}

@@ -86,7 +86,31 @@ type Capabilities struct {
 	// Outcomes are byte-identical either way — only the work profile
 	// (instructions executed, pages copied) changes.
 	Checkpoint CheckpointPolicy
+
+	// SolverMode selects how a round's negation queries are solved.
+	// SolverFresh (the zero value) builds a fresh SAT instance per query
+	// and keeps the engine's strongest guarantee: outcomes identical at
+	// every worker count. SolverIncremental opens one solver.Session per
+	// round and fires the round's queries incrementally on a persistent
+	// instance — verdicts per query are equivalent, and runs are
+	// deterministic at a fixed worker count, but models (and therefore
+	// generated inputs) may differ from fresh mode and across worker
+	// counts, because the incremental search reuses state whose content
+	// depends on which duplicate queries a batch happened to perform.
+	SolverMode SolverMode
 }
+
+// SolverMode selects the negation-query solving strategy.
+type SolverMode int
+
+// Solver modes.
+const (
+	// SolverFresh builds a fresh SAT instance for every query.
+	SolverFresh SolverMode = iota
+	// SolverIncremental solves each round's queries on one persistent
+	// assumption-based session (see solver.Session).
+	SolverIncremental
+)
 
 // ResolvedWorkers returns the worker count Explore will actually use:
 // Workers, or runtime.GOMAXPROCS(0) when unset.
@@ -209,6 +233,21 @@ type Stats struct {
 	// PrefixConstraintsReused counts path constraints derived from
 	// replayed trace prefixes rather than from re-traced instructions.
 	PrefixConstraintsReused int
+
+	// SolverSessions counts incremental solver sessions opened (one per
+	// round issuing queries under SolverIncremental; always 0 under
+	// SolverFresh).
+	SolverSessions int
+	// IncrementalChecks counts negation queries decided on a persistent
+	// session instance rather than by a one-shot solve.
+	IncrementalChecks int
+	// LearnedClausesRetained sums, over incremental checks after the
+	// first of each session, the learned clauses carried into the check
+	// from its predecessors — work a fresh-per-query solver re-derives.
+	LearnedClausesRetained int64
+	// GuardLiterals counts guard literals allocated by session encoders
+	// to activate and retire negated constraints.
+	GuardLiterals int
 }
 
 // InternHitRate is InternHits over total lookups, 0 when idle.
@@ -415,6 +454,19 @@ func (en *Engine) finishStats(start time.Time) {
 	en.stats.InternMisses = as.Misses - en.arena0.Misses
 	en.stats.ArenaNodes = as.Size
 	en.out.Stats = en.stats
+}
+
+// sessionCache returns the engine's query cache for incremental
+// sessions to consult, or nil when rounds run in parallel: a session's
+// raw models depend on its solve history, so sharing them across
+// concurrently scheduled rounds would make results depend on goroutine
+// timing. Sequential engines populate the cache in a fixed order, which
+// keeps incremental runs deterministic and repeatable.
+func (en *Engine) sessionCache() *solver.Cache {
+	if en.workers == 1 {
+		return en.cache
+	}
+	return nil
 }
 
 func min(a, b int) int {

@@ -77,6 +77,13 @@ type roundRec struct {
 	skippedSteps int64
 	cowFaults    uint64
 	prefixReused int
+
+	// Incremental-session work profile of this round (stats; zero under
+	// SolverFresh).
+	sessions        int
+	incChecks       int
+	learnedRetained int64
+	guardLits       int
 }
 
 func (r *roundRec) emit(ev event) { r.events = append(r.events, ev) }
@@ -148,6 +155,10 @@ func (en *Engine) applyRound(rec *roundRec) bool {
 	if rec.resumed {
 		en.stats.CheckpointResumes++
 	}
+	en.stats.SolverSessions += rec.sessions
+	en.stats.IncrementalChecks += rec.incChecks
+	en.stats.LearnedClausesRetained += rec.learnedRetained
+	en.stats.GuardLiterals += rec.guardLits
 	var gated map[string]bool
 	for i := range rec.events {
 		ev := &rec.events[i]
@@ -332,6 +343,12 @@ func (en *Engine) runRound(c candidate, idx int) *roundRec {
 // (generational search) and records the resulting inputs. childPlan, when
 // non-nil, rides along on every pushed candidate so the child round can
 // resume from this round's snapshots.
+//
+// Under SolverIncremental the round opens one solver.Session and fires
+// every query on it: constraint i's negation is checked against the
+// session's prefix c_0..c_{i-1}, then c_i joins the prefix — including
+// assume-kind and already-seen constraints, which are never queried but
+// are part of every later query's path condition.
 func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, childPlan *replayPlan) {
 	// Forward occurrence numbering keeps flip keys stable across rounds
 	// (the n-th execution of a loop branch keeps its identity as traces
@@ -342,10 +359,40 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, chi
 		occ[i] = occurrence[sr.Constraints[i].PC]
 		occurrence[sr.Constraints[i].PC]++
 	}
+	var sess *solver.Session
+	if en.caps.SolverMode == SolverIncremental && len(sr.Constraints) > 0 {
+		sess = solver.NewSession(en.ctx, solver.SessionOptions{
+			Options: solver.Options{
+				MaxConflicts: en.caps.SolverConflicts,
+				FP:           en.caps.FP,
+				FPIterations: en.caps.FPIterations,
+				Timeout:      en.caps.SolverTimeout,
+				Seed:         sr.Seed,
+			},
+			// The shared query cache is deterministic for incremental
+			// entries only when a single goroutine populates it in a
+			// fixed order; parallel batches leave sessions self-contained
+			// so outcomes stay repeatable at a fixed worker count.
+			Cache: en.sessionCache(),
+		})
+		rec.sessions++
+		defer func() {
+			st := sess.Stats()
+			rec.incChecks += st.IncrementalChecks
+			rec.learnedRetained += st.LearnedRetained
+			rec.guardLits += st.GuardLiterals
+		}()
+	}
 	// Ascending order: the deepest branch's candidate is pushed last, so
 	// depth-first scheduling pops it first (negate the deepest unexplored
 	// branch — the classic DFS concolic strategy).
 	for i := 0; i < len(sr.Constraints); i++ {
+		if sess != nil && i > 0 {
+			// The previous constraint joins the session prefix whether or
+			// not it was queried: every later query's path condition
+			// includes it.
+			sess.Assert(sr.Constraints[i-1].Expr)
+		}
 		if en.ctx.Err() != nil {
 			// Cancellation is not budget exhaustion: stop recording and
 			// let the scheduler's context check decide the verdict.
@@ -368,21 +415,26 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, chi
 			continue
 		}
 
-		system := make([]sym.Expr, 0, i+1)
-		for j := 0; j < i; j++ {
-			system = append(system, sr.Constraints[j].Expr)
-		}
-		system = append(system, sym.NewBoolNot(pc.Expr))
-
 		rec.queries++
-		resu, err := en.cache.SolveContext(en.ctx, system, solver.Options{
-			MaxConflicts: en.caps.SolverConflicts,
-			FP:           en.caps.FP,
-			FPIterations: en.caps.FPIterations,
-			Timeout:      en.caps.SolverTimeout,
-			Seed:         sr.Seed,
-			RandSeed:     int64(rec.idx*1000 + i),
-		})
+		var resu solver.Result
+		var err error
+		if sess != nil {
+			resu, err = sess.CheckSeeded(sym.NewBoolNot(pc.Expr), int64(rec.idx*1000+i))
+		} else {
+			system := make([]sym.Expr, 0, i+1)
+			for j := 0; j < i; j++ {
+				system = append(system, sr.Constraints[j].Expr)
+			}
+			system = append(system, sym.NewBoolNot(pc.Expr))
+			resu, err = en.cache.SolveContext(en.ctx, system, solver.Options{
+				MaxConflicts: en.caps.SolverConflicts,
+				FP:           en.caps.FP,
+				FPIterations: en.caps.FPIterations,
+				Timeout:      en.caps.SolverTimeout,
+				Seed:         sr.Seed,
+				RandSeed:     int64(rec.idx*1000 + i),
+			})
+		}
 		if err != nil {
 			continue
 		}

@@ -151,31 +151,60 @@ func RunCell(b *bombs.Bomb, p tools.Profile, paperIdx int) *Cell {
 	return cell
 }
 
-// RunTableII evaluates the four Table II profiles over the 22 bombs,
-// fanning the cells across a worker pool sized to the machine.
-func RunTableII() *Grid {
-	return RunTableIIWorkers(0)
+// Options configures one Table II evaluation.
+type Options struct {
+	// Workers bounds how many grid cells run concurrently
+	// (<= 0: runtime.GOMAXPROCS(0)). Cells are independent — each builds
+	// its own engine and solver cache — and results are assembled by
+	// cell index, so the grid is identical at every worker count; only
+	// the wall time changes.
+	Workers int
+	// Checkpoint is applied to every profile (zero value:
+	// core.CheckpointAuto). Outcomes are identical at either policy (the
+	// differential grid test asserts it); only the engine work profile —
+	// and therefore the aggregate checkpoint stats in the JSON output —
+	// changes.
+	Checkpoint core.CheckpointPolicy
+	// SolverMode is applied to every profile (zero value:
+	// core.SolverFresh). Incremental solving keeps verdict labels (the
+	// incremental differential grid test asserts it) but may generate
+	// different satisfying inputs and work profiles.
+	SolverMode core.SolverMode
+	// EngineWorkers, when > 0, overrides each profile's per-engine
+	// worker count (Capabilities.Workers); the grid-level Workers knob
+	// above is independent of it.
+	EngineWorkers int
+}
+
+// RunTableII evaluates the four Table II profiles over the 22 bombs
+// under the given options; the zero Options value reproduces the
+// historical defaults.
+func RunTableII(opts Options) *Grid {
+	profiles := tools.TableII()
+	for i := range profiles {
+		profiles[i].Caps.Checkpoint = opts.Checkpoint
+		profiles[i].Caps.SolverMode = opts.SolverMode
+		if opts.EngineWorkers > 0 {
+			profiles[i].Caps.Workers = opts.EngineWorkers
+		}
+	}
+	return runGrid(profiles, bombs.TableII(), opts.Workers)
 }
 
 // RunTableIIWorkers evaluates the grid with up to workers cells in
-// flight at once (<= 0: runtime.GOMAXPROCS(0)). Cells are independent —
-// each builds its own engine and solver cache — and results are
-// assembled by cell index, so the grid is identical at every worker
-// count; only the wall time changes.
+// flight at once.
+//
+// Deprecated: use RunTableII(Options{Workers: workers}).
 func RunTableIIWorkers(workers int) *Grid {
-	return runGrid(tools.TableII(), bombs.TableII(), workers)
+	return RunTableII(Options{Workers: workers})
 }
 
 // RunTableIICheckpoint evaluates the grid under an explicit checkpoint
-// policy. Outcomes are identical at either policy (the differential grid
-// test asserts it); only the engine work profile — and therefore the
-// aggregate checkpoint stats in the JSON output — changes.
+// policy.
+//
+// Deprecated: use RunTableII(Options{Workers: workers, Checkpoint: pol}).
 func RunTableIICheckpoint(workers int, pol core.CheckpointPolicy) *Grid {
-	profiles := tools.TableII()
-	for i := range profiles {
-		profiles[i].Caps.Checkpoint = pol
-	}
-	return runGrid(profiles, bombs.TableII(), workers)
+	return RunTableII(Options{Workers: workers, Checkpoint: pol})
 }
 
 // runGrid fans profile x bomb cells over a bounded worker pool.

@@ -148,7 +148,7 @@ func TestTableIIMatchesPaper(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Table II grid is slow; run without -short")
 	}
-	g := RunTableII()
+	g := RunTableII(Options{})
 	match, total := g.Matches()
 	if match != total {
 		for _, bomb := range g.Rows {

@@ -52,7 +52,13 @@ type AggStatsJSON struct {
 	InstructionsSkipped     int64  `json:"instructions_skipped"`
 	PagesCOWFaulted         uint64 `json:"pages_cow_faulted"`
 	PrefixConstraintsReused int    `json:"prefix_constraints_reused"`
-	WallMS                  int64  `json:"wall_ms"` // summed per-cell engine time
+	// Incremental-session work profile, summed over cells (all zero when
+	// the grid ran with core.SolverFresh).
+	SolverSessions         int   `json:"solver_sessions"`
+	IncrementalChecks      int   `json:"incremental_checks"`
+	LearnedClausesRetained int64 `json:"learned_retained"`
+	GuardLiterals          int   `json:"guard_literals"`
+	WallMS                 int64 `json:"wall_ms"` // summed per-cell engine time
 }
 
 // GridJSON is the full machine-readable Table II report.
@@ -116,6 +122,10 @@ func ToJSON(g *Grid) *GridJSON {
 			out.Stats.InstructionsSkipped += s.InstructionsSkipped
 			out.Stats.PagesCOWFaulted += s.PagesCOWFaulted
 			out.Stats.PrefixConstraintsReused += s.PrefixConstraintsReused
+			out.Stats.SolverSessions += s.SolverSessions
+			out.Stats.IncrementalChecks += s.IncrementalChecks
+			out.Stats.LearnedClausesRetained += s.LearnedClausesRetained
+			out.Stats.GuardLiterals += s.GuardLiterals
 			out.Stats.WallMS += s.WallTime.Milliseconds()
 		}
 		out.Rows = append(out.Rows, row)

@@ -95,6 +95,19 @@ type Solver struct {
 	ok        bool
 	conflicts int64
 	props     int64
+	restarts  int64
+	learnedN  int64 // learned clauses created
+	deletedN  int64 // learned clauses dropped by DB reduction
+
+	// model is the assignment snapshot taken at the last Sat verdict.
+	// Search state is unwound to level 0 before Solve returns, so the
+	// instance stays usable for further AddClause/Solve calls; Value
+	// reads the snapshot, not the live trail.
+	model []lbool
+
+	// finalConf is the subset of the last SolveAssuming call's
+	// assumptions responsible for an assumption-level Unsat.
+	finalConf []Lit
 }
 
 // New returns an empty solver.
@@ -376,6 +389,7 @@ func (s *Solver) reduceLearned() {
 			kept = append(kept, c)
 		} else {
 			s.unwatch(c)
+			s.deletedN++
 		}
 	}
 	s.learned = kept
@@ -419,8 +433,10 @@ func luby(i int64) int64 {
 	}
 }
 
-// Solve searches for a model. maxConflicts bounds the total number of
-// conflicts before giving up with Unknown (<= 0 means a large default).
+// Solve searches for a model. maxConflicts bounds the number of
+// conflicts spent in this call before giving up with Unknown (<= 0
+// means a large default); on a persistent instance the budget is
+// per-call, not cumulative across calls.
 func (s *Solver) Solve(maxConflicts int64) Status {
 	return s.SolveDeadline(maxConflicts, time.Time{})
 }
@@ -438,14 +454,30 @@ func (s *Solver) SolveDeadline(maxConflicts int64, deadline time.Time) Status {
 // is how a cancelled analysis context stops a long-running query without
 // waiting for its conflict or wall-clock budget. A nil probe means none.
 func (s *Solver) SolveInterruptible(maxConflicts int64, deadline time.Time, interrupted func() bool) Status {
+	return s.SolveAssuming(nil, maxConflicts, deadline, interrupted)
+}
+
+// SolveAssuming searches for a model under the given assumption
+// literals, MiniSat-style: each pending assumption is enqueued as the
+// decision of its own level before any free decision is made. On Unsat
+// caused by the assumptions (rather than the base formula) the solver
+// records the responsible subset — see FinalConflict — and remains
+// usable: learned clauses, variable activities and saved phases are
+// retained for the next call, which is what makes repeated calls on a
+// persistent instance incremental. Search state is unwound to level 0
+// before returning, so clauses may be added between calls; on Sat the
+// assignment is snapshotted first and served by Value.
+func (s *Solver) SolveAssuming(assumptions []Lit, maxConflicts int64, deadline time.Time, interrupted func() bool) Status {
+	s.finalConf = s.finalConf[:0]
 	if !s.ok {
 		return Unsat
 	}
-	if maxConflicts <= 0 {
-		maxConflicts = math.MaxInt64
+	limit := int64(math.MaxInt64)
+	if maxConflicts > 0 && s.conflicts < math.MaxInt64-maxConflicts {
+		limit = s.conflicts + maxConflicts
 	}
 	restart := int64(0)
-	for s.conflicts < maxConflicts {
+	for s.conflicts < limit {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			s.backtrack(0)
 			return Unknown
@@ -455,10 +487,16 @@ func (s *Solver) SolveInterruptible(maxConflicts int64, deadline time.Time, inte
 			return Unknown
 		}
 		restart++
+		s.restarts++
 		budget := 100 * luby(restart)
-		switch st := s.search(budget, maxConflicts); st {
-		case Sat, Unsat:
-			return st
+		switch st := s.search(budget, limit, assumptions); st {
+		case Sat:
+			s.saveModel()
+			s.backtrack(0)
+			return Sat
+		case Unsat:
+			s.backtrack(0)
+			return Unsat
 		}
 		s.backtrack(0)
 	}
@@ -466,7 +504,14 @@ func (s *Solver) SolveInterruptible(maxConflicts int64, deadline time.Time, inte
 	return Unknown
 }
 
-func (s *Solver) search(budget, maxConflicts int64) Status {
+// FinalConflict returns the subset of the last SolveAssuming call's
+// assumptions that jointly made the formula unsatisfiable. It is empty
+// when the last verdict was not Unsat, or when the base formula itself
+// is unsatisfiable independent of any assumption. The returned slice is
+// valid until the next Solve* call.
+func (s *Solver) FinalConflict() []Lit { return s.finalConf }
+
+func (s *Solver) search(budget, limit int64, assumptions []Lit) Status {
 	local := int64(0)
 	for {
 		conflict := s.propagate()
@@ -484,16 +529,35 @@ func (s *Solver) search(budget, maxConflicts int64) Status {
 			} else {
 				c := &clause{lits: learnt, learned: true, act: s.clauseInc}
 				s.learned = append(s.learned, c)
+				s.learnedN++
 				s.watch(c)
 				s.enqueue(learnt[0], c)
 			}
 			s.decayActivities()
-			if local >= budget || s.conflicts >= maxConflicts {
+			if local >= budget || s.conflicts >= limit {
 				return Unknown
 			}
 			continue
 		}
 		s.reduceLearned()
+		if s.decisionLevel() < len(assumptions) {
+			// Extend the trail with the next pending assumption before
+			// any free decision.
+			p := assumptions[s.decisionLevel()]
+			switch s.litValue(p) {
+			case lTrue:
+				// Already satisfied: open a dummy level so decision
+				// level k always covers assumptions [0, k).
+				s.newDecisionLevel()
+			case lFalse:
+				s.analyzeFinal(p)
+				return Unsat
+			default:
+				s.newDecisionLevel()
+				s.enqueue(p, nil)
+			}
+			continue
+		}
 		v := s.pickBranchVar()
 		if v < 0 {
 			return Sat
@@ -503,11 +567,76 @@ func (s *Solver) search(budget, maxConflicts int64) Status {
 	}
 }
 
-// Value returns the assignment of variable v in the last Sat result.
-func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
+// analyzeFinal computes the final conflict for the falsified assumption
+// p: p itself plus every assumption decision reachable from ~p in the
+// implication graph. The base formula stays satisfiable as far as the
+// solver knows, so ok is left untouched.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.finalConf = append(s.finalConf[:0], p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	seen := make([]bool, len(s.assign))
+	seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !seen[v] {
+			continue
+		}
+		if c := s.reason[v]; c == nil {
+			if s.level[v] > 0 {
+				s.finalConf = append(s.finalConf, s.trail[i])
+			}
+		} else {
+			for j := 1; j < len(c.lits); j++ {
+				if s.level[c.lits[j].Var()] > 0 {
+					seen[c.lits[j].Var()] = true
+				}
+			}
+		}
+		seen[v] = false
+	}
+}
 
-// Stats returns (conflicts, propagations) counters.
-func (s *Solver) Stats() (int64, int64) { return s.conflicts, s.props }
+// saveModel snapshots the current (total) assignment so Value stays
+// meaningful after the search state is unwound and more clauses are
+// added.
+func (s *Solver) saveModel() {
+	if cap(s.model) < len(s.assign) {
+		s.model = make([]lbool, len(s.assign))
+	}
+	s.model = s.model[:len(s.assign)]
+	copy(s.model, s.assign)
+}
+
+// Value returns the assignment of variable v in the last Sat result.
+// Variables allocated after that result read as false.
+func (s *Solver) Value(v int) bool { return v < len(s.model) && s.model[v] == lTrue }
+
+// Stats is the solver work profile. Conflicts and Propagations are
+// cumulative over the instance's lifetime; on a persistent instance,
+// difference them around a call to charge that call.
+type Stats struct {
+	Conflicts    int64
+	Propagations int64
+	Restarts     int64
+	Learned      int64 // learned clauses created
+	Deleted      int64 // learned clauses dropped by DB reduction
+}
+
+// LearnedLive returns the learned clauses currently retained.
+func (st Stats) LearnedLive() int64 { return st.Learned - st.Deleted }
+
+// Stats returns the solver work counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.conflicts,
+		Propagations: s.props,
+		Restarts:     s.restarts,
+		Learned:      s.learnedN,
+		Deleted:      s.deletedN,
+	}
+}
 
 // varHeap is a max-heap over variable activity.
 type varHeap struct {

@@ -231,8 +231,7 @@ func TestStatsAdvance(t *testing.T) {
 	s.AddClause(MkLit(a, false), MkLit(b, false))
 	s.AddClause(MkLit(a, true), MkLit(b, false))
 	s.Solve(0)
-	_, props := s.Stats()
-	if props == 0 {
+	if props := s.Stats().Propagations; props == 0 {
 		t.Error("propagations should be counted")
 	}
 }

@@ -32,12 +32,15 @@ func (s State) Terminal() bool {
 }
 
 // Request is the analysis a client submits: which bomb, which tool
-// profile, how many engine workers, and an optional per-job wall-clock
+// profile, how many engine workers, which solver mode ("" or "fresh"
+// for a SAT instance per query, "incremental" for per-round
+// assumption-based sessions), and an optional per-job wall-clock
 // budget that becomes the exploration context's deadline.
 type Request struct {
 	Bomb     string `json:"bomb"`
 	Tool     string `json:"tool"`
 	Workers  int    `json:"workers,omitempty"`
+	Solver   string `json:"solver,omitempty"`
 	BudgetMS int64  `json:"budget_ms,omitempty"`
 }
 
@@ -65,10 +68,25 @@ func (r *Request) Validate() error {
 	if r.Workers < 0 {
 		return errors.New("workers must be non-negative")
 	}
+	if _, err := r.solverMode(); err != nil {
+		return err
+	}
 	if r.BudgetMS < 0 {
 		return errors.New("budget_ms must be non-negative")
 	}
 	return nil
+}
+
+// solverMode maps the wire field to the engine capability.
+func (r *Request) solverMode() (core.SolverMode, error) {
+	switch r.Solver {
+	case "", "fresh":
+		return core.SolverFresh, nil
+	case "incremental":
+		return core.SolverIncremental, nil
+	default:
+		return core.SolverFresh, fmt.Errorf("unknown solver %q (fresh or incremental)", r.Solver)
+	}
 }
 
 // RunStats is the engine work profile exposed per job.
@@ -152,6 +170,7 @@ type View struct {
 	Bomb            string  `json:"bomb"`
 	Tool            string  `json:"tool"`
 	Workers         int     `json:"workers,omitempty"`
+	Solver          string  `json:"solver,omitempty"`
 	BudgetMS        int64   `json:"budget_ms,omitempty"`
 	State           State   `json:"state"`
 	CancelRequested bool    `json:"cancel_requested,omitempty"`
@@ -169,6 +188,7 @@ func (j *Job) view() View {
 		Bomb:            j.Req.Bomb,
 		Tool:            j.Req.Tool,
 		Workers:         j.Req.Workers,
+		Solver:          j.Req.Solver,
 		BudgetMS:        j.Req.BudgetMS,
 		State:           j.State,
 		CancelRequested: j.CancelRequested,

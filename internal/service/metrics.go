@@ -32,6 +32,11 @@ type Metrics struct {
 	pagesCOWFaulted     uint64
 	prefixReused        uint64
 
+	solverSessions    uint64
+	incrementalChecks uint64
+	learnedRetained   uint64
+	guardLiterals     uint64
+
 	wallBuckets []uint64 // one per wallBucketBound, non-cumulative
 	wallSum     float64
 	wallCount   uint64
@@ -92,6 +97,10 @@ func (m *Metrics) JobFinished(state State, out *core.Outcome, wasRunning bool) {
 	m.instructionsSkipped += uint64(out.Stats.InstructionsSkipped)
 	m.pagesCOWFaulted += out.Stats.PagesCOWFaulted
 	m.prefixReused += uint64(out.Stats.PrefixConstraintsReused)
+	m.solverSessions += uint64(out.Stats.SolverSessions)
+	m.incrementalChecks += uint64(out.Stats.IncrementalChecks)
+	m.learnedRetained += uint64(out.Stats.LearnedClausesRetained)
+	m.guardLiterals += uint64(out.Stats.GuardLiterals)
 	sec := out.Stats.WallTime.Seconds()
 	m.wallSum += sec
 	m.wallCount++
@@ -147,6 +156,11 @@ func (m *Metrics) Render(queueDepth, queueCap, workers int) string {
 	counter("concolicd_checkpoint_instructions_skipped_total", "Guest instructions skipped via checkpointed replay.", m.instructionsSkipped)
 	counter("concolicd_checkpoint_cow_faults_total", "Memory pages copied on write under snapshot sharing.", m.pagesCOWFaulted)
 	counter("concolicd_checkpoint_prefix_constraints_total", "Path constraints re-derived from replayed trace prefixes.", m.prefixReused)
+
+	counter("concolicd_solver_incremental_sessions_total", "Per-round incremental solver sessions opened across finished jobs.", m.solverSessions)
+	counter("concolicd_solver_incremental_checks_total", "Negation queries answered inside an incremental session.", m.incrementalChecks)
+	counter("concolicd_solver_incremental_learned_retained_total", "Learned clauses alive at the start of a follow-up incremental check.", m.learnedRetained)
+	counter("concolicd_solver_incremental_guard_literals_total", "Guard literals allocated to activate per-check assertions.", m.guardLiterals)
 
 	// Hash-consing arena counters are process-global (the arena is shared
 	// by every job), so they are read live rather than summed from

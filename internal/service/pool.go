@@ -106,6 +106,7 @@ func (p *pool) runJob(j *Job) {
 		return
 	}
 	prof.Caps.Workers = j.Req.Workers
+	prof.Caps.SolverMode, _ = j.Req.solverMode() // validated at submission
 	en := core.New(b.Image(), b.BombAddr(), prof.Caps)
 	out := en.ExploreContext(ctx, b.Benign)
 

@@ -1,0 +1,92 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sym"
+)
+
+// buildBVSystem interprets fuzz bytes as a constraint generator over a
+// small pool of 8-bit terms, emitting width-1 bitvector constraints
+// (never float): the incremental/fresh equivalence under test is a
+// property of the SAT path. Division is included — the encoder guards
+// div-by-zero itself.
+func buildBVSystem(data []byte) []sym.Expr {
+	arith := []sym.BinOp{
+		sym.OpAdd, sym.OpSub, sym.OpMul, sym.OpAnd, sym.OpOr,
+		sym.OpXor, sym.OpShl, sym.OpLShr, sym.OpUDiv, sym.OpURem,
+	}
+	cmp := []sym.BinOp{sym.OpEq, sym.OpNe, sym.OpUlt, sym.OpUle, sym.OpSlt, sym.OpSle}
+	names := []string{"a", "b", "c"}
+	pool := []sym.Expr{sym.NewVar("a", 8), sym.NewVar("b", 8)}
+	pick := func(b byte) sym.Expr { return pool[int(b)%len(pool)] }
+	var sys []sym.Expr
+	for i := 0; i+3 < len(data) && len(sys) < 6; i += 4 {
+		op, x, y, z := data[i], data[i+1], data[i+2], data[i+3]
+		switch op % 5 {
+		case 0:
+			pool = append(pool, sym.NewConst(uint64(x), 8))
+		case 1:
+			pool = append(pool, sym.NewVar(names[int(x)%len(names)], 8))
+		case 2:
+			pool = append(pool, sym.NewBin(arith[int(x)%len(arith)], pick(y), pick(z)))
+		case 3, 4:
+			sys = append(sys, sym.NewBin(cmp[int(x)%len(cmp)], pick(y), pick(z)))
+		}
+	}
+	return sys
+}
+
+// FuzzIncrementalEquivalence replays the engine's round pattern — check
+// ¬c_i against the prefix c_0..c_{i-1}, then extend the prefix with c_i
+// — once through a persistent Session and once through a fresh
+// SolveContext per query, and requires identical statuses throughout.
+// Sat models may differ between the two paths, but each must
+// sym.Eval-satisfy its full system. Budgets are high enough that Unknown
+// never fires on these tiny systems, so the equivalence is exact.
+func FuzzIncrementalEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 0, 1})
+	f.Add([]byte{0, 5, 0, 0, 3, 2, 0, 2, 3, 0, 1, 2})
+	f.Add([]byte{2, 2, 0, 1, 3, 4, 2, 0, 4, 1, 2, 1, 3, 3, 0, 2})
+	f.Add([]byte{1, 2, 0, 0, 2, 8, 2, 0, 3, 5, 3, 1, 4, 0, 0, 3, 3, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs := buildBVSystem(data)
+		if len(cs) == 0 {
+			return
+		}
+		opts := Options{MaxConflicts: 500_000}
+		sess := NewSession(context.Background(), SessionOptions{Options: opts})
+		for i, c := range cs {
+			negated := sym.NewBoolNot(c)
+			system := append(append([]sym.Expr{}, cs[:i]...), negated)
+			want, err := SolveContext(context.Background(), system, opts)
+			if err != nil {
+				t.Fatalf("query %d: fresh: %v", i, err)
+			}
+			got, err := sess.Check(negated)
+			if err != nil {
+				t.Fatalf("query %d: session: %v", i, err)
+			}
+			if got.Status != want.Status {
+				t.Fatalf("query %d: session %v, fresh %v (system %v)",
+					i, got.Status, want.Status, system)
+			}
+			if got.Status == StatusSat {
+				for j, e := range system {
+					if sym.Eval(e, got.Model) != 1 {
+						t.Fatalf("query %d: session model %v violates constraint %d %v",
+							i, got.Model, j, e)
+					}
+					if sym.Eval(e, want.Model) != 1 {
+						t.Fatalf("query %d: fresh model %v violates constraint %d %v",
+							i, want.Model, j, e)
+					}
+				}
+			}
+			sess.Assert(c)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sym"
+)
+
+// sessionRound mimics the engine's round loop: for each constraint c_i,
+// Check(¬c_i) against the prefix c_0..c_{i-1}, then Assert(c_i).
+func sessionRound(t *testing.T, sess *Session, cs []sym.Expr) []Result {
+	t.Helper()
+	var out []Result
+	for _, c := range cs {
+		r, err := sess.Check(sym.NewBoolNot(c))
+		if err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+		out = append(out, r)
+		sess.Assert(c)
+	}
+	return out
+}
+
+// freshRound is the same loop through one-shot SolveContext calls.
+func freshRound(t *testing.T, cs []sym.Expr, opts Options) []Result {
+	t.Helper()
+	var out []Result
+	for i, c := range cs {
+		system := append(append([]sym.Expr{}, cs[:i]...), sym.NewBoolNot(c))
+		r, err := SolveContext(context.Background(), system, opts)
+		if err != nil {
+			t.Fatalf("SolveContext: %v", err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// digitChain builds n constraints over one 64-bit variable resembling a
+// parsed-digit guard chain: ((x*3+i) & 0xff) == k_i style terms that
+// share the whole sub-DAG across prefixes.
+func digitChain(n int) []sym.Expr {
+	var acc sym.Expr = sym.NewVar("argv1_0", 64)
+	var cs []sym.Expr
+	for i := 0; i < n; i++ {
+		acc = sym.NewBin(sym.OpAdd, sym.NewBin(sym.OpMul, acc, sym.NewConst(3, 64)), sym.NewConst(uint64(i+1), 64))
+		b := sym.NewBin(sym.OpAnd, acc, sym.NewConst(0xff, 64))
+		cs = append(cs, sym.NewBin(sym.OpUlt, b, sym.NewConst(0x80, 64)))
+	}
+	return cs
+}
+
+// TestSessionMatchesFreshVerdicts runs the round loop both ways over a
+// shared-prefix chain and requires identical statuses; Sat models must
+// each satisfy their own system.
+func TestSessionMatchesFreshVerdicts(t *testing.T) {
+	cs := digitChain(6)
+	opts := Options{MaxConflicts: 100_000}
+	sess := NewSession(context.Background(), SessionOptions{Options: opts})
+	inc := sessionRound(t, sess, cs)
+	fresh := freshRound(t, cs, opts)
+	for i := range cs {
+		if inc[i].Status != fresh[i].Status {
+			t.Errorf("query %d: session %v, fresh %v", i, inc[i].Status, fresh[i].Status)
+		}
+		if inc[i].Status != StatusSat {
+			continue
+		}
+		system := append(append([]sym.Expr{}, cs[:i]...), sym.NewBoolNot(cs[i]))
+		for j, c := range system {
+			if sym.Eval(c, inc[i].Model) != 1 {
+				t.Errorf("query %d: session model violates constraint %d", i, j)
+			}
+		}
+	}
+	st := sess.Stats()
+	if st.IncrementalChecks == 0 || st.GuardLiterals == 0 {
+		t.Errorf("session did no incremental work: %+v", st)
+	}
+	if st.IncrementalChecks > 1 && st.LearnedRetained == 0 {
+		t.Logf("no learned clauses retained across %d checks (legal, just unhelpful)", st.IncrementalChecks)
+	}
+}
+
+// TestSessionConstFalse checks the constant-false shortcut fires before
+// anything else, as in SolveContext.
+func TestSessionConstFalse(t *testing.T) {
+	sess := NewSession(context.Background(), SessionOptions{})
+	sess.Assert(sym.NewConst(0, 1))
+	x := sym.NewVar("x", 8)
+	r, err := sess.Check(sym.NewBin(sym.OpEq, x, sym.NewConst(1, 8)))
+	if err != nil || r.Status != StatusUnsat {
+		t.Fatalf("const-false prefix: %v %v, want unsat", r.Status, err)
+	}
+	// A constant-false negation is unsat even over an empty prefix.
+	sess2 := NewSession(context.Background(), SessionOptions{})
+	r, err = sess2.Check(sym.NewConst(0, 1))
+	if err != nil || r.Status != StatusUnsat {
+		t.Fatalf("const-false negation: %v %v, want unsat", r.Status, err)
+	}
+}
+
+// TestSessionFloatRouting checks float-bearing systems leave the SAT
+// path and agree with the one-shot front end.
+func TestSessionFloatRouting(t *testing.T) {
+	x := sym.NewVar("x", 64)
+	fc := sym.NewBin(sym.OpFEq, x, sym.NewConst(0x3ff0000000000000, 64)) // x == 1.0
+	for _, fp := range []FPMode{FPNone, FPSearch} {
+		opts := Options{FP: fp, RandSeed: 7}
+		sess := NewSession(context.Background(), SessionOptions{Options: opts})
+		got, err := sess.Check(fc)
+		if err != nil {
+			t.Fatalf("FP %v: %v", fp, err)
+		}
+		want, err := SolveContext(context.Background(), []sym.Expr{fc}, opts)
+		if err != nil {
+			t.Fatalf("FP %v fresh: %v", fp, err)
+		}
+		if got.Status != want.Status {
+			t.Errorf("FP %v: session %v, fresh %v", fp, got.Status, want.Status)
+		}
+	}
+}
+
+// TestSessionCancelledContext checks a dead context yields Unknown, the
+// behaviour ExploreContext relies on for prompt shutdown.
+func TestSessionCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess := NewSession(ctx, SessionOptions{})
+	x := sym.NewVar("x", 8)
+	r, err := sess.Check(sym.NewBin(sym.OpEq, x, sym.NewConst(3, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusUnknown {
+		t.Errorf("cancelled ctx: %v, want unknown", r.Status)
+	}
+}
+
+// TestSessionCacheRoundTrip checks a second identical session over a
+// shared Cache answers from it, and that session entries do not collide
+// with fresh-mode entries for the same system.
+func TestSessionCacheRoundTrip(t *testing.T) {
+	cs := digitChain(4)
+	cache := NewCache(64)
+	opts := Options{MaxConflicts: 100_000}
+
+	s1 := NewSession(context.Background(), SessionOptions{Options: opts, Cache: cache})
+	first := sessionRound(t, s1, cs)
+	if s1.Stats().CacheHits != 0 {
+		t.Fatalf("first session hit a cold cache: %+v", s1.Stats())
+	}
+	s2 := NewSession(context.Background(), SessionOptions{Options: opts, Cache: cache})
+	second := sessionRound(t, s2, cs)
+	if got := s2.Stats(); got.CacheHits != len(cs) {
+		t.Errorf("second session: %d cache hits, want %d", got.CacheHits, len(cs))
+	}
+	if got := s2.Stats(); got.IncrementalChecks != 0 {
+		t.Errorf("second session still solved incrementally: %+v", got)
+	}
+	for i := range cs {
+		if first[i].Status != second[i].Status {
+			t.Errorf("query %d: statuses differ across cache round trip", i)
+		}
+		if first[i].Status == StatusSat && sym.Eval(cs[0], second[i].Model) == 0 && i > 0 {
+			t.Errorf("query %d: cached model violates prefix head", i)
+		}
+	}
+	// Fresh-mode lookups for the same systems must miss (separate
+	// namespace) and then store their own entries.
+	before := cache.Stats()
+	if _, err := cache.SolveContext(context.Background(), []sym.Expr{sym.NewBoolNot(cs[0])}, opts); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if after.Hits != before.Hits {
+		t.Errorf("fresh-mode lookup hit an incremental entry")
+	}
+}
+
+// TestSessionUnsatPrefixShortCircuits drives the prefix itself
+// unsatisfiable and checks every later query reports unsat instantly.
+func TestSessionUnsatPrefixShortCircuits(t *testing.T) {
+	x := sym.NewVar("x", 8)
+	sess := NewSession(context.Background(), SessionOptions{})
+	sess.Assert(
+		sym.NewBin(sym.OpEq, x, sym.NewConst(1, 8)),
+		sym.NewBin(sym.OpEq, x, sym.NewConst(2, 8)),
+	)
+	for i := 0; i < 3; i++ {
+		r, err := sess.Check(sym.NewBin(sym.OpUlt, x, sym.NewConst(200, 8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != StatusUnsat {
+			t.Fatalf("check %d over unsat prefix: %v, want unsat", i, r.Status)
+		}
+	}
+}

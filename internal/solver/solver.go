@@ -95,16 +95,18 @@ type Result struct {
 // ErrNoConstraints is returned by Solve when given an empty system.
 var ErrNoConstraints = errors.New("solver: empty constraint system")
 
-// Solve decides the conjunction of the given width-1 constraints.
+// Solve is SolveContext with a background context, kept for callers
+// with no cancellation to propagate.
 func Solve(constraints []sym.Expr, opts Options) (Result, error) {
 	return SolveContext(context.Background(), constraints, opts)
 }
 
-// SolveContext is Solve under a cancellation context. A cancelled or
-// deadline-expired context makes the query give up with StatusUnknown
-// mid-search instead of running to its conflict or wall-clock budget;
-// the context deadline tightens (never loosens) opts.Timeout. With a
-// background context the result is identical to Solve.
+// SolveContext decides the conjunction of the given width-1
+// constraints. It is the canonical one-shot entry point (Session is
+// the stateful counterpart). A cancelled or deadline-expired context
+// makes the query give up with StatusUnknown mid-search instead of
+// running to its conflict or wall-clock budget; the context deadline
+// tightens (never loosens) opts.Timeout.
 func SolveContext(ctx context.Context, constraints []sym.Expr, opts Options) (Result, error) {
 	if len(constraints) == 0 {
 		return Result{}, ErrNoConstraints
@@ -203,7 +205,7 @@ func solveBV(ctx context.Context, constraints []sym.Expr, opts Options) (st Stat
 		}
 	}
 	res := s.SolveInterruptible(opts.MaxConflicts, deadline, func() bool { return ctx.Err() != nil })
-	conflicts, _ = s.Stats()
+	conflicts = s.Stats().Conflicts
 	switch res {
 	case sat.Sat:
 		return StatusSat, enc.Model(), conflicts, false, nil

@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -109,7 +110,7 @@ func TestRandomProgramsConstraintsSound(t *testing.T) {
 		}
 		neg := sym.NewBoolNot(last.Expr)
 		cs = append(cs, neg)
-		resu, err := solver.Solve(cs, solver.Options{Seed: sr.Seed, MaxConflicts: 50_000})
+		resu, err := solver.SolveContext(context.Background(), cs, solver.Options{Seed: sr.Seed, MaxConflicts: 50_000})
 		if err != nil {
 			t.Fatal(err)
 		}

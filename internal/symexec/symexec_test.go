@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -113,7 +114,7 @@ func TestTimeDeclaredYieldsConstraint(t *testing.T) {
 	}
 	// Negating the branch should bind the time variable to the magic.
 	neg := sym.NewBoolNot(sr.Constraints[len(sr.Constraints)-1].Expr)
-	res, err := solver.Solve([]sym.Expr{neg}, solver.Options{})
+	res, err := solver.SolveContext(context.Background(), []sym.Expr{neg}, solver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestContextualOpenModel(t *testing.T) {
 		cs = append(cs, pc.Expr)
 	}
 	cs = append(cs, sym.NewBoolNot(sr.Constraints[len(sr.Constraints)-1].Expr))
-	res, err := solver.Solve(cs, solver.Options{Seed: sr.Seed})
+	res, err := solver.SolveContext(context.Background(), cs, solver.Options{Seed: sr.Seed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func someNegationSat(t *testing.T, sr *Result) bool {
 			cs = append(cs, sr.Constraints[j].Expr)
 		}
 		cs = append(cs, sym.NewBoolNot(sr.Constraints[i].Expr))
-		res, err := solver.Solve(cs, solver.Options{Seed: sr.Seed, FP: solver.FPSearch, RandSeed: 1})
+		res, err := solver.SolveContext(context.Background(), cs, solver.Options{Seed: sr.Seed, FP: solver.FPSearch, RandSeed: 1})
 		if err != nil {
 			continue
 		}
@@ -418,7 +419,7 @@ func TestDivGuardExceptionBomb(t *testing.T) {
 		cs = append(cs, sr.Constraints[i].Expr)
 	}
 	cs = append(cs, sym.NewBoolNot(guard.Expr))
-	res, err := solver.Solve(cs, solver.Options{Seed: sr.Seed})
+	res, err := solver.SolveContext(context.Background(), cs, solver.Options{Seed: sr.Seed})
 	if err != nil {
 		t.Fatal(err)
 	}
