@@ -5,8 +5,9 @@ GO ?= go
 # ci is the gate: static checks, build, the concurrency-sensitive
 # packages under the race detector, short fuzz smokes on the solver
 # cache key, the interning equivalence property, the COW memory
-# (clone/write vs a deep-copy reference model) and the incremental/
-# fresh solver equivalence, then the full suite.
+# (clone/write vs a deep-copy reference model), the incremental/
+# fresh solver equivalence and the portfolio/fresh equivalence, then
+# the full suite.
 ci: vet build race fuzz test
 
 vet:
@@ -16,13 +17,14 @@ build:
 	$(GO) build ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sym/... ./internal/sat/... ./internal/bitblast/... ./internal/core/... ./internal/solver/... ./internal/service/... ./internal/mem/... ./internal/gos/... ./internal/lift/...
+	$(GO) test -race -count=1 ./internal/sym/... ./internal/sat/... ./internal/bitblast/... ./internal/core/... ./internal/solver/... ./internal/exchange/... ./internal/warmstore/... ./internal/service/... ./internal/mem/... ./internal/gos/... ./internal/lift/...
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCanonicalKey -fuzztime=5s ./internal/sym/
 	$(GO) test -run '^$$' -fuzz FuzzInternEval -fuzztime=5s ./internal/sym/
 	$(GO) test -run '^$$' -fuzz FuzzMemoryCOW -fuzztime=5s ./internal/mem/
 	$(GO) test -run '^$$' -fuzz FuzzIncrementalEquivalence -fuzztime=5s ./internal/solver/
+	$(GO) test -run '^$$' -fuzz FuzzPortfolioEquivalence -fuzztime=5s ./internal/solver/
 
 test:
 	$(GO) test ./...
@@ -36,7 +38,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMemClone|BenchmarkMemCloneWriteFault' ./internal/mem/...
 	$(GO) test -run '^$$' -bench 'BenchmarkInputKey' ./internal/core/...
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheSolveHit|BenchmarkSolveUncached|BenchmarkCanonicalKey' ./internal/solver/...
-	$(GO) test -run '^$$' -bench 'BenchmarkRoundFresh|BenchmarkRoundIncremental' -benchtime 3x ./internal/solver/
+	$(GO) test -run '^$$' -bench 'BenchmarkRoundFresh|BenchmarkRoundIncremental|BenchmarkRoundPortfolio' -benchtime 3x ./internal/solver/
+	$(GO) test -run '^$$' -bench 'BenchmarkStressIncremental|BenchmarkStressPortfolio' -benchtime 1x ./internal/solver/
+	BENCH6_OUT=$(CURDIR)/BENCH_6.json $(GO) test -run TestBench6Emit -count=1 ./internal/solver/
 	$(GO) test -run '^$$' -bench 'BenchmarkCanonicalKeyInterned|BenchmarkCanonicalKeyStable|BenchmarkInternConstruct' ./internal/sym/
 	$(GO) test -run '^$$' -bench 'BenchmarkBitblastSharedDAG' -benchtime 3x ./internal/bitblast/
 

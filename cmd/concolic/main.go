@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/tools"
+	"repro/internal/warmstore"
 )
 
 func main() {
@@ -29,8 +30,12 @@ func main() {
 		"snapshot-replay policy: auto (resume rounds from checkpoints) or off "+
 			"(re-execute every round from _start; identical outcomes)")
 	solverMode := flag.String("solver", "fresh",
-		"negation-query solving: fresh (one SAT instance per query) or incremental "+
-			"(per-round assumption-based sessions; equivalent verdicts, possibly different inputs)")
+		"negation-query solving: "+strings.Join(core.SolverModeNames(), ", ")+
+			" (portfolio races diversified workers sharing learned clauses; "+
+			"equivalent verdicts, possibly different inputs)")
+	warmDir := flag.String("warmstart", "",
+		"warm-start store directory (portfolio only): answered queries and "+
+			"exchanged clauses persist across runs")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -70,14 +75,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "concolic: unknown -checkpoint %q (auto or off)\n", *checkpoint)
 		os.Exit(2)
 	}
-	switch *solverMode {
-	case "fresh":
-		p.Caps.SolverMode = core.SolverFresh
-	case "incremental":
-		p.Caps.SolverMode = core.SolverIncremental
-	default:
-		fmt.Fprintf(os.Stderr, "concolic: unknown -solver %q (fresh or incremental)\n", *solverMode)
+	mode, err := core.ParseSolverMode(*solverMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "concolic: %v\n", err)
 		os.Exit(2)
+	}
+	p.Caps.SolverMode = mode
+	if *warmDir != "" {
+		if mode != core.SolverPortfolio {
+			fmt.Fprintln(os.Stderr, "concolic: -warmstart requires -solver=portfolio")
+			os.Exit(2)
+		}
+		w, err := warmstore.Open(*warmDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "concolic: open warm-start store: %v\n", err)
+			os.Exit(1)
+		}
+		defer w.Close()
+		p.Caps.Warm = w
 	}
 	en := core.New(b.Image(), b.BombAddr(), p.Caps)
 	out := en.ExploreContext(ctx, b.Benign)
@@ -124,6 +139,11 @@ func main() {
 			s.PagesCOWFaulted, s.PrefixConstraintsReused)
 		fmt.Printf("stats: solver-sessions=%d incremental-checks=%d learned-retained=%d guard-literals=%d\n",
 			s.SolverSessions, s.IncrementalChecks, s.LearnedClausesRetained, s.GuardLiterals)
+		if s.PortfolioRaces > 0 || s.WarmQueryHits > 0 {
+			fmt.Printf("stats: portfolio-races=%d clauses-shared=%d clauses-imported=%d warm-hits=%d warm-clauses-seeded=%d\n",
+				s.PortfolioRaces, s.PortfolioClausesShared, s.PortfolioClausesImported,
+				s.WarmQueryHits, s.WarmClausesSeeded)
+		}
 	}
 	if *verbose {
 		for _, in := range out.Incidents {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/warmstore"
 )
 
 func main() {
@@ -36,9 +37,19 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent jobs (0 = all CPUs)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long a drain waits for accepted jobs before cancelling them")
+	warmDir := flag.String("warmstart", "",
+		`warm-start store directory; jobs opt in with {"warmstart": true} (portfolio solver)`)
 	flag.Parse()
 
-	srv := service.New(service.Config{QueueDepth: *queue, Workers: *workers})
+	var warm *warmstore.Store
+	if *warmDir != "" {
+		w, err := warmstore.Open(*warmDir)
+		if err != nil {
+			log.Fatalf("concolicd: open warm-start store: %v", err)
+		}
+		warm = w
+	}
+	srv := service.New(service.Config{QueueDepth: *queue, Workers: *workers, Warm: warm})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -65,6 +76,11 @@ func main() {
 	srv.Drain(dctx)
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		httpSrv.Close()
+	}
+	if warm != nil {
+		if err := warm.Close(); err != nil {
+			log.Printf("concolicd: close warm-start store: %v", err)
+		}
 	}
 	log.Printf("concolicd: drained, bye")
 }

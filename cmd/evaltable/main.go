@@ -8,9 +8,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/warmstore"
 )
 
 func main() {
@@ -26,8 +28,10 @@ func main() {
 	checkpoint := flag.String("checkpoint", "auto",
 		"snapshot-replay policy for the Table II grid: auto or off (identical outcomes, different work profile)")
 	solverMode := flag.String("solver", "fresh",
-		"negation-query solving for the Table II grid: fresh (one SAT instance per query) "+
-			"or incremental (per-round assumption-based sessions; identical verdict labels)")
+		"negation-query solving for the Table II grid: "+strings.Join(core.SolverModeNames(), ", ")+
+			" (identical verdict labels)")
+	warmDir := flag.String("warmstart", "",
+		"warm-start store directory for the Table II grid (portfolio only)")
 	all := flag.Bool("all", false, "render everything")
 	flag.Parse()
 
@@ -41,18 +45,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "evaltable: unknown -checkpoint %q (auto or off)\n", *checkpoint)
 		os.Exit(2)
 	}
-	var mode core.SolverMode
-	switch *solverMode {
-	case "fresh":
-		mode = core.SolverFresh
-	case "incremental":
-		mode = core.SolverIncremental
-	default:
-		fmt.Fprintf(os.Stderr, "evaltable: unknown -solver %q (fresh or incremental)\n", *solverMode)
+	mode, err := core.ParseSolverMode(*solverMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evaltable: %v\n", err)
 		os.Exit(2)
 	}
+	var warm *warmstore.Store
+	if *warmDir != "" {
+		if mode != core.SolverPortfolio {
+			fmt.Fprintln(os.Stderr, "evaltable: -warmstart requires -solver=portfolio")
+			os.Exit(2)
+		}
+		w, err := warmstore.Open(*warmDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evaltable: open warm-start store: %v\n", err)
+			os.Exit(1)
+		}
+		defer w.Close()
+		warm = w
+	}
 	runTableII := func() *eval.Grid {
-		return eval.RunTableII(eval.Options{Workers: *workers, Checkpoint: pol, SolverMode: mode})
+		return eval.RunTableII(eval.Options{Workers: *workers, Checkpoint: pol, SolverMode: mode, Warm: warm})
 	}
 
 	if *jsonOut {

@@ -8,8 +8,8 @@ func TestRegistryShape(t *testing.T) {
 	if got := len(TableII()); got != 22 {
 		t.Errorf("Table II bombs = %d, want 22", got)
 	}
-	if got := len(All()); got != 28 {
-		t.Errorf("total bombs = %d, want 28 (22 + negpow + 2 fig3 + 3 extensions)", got)
+	if got := len(All()); got != 30 {
+		t.Errorf("total bombs = %d, want 30 (22 + negpow + 2 fig3 + 3 extensions + 2 stress)", got)
 	}
 	seen := make(map[string]bool)
 	for _, b := range All() {
@@ -17,7 +17,7 @@ func TestRegistryShape(t *testing.T) {
 			t.Errorf("duplicate bomb name %q", b.Name)
 		}
 		seen[b.Name] = true
-		if b.Category != Extra {
+		if b.Category == Accuracy || b.Category == Scalability {
 			for _, o := range b.Paper {
 				if o == "" {
 					t.Errorf("%s: missing paper outcome", b.Name)

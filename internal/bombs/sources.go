@@ -1002,4 +1002,79 @@ main:
 fmt: .asciz "value=%x\n"
 `,
 	},
+
+	// ── Stress: solver-bound constraint problems ─────────────────────
+	// The trigger is guarded by factoring a semiprime through the
+	// bitblasted 64x64 multiplier: the two 16-bit factors are read
+	// directly from the argument bytes (little-endian pairs), so the
+	// whole difficulty lands on the SAT search, not on the symbolic
+	// stages. Both factors are prime and exceed 8 bits, so no 16-bit
+	// wraparound factorization exists and the only models are the
+	// genuine factor pairs.
+	{
+		Name:        "factor26",
+		Category:    Stress,
+		Challenge:   ChHardSolve,
+		Description: "Factor a 26-bit semiprime (8191 x 8209) read from argv bytes",
+		Trigger:     Input{Argv1: "\xff\x1f\x11\x20"}, // a=0x1fff=8191, b=0x2011=8209
+		Benign:      Input{Argv1: "aaaa"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r12, [r2+8]
+    mov r1, r12
+    call strlen
+    cmp r0, 4
+    jne .out
+    ld.b r3, [r12+0]
+    ld.b r4, [r12+1]
+    shl r4, 8
+    or r3, r4              ; a = argv[0] | argv[1]<<8
+    ld.b r5, [r12+2]
+    ld.b r6, [r12+3]
+    shl r6, 8
+    or r5, r6              ; b = argv[2] | argv[3]<<8
+    mul r3, r5
+    cmp r3, 67239919
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "factor29",
+		Category:    Stress,
+		Challenge:   ChHardSolve,
+		Description: "Factor a 29-bit semiprime (16381 x 16411) read from argv bytes",
+		Trigger:     Input{Argv1: "\xfd\x3f\x1b\x40"}, // a=0x3ffd=16381, b=0x401b=16411
+		Benign:      Input{Argv1: "aaaa"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r12, [r2+8]
+    mov r1, r12
+    call strlen
+    cmp r0, 4
+    jne .out
+    ld.b r3, [r12+0]
+    ld.b r4, [r12+1]
+    shl r4, 8
+    or r3, r4              ; a = argv[0] | argv[1]<<8
+    ld.b r5, [r12+2]
+    ld.b r6, [r12+3]
+    shl r6, 8
+    or r5, r6              ; b = argv[2] | argv[3]<<8
+    mul r3, r5
+    cmp r3, 268828591
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
 }

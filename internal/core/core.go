@@ -21,10 +21,12 @@ import (
 
 	"repro/internal/bin"
 	"repro/internal/bombs"
+	"repro/internal/exchange"
 	"repro/internal/solver"
 	"repro/internal/sym"
 	"repro/internal/symexec"
 	"repro/internal/trace"
+	"repro/internal/warmstore"
 )
 
 // Capabilities configures the engine as a particular tool.
@@ -97,7 +99,24 @@ type Capabilities struct {
 	// generated inputs) may differ from fresh mode and across worker
 	// counts, because the incremental search reuses state whose content
 	// depends on which duplicate queries a batch happened to perform.
+	// SolverPortfolio races each query across the incremental session and
+	// diversified fresh CDCL workers sharing learned clauses — verdicts
+	// per query are equivalent or stronger (a budget-bound Unknown can
+	// turn conclusive when a diversified rival cracks the instance), but
+	// which worker answers is scheduling-dependent, so models and
+	// generated inputs may vary run to run.
 	SolverMode SolverMode
+
+	// PortfolioWorkers is the fresh CDCL worker count per portfolio race
+	// (<= 0: solver.DefaultPortfolioWorkers). Ignored outside
+	// SolverPortfolio.
+	PortfolioWorkers int
+
+	// Warm, when non-nil under SolverPortfolio, persists query verdicts
+	// and exchanged clauses across processes (the -warmstart store). The
+	// caller owns the store's lifecycle; the engine only reads and
+	// appends.
+	Warm *warmstore.Store
 }
 
 // SolverMode selects the negation-query solving strategy.
@@ -110,7 +129,42 @@ const (
 	// SolverIncremental solves each round's queries on one persistent
 	// assumption-based session (see solver.Session).
 	SolverIncremental
+	// SolverPortfolio races each query across the incremental session and
+	// diversified fresh workers with shared learned clauses (see
+	// solver.Portfolio).
+	SolverPortfolio
 )
+
+func (m SolverMode) String() string {
+	switch m {
+	case SolverFresh:
+		return "fresh"
+	case SolverIncremental:
+		return "incremental"
+	case SolverPortfolio:
+		return "portfolio"
+	}
+	return "invalid"
+}
+
+// SolverModeNames lists the accepted -solver flag values in menu order.
+func SolverModeNames() []string {
+	return []string{"fresh", "incremental", "portfolio"}
+}
+
+// ParseSolverMode maps a -solver flag value to its mode.
+func ParseSolverMode(name string) (SolverMode, error) {
+	switch name {
+	case "", "fresh":
+		return SolverFresh, nil
+	case "incremental":
+		return SolverIncremental, nil
+	case "portfolio":
+		return SolverPortfolio, nil
+	}
+	return 0, fmt.Errorf("unknown solver mode %q (known modes: %s)",
+		name, strings.Join(SolverModeNames(), ", "))
+}
 
 // ResolvedWorkers returns the worker count Explore will actually use:
 // Workers, or runtime.GOMAXPROCS(0) when unset.
@@ -248,6 +302,21 @@ type Stats struct {
 	// GuardLiterals counts guard literals allocated by session encoders
 	// to activate and retire negated constraints.
 	GuardLiterals int
+
+	// PortfolioRaces counts negation queries decided by racing workers
+	// under SolverPortfolio (always 0 otherwise).
+	PortfolioRaces int
+	// PortfolioClausesShared counts learned clauses portfolio workers
+	// published into the per-engine exchange; PortfolioClausesImported
+	// counts adoptions by racing workers (exchange pulls plus warm-store
+	// seeds).
+	PortfolioClausesShared   int64
+	PortfolioClausesImported int64
+	// WarmQueryHits counts negation queries answered from the warm-start
+	// store; WarmClausesSeeded counts stored clauses loaded into race
+	// exchanges.
+	WarmQueryHits     int
+	WarmClausesSeeded int
 }
 
 // InternHitRate is InternHits over total lookups, 0 when idle.
@@ -313,6 +382,7 @@ type Engine struct {
 	ctx       context.Context // set once per Explore; read-only afterwards
 	ctxBound  bool            // deadline comes from ctx, not TotalBudget
 	cache     *solver.Cache
+	ex        *exchange.Exchange // clause exchange, non-nil under SolverPortfolio
 	stats     Stats
 	arena0    sym.ArenaStats // arena counters at Explore entry, for deltas
 }
@@ -335,6 +405,13 @@ func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
 		caps.TotalBudget = DefaultTotalBudget
 	}
 	workers := caps.ResolvedWorkers()
+	var ex *exchange.Exchange
+	if caps.SolverMode == SolverPortfolio {
+		// One exchange per engine: every round's races pool clauses under
+		// per-system keys, so repeated or overlapping queries across
+		// rounds start from each other's learned clauses.
+		ex = exchange.New()
+	}
 	return &Engine{
 		img:       img,
 		caps:      caps,
@@ -346,6 +423,7 @@ func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
 		out:       &Outcome{},
 		ctx:       context.Background(),
 		cache:     solver.NewCache(caps.SolverCacheSize),
+		ex:        ex,
 	}
 }
 

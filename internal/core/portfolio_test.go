@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/warmstore"
+)
+
+// portfolioCaps is the reference tool racing its negation queries across
+// the incremental session and diversified fresh workers.
+func portfolioCaps() Capabilities {
+	caps := referenceCaps()
+	caps.SolverMode = SolverPortfolio
+	caps.Workers = 1
+	return caps
+}
+
+// TestPortfolioSolvesCoreBombs cracks a representative bomb slice in
+// portfolio mode and replays each solving input; which worker produced
+// the model is scheduling-dependent, but the input must still detonate.
+func TestPortfolioSolvesCoreBombs(t *testing.T) {
+	for _, name := range []string{
+		"fig3_plain", "arglen", "stack", "array1", "jumptab", "time",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out := crack(t, name, portfolioCaps())
+			if out.Verdict != VerdictSolved {
+				t.Fatalf("verdict = %v (rounds %d, incidents %v, detail %s)",
+					out.Verdict, out.Rounds, out.Incidents, out.CrashDetail)
+			}
+			verify(t, name, out)
+		})
+	}
+}
+
+// TestPortfolioCracksStressBomb cracks a stress-category bomb — a
+// factoring guard whose difficulty lands on the SAT search — and checks
+// the racing workers actually exchanged clauses while doing it.
+func TestPortfolioCracksStressBomb(t *testing.T) {
+	out := crack(t, "factor26", portfolioCaps())
+	if out.Verdict != VerdictSolved {
+		t.Fatalf("verdict = %v (incidents %v, detail %s)",
+			out.Verdict, out.Incidents, out.CrashDetail)
+	}
+	verify(t, "factor26", out)
+	if out.Stats.PortfolioClausesShared == 0 {
+		t.Error("no clauses shared while cracking the factoring guard")
+	}
+}
+
+// TestPortfolioStatsPopulated checks the portfolio counters flow into
+// Outcome.Stats under SolverPortfolio — and stay zero elsewhere.
+func TestPortfolioStatsPopulated(t *testing.T) {
+	out := crack(t, "array1", portfolioCaps())
+	s := out.Stats
+	if s.SolverSessions == 0 {
+		t.Error("no portfolio contexts opened under SolverPortfolio")
+	}
+	if s.PortfolioRaces == 0 {
+		t.Error("no races recorded")
+	}
+	if s.PortfolioRaces > s.SolverQueries {
+		t.Errorf("races %d exceed solver queries %d", s.PortfolioRaces, s.SolverQueries)
+	}
+
+	fresh := crack(t, "array1", referenceCaps())
+	fs := fresh.Stats
+	if fs.PortfolioRaces != 0 || fs.PortfolioClausesShared != 0 || fs.WarmQueryHits != 0 {
+		t.Errorf("fresh mode reported portfolio work: %+v", fs)
+	}
+	inc := crack(t, "array1", incrementalCaps())
+	if is := inc.Stats; is.PortfolioRaces != 0 || is.WarmQueryHits != 0 {
+		t.Errorf("incremental mode reported portfolio work: %+v", is)
+	}
+}
+
+// TestPortfolioWarmStartRoundTrip explores once against an empty
+// warm-start store, reopens the store as a second process would, and
+// checks the warm engine reaches the same verdict while answering
+// queries from disk — the hits observable through Outcome.Stats.
+func TestPortfolioWarmStartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	w1, err := warmstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := portfolioCaps()
+	caps.Warm = w1
+	cold := crack(t, "array1", caps)
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Verdict != VerdictSolved {
+		t.Fatalf("cold verdict = %v", cold.Verdict)
+	}
+	if cold.Stats.WarmQueryHits != 0 {
+		t.Fatalf("cold run hit its own empty store: %+v", cold.Stats)
+	}
+
+	w2, err := warmstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	caps.Warm = w2
+	warm := crack(t, "array1", caps)
+	if warm.Verdict != VerdictSolved {
+		t.Fatalf("warm verdict = %v", warm.Verdict)
+	}
+	if warm.Stats.WarmQueryHits == 0 {
+		t.Fatalf("warm run never hit the store: %+v", warm.Stats)
+	}
+	if warm.Stats.PortfolioRaces >= cold.Stats.PortfolioRaces {
+		t.Errorf("warm run raced as much as cold: cold %d, warm %d",
+			cold.Stats.PortfolioRaces, warm.Stats.PortfolioRaces)
+	}
+	verify(t, "array1", warm)
+}
+
+// TestParseSolverMode covers the flag-value mapping and its error text.
+func TestParseSolverMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SolverMode
+	}{
+		{"", SolverFresh}, {"fresh", SolverFresh},
+		{"incremental", SolverIncremental}, {"portfolio", SolverPortfolio},
+	} {
+		got, err := ParseSolverMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSolverMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Errorf("SolverMode(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSolverMode("z3"); err == nil {
+		t.Fatal("ParseSolverMode accepted an unknown mode")
+	} else {
+		for _, name := range SolverModeNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error %q does not list mode %q", err, name)
+			}
+		}
+	}
+}

@@ -84,9 +84,27 @@ type roundRec struct {
 	incChecks       int
 	learnedRetained int64
 	guardLits       int
+
+	// Portfolio work profile of this round (stats; zero outside
+	// SolverPortfolio).
+	pfRaces    int
+	pfShared   int64
+	pfImported int64
+	warmHits   int
+	warmSeeded int
 }
 
 func (r *roundRec) emit(ev event) { r.events = append(r.events, ev) }
+
+// roundSolver is the per-round incremental query context negate drives
+// when a persistent mode is selected: solver.Session under
+// SolverIncremental, solver.Portfolio under SolverPortfolio. Both keep
+// the same prefix discipline — Assert joins the path condition,
+// CheckSeeded decides prefix ∧ negated.
+type roundSolver interface {
+	Assert(constraints ...sym.Expr)
+	CheckSeeded(negated sym.Expr, randSeed int64) (solver.Result, error)
+}
 
 // popBatch removes up to n candidates from the frontier in strategy
 // order.
@@ -159,6 +177,11 @@ func (en *Engine) applyRound(rec *roundRec) bool {
 	en.stats.IncrementalChecks += rec.incChecks
 	en.stats.LearnedClausesRetained += rec.learnedRetained
 	en.stats.GuardLiterals += rec.guardLits
+	en.stats.PortfolioRaces += rec.pfRaces
+	en.stats.PortfolioClausesShared += rec.pfShared
+	en.stats.PortfolioClausesImported += rec.pfImported
+	en.stats.WarmQueryHits += rec.warmHits
+	en.stats.WarmClausesSeeded += rec.warmSeeded
 	var gated map[string]bool
 	for i := range rec.events {
 		ev := &rec.events[i]
@@ -348,7 +371,11 @@ func (en *Engine) runRound(c candidate, idx int) *roundRec {
 // every query on it: constraint i's negation is checked against the
 // session's prefix c_0..c_{i-1}, then c_i joins the prefix — including
 // assume-kind and already-seen constraints, which are never queried but
-// are part of every later query's path condition.
+// are part of every later query's path condition. Under SolverPortfolio
+// the round opens one solver.Portfolio instead: the same prefix
+// discipline, but every query races the session against diversified
+// fresh workers sharing learned clauses through the engine's exchange
+// and, when configured, warm-starting from the persistent store.
 func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, childPlan *replayPlan) {
 	// Forward occurrence numbering keeps flip keys stable across rounds
 	// (the n-th execution of a loop branch keeps its identity as traces
@@ -359,28 +386,53 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, chi
 		occ[i] = occurrence[sr.Constraints[i].PC]
 		occurrence[sr.Constraints[i].PC]++
 	}
-	var sess *solver.Session
-	if en.caps.SolverMode == SolverIncremental && len(sr.Constraints) > 0 {
-		sess = solver.NewSession(en.ctx, solver.SessionOptions{
-			Options: solver.Options{
-				MaxConflicts: en.caps.SolverConflicts,
-				FP:           en.caps.FP,
-				FPIterations: en.caps.FPIterations,
-				Timeout:      en.caps.SolverTimeout,
-				Seed:         sr.Seed,
-			},
+	var sess roundSolver
+	queryOpts := solver.Options{
+		MaxConflicts: en.caps.SolverConflicts,
+		FP:           en.caps.FP,
+		FPIterations: en.caps.FPIterations,
+		Timeout:      en.caps.SolverTimeout,
+		Seed:         sr.Seed,
+	}
+	switch {
+	case en.caps.SolverMode == SolverIncremental && len(sr.Constraints) > 0:
+		s := solver.NewSession(en.ctx, solver.SessionOptions{
+			Options: queryOpts,
 			// The shared query cache is deterministic for incremental
 			// entries only when a single goroutine populates it in a
 			// fixed order; parallel batches leave sessions self-contained
 			// so outcomes stay repeatable at a fixed worker count.
 			Cache: en.sessionCache(),
 		})
+		sess = s
 		rec.sessions++
 		defer func() {
-			st := sess.Stats()
+			st := s.Stats()
 			rec.incChecks += st.IncrementalChecks
 			rec.learnedRetained += st.LearnedRetained
 			rec.guardLits += st.GuardLiterals
+		}()
+	case en.caps.SolverMode == SolverPortfolio && len(sr.Constraints) > 0:
+		p := solver.NewPortfolio(en.ctx, solver.PortfolioOptions{
+			Options:  queryOpts,
+			Workers:  en.caps.PortfolioWorkers,
+			Cache:    en.sessionCache(),
+			Exchange: en.ex,
+			Warm:     en.caps.Warm,
+		})
+		sess = p
+		rec.sessions++
+		defer func() {
+			st := p.Stats()
+			ss := p.SessionStats()
+			rec.incChecks += ss.IncrementalChecks
+			rec.learnedRetained += ss.LearnedRetained
+			rec.guardLits += ss.GuardLiterals
+			rec.pfRaces += st.Races
+			rec.pfShared += st.ClausesShared
+			rec.pfImported += st.ClausesImported
+			rec.warmHits += st.WarmQueryHits
+			rec.warmSeeded += st.WarmClausesSeeded
 		}()
 	}
 	// Ascending order: the deepest branch's candidate is pushed last, so
@@ -426,14 +478,9 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, chi
 				system = append(system, sr.Constraints[j].Expr)
 			}
 			system = append(system, sym.NewBoolNot(pc.Expr))
-			resu, err = en.cache.SolveContext(en.ctx, system, solver.Options{
-				MaxConflicts: en.caps.SolverConflicts,
-				FP:           en.caps.FP,
-				FPIterations: en.caps.FPIterations,
-				Timeout:      en.caps.SolverTimeout,
-				Seed:         sr.Seed,
-				RandSeed:     int64(rec.idx*1000 + i),
-			})
+			opts := queryOpts
+			opts.RandSeed = int64(rec.idx*1000 + i)
+			resu, err = en.cache.SolveContext(en.ctx, system, opts)
 		}
 		if err != nil {
 			continue

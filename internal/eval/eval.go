@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/symexec"
 	"repro/internal/tools"
+	"repro/internal/warmstore"
 )
 
 // Classify maps an engine outcome to a Table II cell label.
@@ -174,6 +175,10 @@ type Options struct {
 	// worker count (Capabilities.Workers); the grid-level Workers knob
 	// above is independent of it.
 	EngineWorkers int
+	// Warm, when non-nil, is the persistent warm-start store every
+	// engine consults and feeds under core.SolverPortfolio (ignored in
+	// the other modes). The caller owns the store's lifecycle.
+	Warm *warmstore.Store
 }
 
 // RunTableII evaluates the four Table II profiles over the 22 bombs
@@ -184,27 +189,12 @@ func RunTableII(opts Options) *Grid {
 	for i := range profiles {
 		profiles[i].Caps.Checkpoint = opts.Checkpoint
 		profiles[i].Caps.SolverMode = opts.SolverMode
+		profiles[i].Caps.Warm = opts.Warm
 		if opts.EngineWorkers > 0 {
 			profiles[i].Caps.Workers = opts.EngineWorkers
 		}
 	}
 	return runGrid(profiles, bombs.TableII(), opts.Workers)
-}
-
-// RunTableIIWorkers evaluates the grid with up to workers cells in
-// flight at once.
-//
-// Deprecated: use RunTableII(Options{Workers: workers}).
-func RunTableIIWorkers(workers int) *Grid {
-	return RunTableII(Options{Workers: workers})
-}
-
-// RunTableIICheckpoint evaluates the grid under an explicit checkpoint
-// policy.
-//
-// Deprecated: use RunTableII(Options{Workers: workers, Checkpoint: pol}).
-func RunTableIICheckpoint(workers int, pol core.CheckpointPolicy) *Grid {
-	return RunTableII(Options{Workers: workers, Checkpoint: pol})
 }
 
 // runGrid fans profile x bomb cells over a bounded worker pool.

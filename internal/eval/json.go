@@ -58,7 +58,14 @@ type AggStatsJSON struct {
 	IncrementalChecks      int   `json:"incremental_checks"`
 	LearnedClausesRetained int64 `json:"learned_retained"`
 	GuardLiterals          int   `json:"guard_literals"`
-	WallMS                 int64 `json:"wall_ms"` // summed per-cell engine time
+	// Portfolio work profile, summed over cells (all zero outside
+	// core.SolverPortfolio).
+	PortfolioRaces           int   `json:"portfolio_races"`
+	PortfolioClausesShared   int64 `json:"portfolio_clauses_shared"`
+	PortfolioClausesImported int64 `json:"portfolio_clauses_imported"`
+	WarmQueryHits            int   `json:"warmstart_query_hits"`
+	WarmClausesSeeded        int   `json:"warmstart_clauses_seeded"`
+	WallMS                   int64 `json:"wall_ms"` // summed per-cell engine time
 }
 
 // GridJSON is the full machine-readable Table II report.
@@ -126,6 +133,11 @@ func ToJSON(g *Grid) *GridJSON {
 			out.Stats.IncrementalChecks += s.IncrementalChecks
 			out.Stats.LearnedClausesRetained += s.LearnedClausesRetained
 			out.Stats.GuardLiterals += s.GuardLiterals
+			out.Stats.PortfolioRaces += s.PortfolioRaces
+			out.Stats.PortfolioClausesShared += s.PortfolioClausesShared
+			out.Stats.PortfolioClausesImported += s.PortfolioClausesImported
+			out.Stats.WarmQueryHits += s.WarmQueryHits
+			out.Stats.WarmClausesSeeded += s.WarmClausesSeeded
 			out.Stats.WallMS += s.WallTime.Milliseconds()
 		}
 		out.Rows = append(out.Rows, row)

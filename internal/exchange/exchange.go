@@ -1,0 +1,191 @@
+// Package exchange is an in-process learned-clause exchange for
+// portfolio SAT solving. Workers racing the same constraint system
+// publish clauses they learn and pull clauses published by their peers.
+//
+// Soundness rests on the bitblast encoding being a deterministic
+// function of constraint structure: two encoders fed the identical
+// constraint system allocate identical CNF variable numbers, so a clause
+// learned by one solver (a []sat.Lit) is implied by — and directly
+// addable to — every peer encoding the same system. Pools are therefore
+// keyed by the constraint system's canonical key (intern ids, PR 3):
+// clauses never travel between different systems.
+//
+// The exchange is lock-sharded by key so concurrent queries on different
+// systems do not contend, and admission-filtered: only short clauses
+// with low LBD (literal block distance) are admitted, each pool is
+// capacity-capped, and duplicates are dropped.
+package exchange
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sat"
+)
+
+// Admission limits. Clauses longer than MaxLen or with LBD above MaxLBD
+// are glue-poor and rarely help peers; they are rejected at publish time.
+const (
+	MaxLen = 8
+	MaxLBD = 4
+	// MaxPerPool caps one system's pool; beyond it new publications are
+	// dropped (oldest-retained: the earliest clauses are usually the
+	// most fundamental ones).
+	MaxPerPool = 512
+)
+
+const shardCount = 16
+
+// Stats counts exchange traffic.
+type Stats struct {
+	Published int64 // clauses admitted into a pool
+	Rejected  int64 // clauses refused by admission filtering
+	Pulled    int64 // clauses handed to pulling workers
+}
+
+// Exchange is a lock-sharded clause exchange. The zero value is not
+// usable; call New.
+type Exchange struct {
+	shards    [shardCount]shard
+	published atomic.Int64
+	rejected  atomic.Int64
+	pulled    atomic.Int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	pools map[string]*pool
+}
+
+// pool holds the admitted clauses for one constraint system. Clauses are
+// append-only (capped), so a cursor index fully identifies what a worker
+// has already seen.
+type pool struct {
+	clauses []entry
+	seen    map[string]bool
+}
+
+// entry is one admitted clause with the id of the worker that published
+// it, so pulls can skip a worker's own publications.
+type entry struct {
+	lits   []sat.Lit
+	origin int
+}
+
+// New returns an empty exchange.
+func New() *Exchange {
+	e := &Exchange{}
+	for i := range e.shards {
+		e.shards[i].pools = make(map[string]*pool)
+	}
+	return e
+}
+
+func (e *Exchange) shard(key string) *shard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &e.shards[h%shardCount]
+}
+
+// Publish offers a clause learned for the system identified by key, by
+// the worker identified by origin (any id unique within the racing
+// group; pulls with the same origin skip it). Admission applies the
+// size/LBD filter, per-pool capacity and deduplication; the clause is
+// copied when admitted. Returns whether it was admitted.
+func (e *Exchange) Publish(key string, origin int, lits []sat.Lit, lbd int) bool {
+	if len(lits) == 0 || len(lits) > MaxLen || lbd > MaxLBD {
+		e.rejected.Add(1)
+		return false
+	}
+	sh := e.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := sh.pools[key]
+	if p == nil {
+		p = &pool{seen: make(map[string]bool)}
+		sh.pools[key] = p
+	}
+	if len(p.clauses) >= MaxPerPool {
+		e.rejected.Add(1)
+		return false
+	}
+	ck := clauseKey(lits)
+	if p.seen[ck] {
+		e.rejected.Add(1)
+		return false
+	}
+	p.seen[ck] = true
+	p.clauses = append(p.clauses, entry{lits: append([]sat.Lit(nil), lits...), origin: origin})
+	e.published.Add(1)
+	return true
+}
+
+// Pull returns the clauses admitted for key since the given cursor —
+// skipping the puller's own publications — and the new cursor.
+func (e *Exchange) Pull(key string, origin, cursor int) ([][]sat.Lit, int) {
+	sh := e.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := sh.pools[key]
+	if p == nil || cursor >= len(p.clauses) {
+		return nil, cursor
+	}
+	var out [][]sat.Lit
+	for _, en := range p.clauses[cursor:] {
+		if en.origin != origin {
+			out = append(out, en.lits)
+		}
+	}
+	e.pulled.Add(int64(len(out)))
+	return out, len(p.clauses)
+}
+
+// Snapshot returns every clause currently pooled for key, for
+// persistence. The inner slices are shared read-only.
+func (e *Exchange) Snapshot(key string) [][]sat.Lit {
+	cs, _ := e.Pull(key, -2, 0)
+	return cs
+}
+
+// SeedOrigin is the origin id used for clauses seeded from persistence;
+// every real worker sees them.
+const SeedOrigin = -1
+
+// Seed pre-populates the pool for key, bypassing the LBD filter (the
+// clauses were admitted once already, e.g. by a previous process via the
+// warm-start store) but keeping length, capacity and dedup checks.
+func (e *Exchange) Seed(key string, clauses [][]sat.Lit) int {
+	n := 0
+	for _, lits := range clauses {
+		if e.Publish(key, SeedOrigin, lits, 1) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns cumulative exchange counters.
+func (e *Exchange) Stats() Stats {
+	return Stats{
+		Published: e.published.Load(),
+		Rejected:  e.rejected.Load(),
+		Pulled:    e.pulled.Load(),
+	}
+}
+
+// clauseKey builds a dedup key. Literal order matters in principle, but
+// solvers learn clauses with the asserting literal first, so identical
+// resolutions collide as intended; a permuted duplicate costs one
+// redundant (and harmless) pool slot.
+func clauseKey(lits []sat.Lit) string {
+	b := make([]byte, 4*len(lits))
+	for i, l := range lits {
+		b[4*i] = byte(l)
+		b[4*i+1] = byte(l >> 8)
+		b[4*i+2] = byte(l >> 16)
+		b[4*i+3] = byte(l >> 24)
+	}
+	return string(b)
+}

@@ -1,0 +1,146 @@
+package exchange
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+func lits(ls ...int32) []sat.Lit {
+	out := make([]sat.Lit, len(ls))
+	for i, l := range ls {
+		out[i] = sat.Lit(l)
+	}
+	return out
+}
+
+// TestPublishPullCursor checks the cursor protocol: each pull returns
+// only what arrived since the previous cursor.
+func TestPublishPullCursor(t *testing.T) {
+	e := New()
+	if !e.Publish("k", 0, lits(2, 5), 2) {
+		t.Fatal("first publish rejected")
+	}
+	got, cur := e.Pull("k", 1, 0)
+	if len(got) != 1 || cur != 1 {
+		t.Fatalf("pull 1: %d clauses, cursor %d", len(got), cur)
+	}
+	if got2, cur2 := e.Pull("k", 1, cur); len(got2) != 0 || cur2 != cur {
+		t.Fatalf("empty pull moved cursor: %d clauses, cursor %d", len(got2), cur2)
+	}
+	e.Publish("k", 0, lits(7), 1)
+	e.Publish("k", 0, lits(9, 11, 13), 3)
+	got, cur = e.Pull("k", 1, cur)
+	if len(got) != 2 || cur != 3 {
+		t.Fatalf("pull 2: %d clauses, cursor %d", len(got), cur)
+	}
+}
+
+// TestAdmission checks the size/LBD filter, per-pool cap and dedup.
+func TestAdmission(t *testing.T) {
+	e := New()
+	long := make([]sat.Lit, MaxLen+1)
+	for i := range long {
+		long[i] = sat.Lit(2 * (i + 1))
+	}
+	if e.Publish("k", 0, long, 1) {
+		t.Error("over-length clause admitted")
+	}
+	if e.Publish("k", 0, lits(2, 4), MaxLBD+1) {
+		t.Error("high-LBD clause admitted")
+	}
+	if e.Publish("k", 0, nil, 1) {
+		t.Error("empty clause admitted")
+	}
+	if !e.Publish("k", 0, lits(2, 4), MaxLBD) {
+		t.Error("admissible clause rejected")
+	}
+	if e.Publish("k", 0, lits(2, 4), 1) {
+		t.Error("duplicate admitted")
+	}
+	st := e.Stats()
+	if st.Published != 1 || st.Rejected != 4 {
+		t.Errorf("stats %+v, want 1 published / 4 rejected", st)
+	}
+
+	for i := 0; i < MaxPerPool+10; i++ {
+		e.Publish("cap", 0, lits(int32(2*i+2)), 1)
+	}
+	if got, _ := e.Pull("cap", 1, 0); len(got) != MaxPerPool {
+		t.Errorf("pool size %d, want cap %d", len(got), MaxPerPool)
+	}
+}
+
+// TestOriginFiltering checks a worker never pulls back its own
+// publications while peers see them.
+func TestOriginFiltering(t *testing.T) {
+	e := New()
+	e.Publish("k", 0, lits(2), 1)
+	e.Publish("k", 1, lits(4), 1)
+	mine, cur := e.Pull("k", 0, 0)
+	if len(mine) != 1 || mine[0][0] != 4 {
+		t.Fatalf("worker 0 pulled %v, want only peer clause [4]", mine)
+	}
+	if cur != 2 {
+		t.Fatalf("cursor %d, want 2 (own clause advances it)", cur)
+	}
+	if peer, _ := e.Pull("k", 2, 0); len(peer) != 2 {
+		t.Fatalf("worker 2 pulled %d clauses, want both", len(peer))
+	}
+}
+
+// TestKeyIsolation checks clauses never leak between systems.
+func TestKeyIsolation(t *testing.T) {
+	e := New()
+	e.Publish("a", 0, lits(2), 1)
+	e.Publish("b", 0, lits(4), 1)
+	if got, _ := e.Pull("a", 1, 0); len(got) != 1 || got[0][0] != 2 {
+		t.Fatalf("pool a: %v", got)
+	}
+	if got, _ := e.Pull("b", 1, 0); len(got) != 1 || got[0][0] != 4 {
+		t.Fatalf("pool b: %v", got)
+	}
+}
+
+// TestSeedBypassesLBD checks Seed re-admits persisted clauses without
+// re-judging their quality but still dedups.
+func TestSeedBypassesLBD(t *testing.T) {
+	e := New()
+	n := e.Seed("k", [][]sat.Lit{lits(2, 4), lits(2, 4), lits(6)})
+	if n != 2 {
+		t.Fatalf("seeded %d, want 2", n)
+	}
+}
+
+// TestConcurrentExchange hammers one exchange from many goroutines
+// across several keys; run under -race this is the data-race gate.
+func TestConcurrentExchange(t *testing.T) {
+	e := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("sys-%d", w%3)
+			cursor := 0
+			for i := 0; i < 200; i++ {
+				e.Publish(key, w, lits(int32(2*(w*200+i)+2), int32(2*i+4)), 2)
+				var got [][]sat.Lit
+				got, cursor = e.Pull(key, w, cursor)
+				for _, c := range got {
+					if len(c) == 0 {
+						t.Error("pulled empty clause")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Published == 0 || st.Pulled == 0 {
+		t.Errorf("no traffic recorded: %+v", st)
+	}
+}

@@ -6,6 +6,7 @@ package sat
 
 import (
 	"math"
+	"math/rand"
 	"time"
 )
 
@@ -99,6 +100,16 @@ type Solver struct {
 	learnedN  int64 // learned clauses created
 	deletedN  int64 // learned clauses dropped by DB reduction
 
+	// Portfolio diversification and clause exchange (see share.go).
+	cfg       Config
+	rng       *rand.Rand
+	learnHook func(lits []Lit, lbd int)
+	importQ   [][]Lit
+	importedN int64 // clauses adopted via ImportLearned
+	exportedN int64 // clauses reported to the learn hook
+	lbdSeen   []int64
+	lbdStamp  int64
+
 	// model is the assignment snapshot taken at the last Sat verdict.
 	// Search state is unwound to level 0 before Solve returns, so the
 	// instance stays usable for further AddClause/Solve calls; Value
@@ -124,7 +135,7 @@ func (s *Solver) NewVar() int {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, false)
+	s.polarity = append(s.polarity, s.cfg.InvertPolarity)
 	s.watches = append(s.watches, nil, nil)
 	s.order.push(v)
 	return v
@@ -368,6 +379,15 @@ func (s *Solver) decayActivities() {
 }
 
 func (s *Solver) pickBranchVar() int {
+	if s.rng != nil && s.rng.Float64() < s.cfg.RandomBranchFreq {
+		// Random branching: a few probes into the variable array; fall
+		// through to VSIDS when every probe lands on an assigned var.
+		for try := 0; try < 8 && len(s.assign) > 0; try++ {
+			if v := s.rng.Intn(len(s.assign)); s.assign[v] == lUndef {
+				return v
+			}
+		}
+	}
 	for s.order.size() > 0 {
 		v := s.order.pop()
 		if s.assign[v] == lUndef {
@@ -486,9 +506,15 @@ func (s *Solver) SolveAssuming(assumptions []Lit, maxConflicts int64, deadline t
 			s.backtrack(0)
 			return Unknown
 		}
+		// The trail is at level 0 here: the only sound point to adopt
+		// clauses imported from portfolio peers.
+		s.drainImports()
+		if !s.ok {
+			return Unsat
+		}
 		restart++
 		s.restarts++
-		budget := 100 * luby(restart)
+		budget := s.restartBudget(restart)
 		switch st := s.search(budget, limit, assumptions); st {
 		case Sat:
 			s.saveModel()
@@ -523,6 +549,7 @@ func (s *Solver) search(budget, limit int64, assumptions []Lit) Status {
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(conflict)
+			s.exportLearned(learnt)
 			s.backtrack(btLevel)
 			if len(learnt) == 1 {
 				s.enqueue(learnt[0], nil)
@@ -622,6 +649,8 @@ type Stats struct {
 	Restarts     int64
 	Learned      int64 // learned clauses created
 	Deleted      int64 // learned clauses dropped by DB reduction
+	Imported     int64 // clauses adopted from portfolio peers
+	Exported     int64 // learned clauses reported to the learn hook
 }
 
 // LearnedLive returns the learned clauses currently retained.
@@ -635,6 +664,8 @@ func (s *Solver) Stats() Stats {
 		Restarts:     s.restarts,
 		Learned:      s.learnedN,
 		Deleted:      s.deletedN,
+		Imported:     s.importedN,
+		Exported:     s.exportedN,
 	}
 }
 

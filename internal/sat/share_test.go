@@ -1,0 +1,220 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// addPigeonhole encodes the pigeonhole principle PHP(holes+1, holes):
+// holes+1 pigeons into holes holes, unsatisfiable and resolution-hard
+// enough to force real clause learning. Returns the variable matrix
+// p[i][j] = "pigeon i sits in hole j".
+func addPigeonhole(s *Solver, holes int) [][]int {
+	pigeons := holes + 1
+	p := make([][]int, pigeons)
+	for i := range p {
+		p[i] = make([]int, holes)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		var c []Lit
+		for j := 0; j < holes; j++ {
+			c = append(c, MkLit(p[i][j], false))
+		}
+		s.AddClause(c...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				s.AddClause(MkLit(p[i][j], true), MkLit(p[k][j], true))
+			}
+		}
+	}
+	return p
+}
+
+// TestStatsMonotonicSolveAssuming drives one instance through a sequence
+// of SolveAssuming calls and checks every Stats counter is cumulative
+// and non-decreasing — counters are never reset between calls, so
+// callers charge a call by differencing around it.
+func TestStatsMonotonicSolveAssuming(t *testing.T) {
+	s := New()
+	p := addPigeonhole(s, 4)
+	prev := s.Stats()
+	if prev != (Stats{}) {
+		t.Fatalf("fresh instance has nonzero stats: %+v", prev)
+	}
+	assumptionSets := [][]Lit{
+		nil,
+		{MkLit(p[0][0], false)},
+		{MkLit(p[0][0], false), MkLit(p[1][1], false)},
+		nil,
+	}
+	for i, as := range assumptionSets {
+		if st := s.SolveAssuming(as, 200_000, time.Time{}, nil); st != Unsat {
+			t.Fatalf("call %d: %v, want unsat", i, st)
+		}
+		cur := s.Stats()
+		if cur.Conflicts < prev.Conflicts || cur.Propagations < prev.Propagations ||
+			cur.Restarts < prev.Restarts || cur.Learned < prev.Learned ||
+			cur.Deleted < prev.Deleted || cur.Imported < prev.Imported ||
+			cur.Exported < prev.Exported {
+			t.Fatalf("call %d: counter went backwards: %+v -> %+v", i, prev, cur)
+		}
+		prev = cur
+	}
+	if prev.Conflicts == 0 || prev.Learned == 0 {
+		t.Fatalf("pigeonhole refutation registered no work: %+v", prev)
+	}
+	// Per-call differencing must see the base-formula refutation charged
+	// once: after ok=false the later calls return Unsat without search.
+	again := s.Stats()
+	s.SolveAssuming(nil, 200_000, time.Time{}, nil)
+	if got := s.Stats(); got != again {
+		t.Errorf("refuted instance still accrues work: %+v -> %+v", again, got)
+	}
+}
+
+// TestLearnExportImportRoundTrip learns clauses on one solver via the
+// learn hook and imports them into a second solver encoding the
+// identical CNF (same variable allocation order). The importer must
+// count the adoptions and reach the same verdict.
+func TestLearnExportImportRoundTrip(t *testing.T) {
+	var exported [][]Lit
+	a := New()
+	a.SetLearnHook(func(lits []Lit, lbd int) {
+		if lbd <= 0 {
+			t.Errorf("learn hook saw nonpositive LBD %d for %v", lbd, lits)
+		}
+		if len(lits) <= 8 && lbd <= 6 {
+			exported = append(exported, lits)
+		}
+	})
+	addPigeonhole(a, 5)
+	if st := a.Solve(500_000); st != Unsat {
+		t.Fatalf("exporter: %v, want unsat", st)
+	}
+	if a.Stats().Exported == 0 || len(exported) == 0 {
+		t.Fatal("no clauses exported by the learn hook")
+	}
+
+	b := New()
+	addPigeonhole(b, 5)
+	b.ImportLearned(exported)
+	if st := b.Solve(500_000); st != Unsat {
+		t.Fatalf("importer: %v, want unsat", st)
+	}
+	sb := b.Stats()
+	if sb.Imported == 0 {
+		t.Fatal("importer adopted no clauses")
+	}
+	if sb.Imported > int64(len(exported)) {
+		t.Fatalf("imported %d > offered %d", sb.Imported, len(exported))
+	}
+}
+
+// TestImportPreservesSat checks imported clauses never flip a satisfiable
+// instance: clauses learned from the same formula are implied, so the
+// importer still finds a model that satisfies the original clauses.
+func TestImportPreservesSat(t *testing.T) {
+	build := func() (*Solver, []int) {
+		s := New()
+		vars := make([]int, 8)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		for i := 0; i+1 < len(vars); i++ {
+			s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+		}
+		s.AddClause(MkLit(vars[0], false), MkLit(vars[len(vars)-1], false))
+		return s, vars
+	}
+	var exported [][]Lit
+	a, _ := build()
+	a.SetLearnHook(func(lits []Lit, lbd int) {
+		exported = append(exported, lits)
+	})
+	if st := a.Solve(0); st != Sat {
+		t.Fatalf("exporter: %v, want sat", st)
+	}
+
+	b, vars := build()
+	b.ImportLearned(exported)
+	if st := b.Solve(0); st != Sat {
+		t.Fatalf("importer: %v, want sat", st)
+	}
+	// The model must satisfy the original chain clauses.
+	for i := 0; i+1 < len(vars); i++ {
+		if b.Value(vars[i]) && !b.Value(vars[i+1]) {
+			t.Fatalf("model violates chain clause %d", i)
+		}
+	}
+}
+
+// TestImportDropsForeignAndRootFalse checks adoption robustness: clauses
+// naming unallocated variables are dropped whole, root-level-false
+// literals are stripped, and an empty adoption refutes the instance.
+func TestImportDropsForeignAndRootFalse(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false)) // unit: a (root-level true)
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.ImportLearned([][]Lit{
+		{MkLit(99, false)},                // foreign variable: dropped
+		{MkLit(a, true), MkLit(b, false)}, // ~a stripped -> unit b
+	})
+	if st := s.Solve(0); st != Sat {
+		t.Fatalf("solve: %v, want sat", st)
+	}
+	if !s.Value(b) {
+		t.Error("stripped import did not propagate b")
+	}
+	if got := s.Stats().Imported; got != 1 {
+		t.Errorf("imported = %d, want 1 (foreign clause dropped)", got)
+	}
+	// A clause false at root level refutes the instance on adoption.
+	s.ImportLearned([][]Lit{{MkLit(a, true)}})
+	if st := s.Solve(0); st != Unsat {
+		t.Fatalf("contradictory import: %v, want unsat", st)
+	}
+}
+
+// TestConfigDiversificationSound checks every diversified configuration
+// reaches the same verdicts as the default on both satisfiable and
+// unsatisfiable instances.
+func TestConfigDiversificationSound(t *testing.T) {
+	configs := []Config{
+		{},
+		{InvertPolarity: true},
+		{RestartGeometric: true, RestartBase: 50},
+		{RandSeed: 7, RandomBranchFreq: 0.1},
+		{RandSeed: 11, RandomBranchFreq: 0.05, InvertPolarity: true, RestartGeometric: true},
+	}
+	for i, cfg := range configs {
+		s := New()
+		s.Configure(cfg)
+		addPigeonhole(s, 4)
+		if st := s.Solve(500_000); st != Unsat {
+			t.Errorf("config %d: pigeonhole %v, want unsat", i, st)
+		}
+		s2 := New()
+		s2.Configure(cfg)
+		v := make([]int, 6)
+		for j := range v {
+			v[j] = s2.NewVar()
+		}
+		for j := 0; j+1 < len(v); j++ {
+			s2.AddClause(MkLit(v[j], true), MkLit(v[j+1], false))
+		}
+		if st := s2.Solve(0); st != Sat {
+			t.Errorf("config %d: chain %v, want sat", i, st)
+		}
+		for j := 0; j+1 < len(v); j++ {
+			if s2.Value(v[j]) && !s2.Value(v[j+1]) {
+				t.Errorf("config %d: model violates chain clause %d", i, j)
+			}
+		}
+	}
+}

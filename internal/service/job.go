@@ -34,14 +34,18 @@ func (s State) Terminal() bool {
 // Request is the analysis a client submits: which bomb, which tool
 // profile, how many engine workers, which solver mode ("" or "fresh"
 // for a SAT instance per query, "incremental" for per-round
-// assumption-based sessions), and an optional per-job wall-clock
-// budget that becomes the exploration context's deadline.
+// assumption-based sessions, "portfolio" for racing diversified
+// workers with shared learned clauses), whether to use the server's
+// warm-start store (portfolio only; requires concolicd -warmstart),
+// and an optional per-job wall-clock budget that becomes the
+// exploration context's deadline.
 type Request struct {
-	Bomb     string `json:"bomb"`
-	Tool     string `json:"tool"`
-	Workers  int    `json:"workers,omitempty"`
-	Solver   string `json:"solver,omitempty"`
-	BudgetMS int64  `json:"budget_ms,omitempty"`
+	Bomb      string `json:"bomb"`
+	Tool      string `json:"tool"`
+	Workers   int    `json:"workers,omitempty"`
+	Solver    string `json:"solver,omitempty"`
+	Warmstart bool   `json:"warmstart,omitempty"`
+	BudgetMS  int64  `json:"budget_ms,omitempty"`
 }
 
 // Validate checks the request against the bomb registry and the tool
@@ -68,8 +72,12 @@ func (r *Request) Validate() error {
 	if r.Workers < 0 {
 		return errors.New("workers must be non-negative")
 	}
-	if _, err := r.solverMode(); err != nil {
+	mode, err := core.ParseSolverMode(r.Solver)
+	if err != nil {
 		return err
+	}
+	if r.Warmstart && mode != core.SolverPortfolio {
+		return errors.New("warmstart requires solver=portfolio")
 	}
 	if r.BudgetMS < 0 {
 		return errors.New("budget_ms must be non-negative")
@@ -79,14 +87,7 @@ func (r *Request) Validate() error {
 
 // solverMode maps the wire field to the engine capability.
 func (r *Request) solverMode() (core.SolverMode, error) {
-	switch r.Solver {
-	case "", "fresh":
-		return core.SolverFresh, nil
-	case "incremental":
-		return core.SolverIncremental, nil
-	default:
-		return core.SolverFresh, fmt.Errorf("unknown solver %q (fresh or incremental)", r.Solver)
-	}
+	return core.ParseSolverMode(r.Solver)
 }
 
 // RunStats is the engine work profile exposed per job.
@@ -97,6 +98,11 @@ type RunStats struct {
 	CacheMisses   uint64 `json:"cache_misses"`
 	PeakFrontier  int    `json:"peak_frontier"`
 	WallMS        int64  `json:"wall_ms"`
+	// Portfolio/warm-start profile (zero outside solver=portfolio).
+	PortfolioRaces    int   `json:"portfolio_races,omitempty"`
+	ClausesShared     int64 `json:"portfolio_clauses_shared,omitempty"`
+	WarmQueryHits     int   `json:"warmstart_query_hits,omitempty"`
+	WarmClausesSeeded int   `json:"warmstart_clauses_seeded,omitempty"`
 }
 
 // SolvedInput is the detonating input of a solved job.
@@ -128,12 +134,16 @@ func resultFrom(out *core.Outcome) *Result {
 		Detail:  out.CrashDetail,
 		Rounds:  out.Rounds,
 		Stats: RunStats{
-			Workers:       out.Stats.Workers,
-			SolverQueries: out.Stats.SolverQueries,
-			CacheHits:     out.Stats.CacheHits,
-			CacheMisses:   out.Stats.CacheMisses,
-			PeakFrontier:  out.Stats.PeakFrontier,
-			WallMS:        out.Stats.WallTime.Milliseconds(),
+			Workers:           out.Stats.Workers,
+			SolverQueries:     out.Stats.SolverQueries,
+			CacheHits:         out.Stats.CacheHits,
+			CacheMisses:       out.Stats.CacheMisses,
+			PeakFrontier:      out.Stats.PeakFrontier,
+			WallMS:            out.Stats.WallTime.Milliseconds(),
+			PortfolioRaces:    out.Stats.PortfolioRaces,
+			ClausesShared:     out.Stats.PortfolioClausesShared,
+			WarmQueryHits:     out.Stats.WarmQueryHits,
+			WarmClausesSeeded: out.Stats.WarmClausesSeeded,
 		},
 	}
 	if out.Verdict == core.VerdictSolved {
@@ -171,6 +181,7 @@ type View struct {
 	Tool            string  `json:"tool"`
 	Workers         int     `json:"workers,omitempty"`
 	Solver          string  `json:"solver,omitempty"`
+	Warmstart       bool    `json:"warmstart,omitempty"`
 	BudgetMS        int64   `json:"budget_ms,omitempty"`
 	State           State   `json:"state"`
 	CancelRequested bool    `json:"cancel_requested,omitempty"`
@@ -189,6 +200,7 @@ func (j *Job) view() View {
 		Tool:            j.Req.Tool,
 		Workers:         j.Req.Workers,
 		Solver:          j.Req.Solver,
+		Warmstart:       j.Req.Warmstart,
 		BudgetMS:        j.Req.BudgetMS,
 		State:           j.State,
 		CancelRequested: j.CancelRequested,

@@ -37,6 +37,12 @@ type Metrics struct {
 	learnedRetained   uint64
 	guardLiterals     uint64
 
+	portfolioRaces    uint64
+	portfolioShared   uint64
+	portfolioImported uint64
+	warmQueryHits     uint64
+	warmClausesSeeded uint64
+
 	wallBuckets []uint64 // one per wallBucketBound, non-cumulative
 	wallSum     float64
 	wallCount   uint64
@@ -101,6 +107,11 @@ func (m *Metrics) JobFinished(state State, out *core.Outcome, wasRunning bool) {
 	m.incrementalChecks += uint64(out.Stats.IncrementalChecks)
 	m.learnedRetained += uint64(out.Stats.LearnedClausesRetained)
 	m.guardLiterals += uint64(out.Stats.GuardLiterals)
+	m.portfolioRaces += uint64(out.Stats.PortfolioRaces)
+	m.portfolioShared += uint64(out.Stats.PortfolioClausesShared)
+	m.portfolioImported += uint64(out.Stats.PortfolioClausesImported)
+	m.warmQueryHits += uint64(out.Stats.WarmQueryHits)
+	m.warmClausesSeeded += uint64(out.Stats.WarmClausesSeeded)
 	sec := out.Stats.WallTime.Seconds()
 	m.wallSum += sec
 	m.wallCount++
@@ -161,6 +172,12 @@ func (m *Metrics) Render(queueDepth, queueCap, workers int) string {
 	counter("concolicd_solver_incremental_checks_total", "Negation queries answered inside an incremental session.", m.incrementalChecks)
 	counter("concolicd_solver_incremental_learned_retained_total", "Learned clauses alive at the start of a follow-up incremental check.", m.learnedRetained)
 	counter("concolicd_solver_incremental_guard_literals_total", "Guard literals allocated to activate per-check assertions.", m.guardLiterals)
+
+	counter("concolicd_solver_portfolio_races_total", "Negation queries raced across diversified portfolio workers.", m.portfolioRaces)
+	counter("concolicd_solver_portfolio_clauses_shared_total", "Learned clauses published to the portfolio exchange.", m.portfolioShared)
+	counter("concolicd_solver_portfolio_clauses_imported_total", "Exchange clauses adopted by a peer portfolio worker.", m.portfolioImported)
+	counter("concolicd_warmstart_query_hits_total", "Negation queries answered from the warm-start store.", m.warmQueryHits)
+	counter("concolicd_warmstart_clauses_seeded_total", "Stored clauses seeded into portfolio races.", m.warmClausesSeeded)
 
 	// Hash-consing arena counters are process-global (the arena is shared
 	// by every job), so they are read live rather than summed from

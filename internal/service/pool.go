@@ -9,6 +9,7 @@ import (
 	"repro/internal/bombs"
 	"repro/internal/core"
 	"repro/internal/tools"
+	"repro/internal/warmstore"
 )
 
 // Submission errors surfaced as HTTP statuses by the handlers.
@@ -28,6 +29,7 @@ type pool struct {
 	metrics *Metrics
 	queue   chan *Job
 	resolve func(string) (tools.Profile, bool)
+	warm    *warmstore.Store // nil unless concolicd opened -warmstart
 	wg      sync.WaitGroup
 
 	// baseCtx parents every job context; baseCancel is the drain
@@ -39,12 +41,13 @@ type pool struct {
 	closed bool
 }
 
-func newPool(store *Store, metrics *Metrics, depth, workers int, resolve func(string) (tools.Profile, bool)) *pool {
+func newPool(store *Store, metrics *Metrics, depth, workers int, resolve func(string) (tools.Profile, bool), warm *warmstore.Store) *pool {
 	p := &pool{
 		store:   store,
 		metrics: metrics,
 		queue:   make(chan *Job, depth),
 		resolve: resolve,
+		warm:    warm,
 	}
 	p.baseCtx, p.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < workers; i++ {
@@ -107,6 +110,9 @@ func (p *pool) runJob(j *Job) {
 	}
 	prof.Caps.Workers = j.Req.Workers
 	prof.Caps.SolverMode, _ = j.Req.solverMode() // validated at submission
+	if j.Req.Warmstart && p.warm != nil {
+		prof.Caps.Warm = p.warm
+	}
 	en := core.New(b.Image(), b.BombAddr(), prof.Caps)
 	out := en.ExploreContext(ctx, b.Benign)
 

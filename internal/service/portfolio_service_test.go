@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/warmstore"
+)
+
+// metricValue extracts a sample value from Prometheus exposition text.
+func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("metric %s: unparsable sample %q", name, line)
+		}
+		return v
+	}
+	t.Fatalf("metric %s missing from /metrics", name)
+	return 0
+}
+
+// TestPortfolioJobAndWarmstartMetrics runs a portfolio job twice against
+// the server's warm-start store: the first populates it, the second must
+// answer queries from it, and both leave their marks on /metrics.
+func TestPortfolioJobAndWarmstartMetrics(t *testing.T) {
+	w, err := warmstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() }) // after the drain cleanup (LIFO)
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Warm: w})
+
+	_, cold := postJob(t, ts, Request{Bomb: "array1", Solver: "portfolio", Warmstart: true, Workers: 1})
+	if cold.Solver != "portfolio" || !cold.Warmstart {
+		t.Fatalf("submit view does not echo the request: %+v", cold)
+	}
+	coldDone := waitState(t, ts, cold.ID, StateDone, 120*time.Second)
+	if coldDone.Result.Label != "ok" {
+		t.Fatalf("cold portfolio job label %q, want ok", coldDone.Result.Label)
+	}
+	if coldDone.Result.Stats.PortfolioRaces == 0 {
+		t.Error("cold portfolio job reports zero races")
+	}
+	if coldDone.Result.Stats.WarmQueryHits != 0 {
+		t.Errorf("cold job hit its own empty store: %+v", coldDone.Result.Stats)
+	}
+	if races := metricValue(t, ts, "concolicd_solver_portfolio_races_total"); races == 0 {
+		t.Error("portfolio races metric stayed zero after a portfolio job")
+	}
+	if metricValue(t, ts, "concolicd_warmstart_query_hits_total") != 0 {
+		t.Error("warm hits counted before anything was stored")
+	}
+
+	_, warm := postJob(t, ts, Request{Bomb: "array1", Solver: "portfolio", Warmstart: true, Workers: 1})
+	warmDone := waitState(t, ts, warm.ID, StateDone, 120*time.Second)
+	if warmDone.Result.Label != "ok" {
+		t.Fatalf("warm portfolio job label %q, want ok", warmDone.Result.Label)
+	}
+	if warmDone.Result.Stats.WarmQueryHits == 0 {
+		t.Errorf("warm job never hit the store: %+v", warmDone.Result.Stats)
+	}
+	if metricValue(t, ts, "concolicd_warmstart_query_hits_total") == 0 {
+		t.Error("warm hits metric stayed zero after a warm-started job")
+	}
+	// A fresh-mode job on the same server leaves the portfolio counters be.
+	before := metricValue(t, ts, "concolicd_solver_portfolio_races_total")
+	_, plain := postJob(t, ts, Request{Bomb: "jump", Tool: "reference"})
+	waitState(t, ts, plain.ID, StateDone, 60*time.Second)
+	if after := metricValue(t, ts, "concolicd_solver_portfolio_races_total"); after != before {
+		t.Errorf("fresh job moved portfolio races: %v -> %v", before, after)
+	}
+}
+
+// TestPortfolioWithoutStoreStillRuns checks warmstart degrades gracefully
+// when concolicd was started without -warmstart: the job runs as a plain
+// portfolio job, it just never hits a store.
+func TestPortfolioWithoutStoreStillRuns(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, v := postJob(t, ts, Request{Bomb: "jump", Solver: "portfolio", Warmstart: true})
+	done := waitState(t, ts, v.ID, StateDone, 120*time.Second)
+	if done.Result.Label != "ok" {
+		t.Errorf("label %q, want ok", done.Result.Label)
+	}
+	if done.Result.Stats.WarmQueryHits != 0 {
+		t.Errorf("storeless job reported warm hits: %+v", done.Result.Stats)
+	}
+}
+
+// TestSolverValidation pins the 400s for the solver/warmstart fields.
+func TestSolverValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	reject := func(req Request) string {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d, want 400", req, resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return e.Error
+	}
+
+	if msg := reject(Request{Bomb: "jump", Solver: "z3"}); !strings.Contains(msg, "portfolio") ||
+		!strings.Contains(msg, "incremental") || !strings.Contains(msg, "fresh") {
+		t.Errorf("unknown-solver error %q does not list the known modes", msg)
+	}
+	if msg := reject(Request{Bomb: "jump", Solver: "incremental", Warmstart: true}); !strings.Contains(msg, "portfolio") {
+		t.Errorf("warmstart-without-portfolio error %q does not name the fix", msg)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/tools"
+	"repro/internal/warmstore"
 )
 
 // Config sizes the service.
@@ -36,6 +37,11 @@ type Config struct {
 	// tools.ByName. Validation still requires the name to exist there, so
 	// a resolver only adjusts capabilities, it cannot widen the API.
 	ResolveProfile func(name string) (tools.Profile, bool)
+	// Warm is the shared warm-start store jobs opt into with
+	// {"warmstart": true} (portfolio solver only). Nil disables warm
+	// starting; the caller owns the store's lifecycle (concolicd opens it
+	// from -warmstart and closes it after drain).
+	Warm *warmstore.Store
 }
 
 // DefaultQueueDepth bounds the queue when the config leaves it unset.
@@ -69,7 +75,7 @@ func New(cfg Config) *Server {
 		queueCap: cfg.QueueDepth,
 		workers:  cfg.Workers,
 	}
-	s.pool = newPool(s.store, s.metrics, cfg.QueueDepth, cfg.Workers, cfg.ResolveProfile)
+	s.pool = newPool(s.store, s.metrics, cfg.QueueDepth, cfg.Workers, cfg.ResolveProfile, cfg.Warm)
 	s.routes()
 	return s
 }

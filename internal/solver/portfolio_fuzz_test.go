@@ -1,0 +1,62 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/sym"
+)
+
+// FuzzPortfolioEquivalence replays the engine's round pattern through a
+// Portfolio (session + diversified fresh workers + clause exchange) and
+// through a fresh SolveContext per query, requiring identical statuses
+// throughout. The portfolio is nondeterministic in which worker answers,
+// never in the verdict: budgets are high enough that Unknown never fires
+// on these tiny systems, so strengthening cannot blur the comparison.
+// Sat models may differ between the two paths, but each must
+// sym.Eval-satisfy its full system.
+func FuzzPortfolioEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 0, 1})
+	f.Add([]byte{0, 5, 0, 0, 3, 2, 0, 2, 3, 0, 1, 2})
+	f.Add([]byte{2, 2, 0, 1, 3, 4, 2, 0, 4, 1, 2, 1, 3, 3, 0, 2})
+	f.Add([]byte{1, 2, 0, 0, 2, 8, 2, 0, 3, 5, 3, 1, 4, 0, 0, 3, 3, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs := buildBVSystem(data)
+		if len(cs) == 0 {
+			return
+		}
+		opts := Options{MaxConflicts: 500_000}
+		pf := NewPortfolio(context.Background(), PortfolioOptions{
+			Options:  opts,
+			Exchange: exchange.New(),
+		})
+		for i, c := range cs {
+			negated := sym.NewBoolNot(c)
+			system := append(append([]sym.Expr{}, cs[:i]...), negated)
+			want, err := SolveContext(context.Background(), system, opts)
+			if err != nil {
+				t.Fatalf("query %d: fresh: %v", i, err)
+			}
+			got, err := pf.CheckSeeded(negated, int64(i))
+			if err != nil {
+				t.Fatalf("query %d: portfolio: %v", i, err)
+			}
+			if got.Status != want.Status {
+				t.Fatalf("query %d: portfolio %v, fresh %v (system %v)",
+					i, got.Status, want.Status, system)
+			}
+			if got.Status == StatusSat {
+				for j, e := range system {
+					if sym.Eval(e, got.Model) != 1 {
+						t.Fatalf("query %d: portfolio model %v violates constraint %d %v",
+							i, got.Model, j, e)
+					}
+				}
+			}
+			pf.Assert(c)
+		}
+	})
+}

@@ -66,9 +66,10 @@ type SessionStats struct {
 //
 // A Session is not safe for concurrent use.
 type Session struct {
-	ctx   context.Context
-	opts  Options
-	cache *Cache
+	ctx       context.Context
+	opts      Options
+	cache     *Cache
+	interrupt func() bool
 
 	sat *sat.Solver
 	enc *bitblast.Encoder
@@ -99,6 +100,17 @@ func NewSession(ctx context.Context, opts SessionOptions) *Session {
 		sat:   s,
 		enc:   bitblast.New(s),
 	}
+}
+
+// SetInterrupt installs an extra cancellation probe consulted alongside
+// the session context during Checks, so a portfolio race can stop this
+// session's in-flight query the moment a rival worker answers. An
+// interrupted Check reports StatusUnknown and, like a deadline timeout,
+// is never cached. A nil probe removes it.
+func (s *Session) SetInterrupt(probe func() bool) { s.interrupt = probe }
+
+func (s *Session) interrupted() bool {
+	return s.ctx.Err() != nil || (s.interrupt != nil && s.interrupt())
 }
 
 // Assert appends constraints to the session's path prefix. Each is
@@ -199,7 +211,7 @@ func (s *Session) CheckSeeded(negated sym.Expr, randSeed int64) (Result, error) 
 		deadline = d
 	}
 	expired := func() bool {
-		return s.ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline))
+		return s.interrupted() || (!deadline.IsZero() && time.Now().After(deadline))
 	}
 	if expired() {
 		return Result{Status: StatusUnknown}, nil
@@ -224,8 +236,7 @@ func (s *Session) CheckSeeded(negated sym.Expr, randSeed int64) (Result, error) 
 	s.stats.IncrementalChecks++
 
 	before := s.sat.Stats().Conflicts
-	st := s.sat.SolveAssuming([]sat.Lit{g}, opts.MaxConflicts, deadline,
-		func() bool { return s.ctx.Err() != nil })
+	st := s.sat.SolveAssuming([]sat.Lit{g}, opts.MaxConflicts, deadline, s.interrupted)
 	conflicts := s.sat.Stats().Conflicts - before
 	s.stats.Conflicts += conflicts
 

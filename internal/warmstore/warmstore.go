@@ -1,0 +1,394 @@
+// Package warmstore is a disk-backed store for solver knowledge that
+// outlives a process: query verdicts (the persistent half of the solver
+// query cache) and learned clauses (the persistent half of the portfolio
+// clause exchange). A later run — or another concolicd replica sharing
+// the directory — warm-starts from it instead of re-solving from cold.
+//
+// Layout: one directory holding an append-only JSONL log (`log.jsonl`,
+// one record per Put) and a snapshot (`snapshot.jsonl`, the same record
+// format, rewritten on Compact/Close). Open replays snapshot then log;
+// a corrupt log tail (crash mid-append) truncates the replay at the
+// first undecodable line instead of failing the open.
+//
+// Keys are opaque strings chosen by the caller. They must be stable
+// across processes and JSON-safe: the solver layer uses hex-encoded
+// sym.StableKey digests (intern-id CanonicalKeys are process-local and
+// cannot name anything on disk).
+//
+// Statuses are stored as plain ints to keep this package below the
+// solver in the dependency order; the solver layer owns the mapping.
+package warmstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sat"
+)
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Queries    int // query entries held
+	ClauseKeys int // systems with pooled clauses
+	Clauses    int // total pooled clauses
+	Hits       int64
+	Misses     int64
+	Appends    int64 // records appended to the log this session
+}
+
+// QueryEntry is one persisted query verdict.
+type QueryEntry struct {
+	Key       string            `json:"k"`
+	Status    int               `json:"s"`
+	Conflicts int64             `json:"n,omitempty"`
+	Model     map[string]uint64 `json:"m,omitempty"`
+}
+
+// record is one log/snapshot line. Exactly one of Q and C is set,
+// selected by T ("q" or "c").
+type record struct {
+	T string      `json:"t"`
+	Q *QueryEntry `json:"q,omitempty"`
+	C *clauseRec  `json:"c,omitempty"`
+}
+
+type clauseRec struct {
+	Key     string    `json:"k"`
+	Clauses [][]int32 `json:"cl"`
+}
+
+// Store is a warm-start store. Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	log     *os.File
+	logW    *bufio.Writer
+	queries map[string]QueryEntry
+	clauses map[string]*clausePool
+	hits    int64
+	misses  int64
+	appends int64
+}
+
+type clausePool struct {
+	list [][]sat.Lit
+	seen map[string]bool
+}
+
+const (
+	snapshotName = "snapshot.jsonl"
+	logName      = "log.jsonl"
+)
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("warmstore: %w", err)
+	}
+	st := &Store{
+		dir:     dir,
+		queries: make(map[string]QueryEntry),
+		clauses: make(map[string]*clausePool),
+	}
+	// Snapshot first, then the log written since it.
+	if err := st.replay(filepath.Join(dir, snapshotName)); err != nil {
+		return nil, err
+	}
+	if err := st.replay(filepath.Join(dir, logName)); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("warmstore: %w", err)
+	}
+	st.log = f
+	st.logW = bufio.NewWriter(f)
+	return st, nil
+}
+
+// replay loads one record file into memory. A missing file is fine; a
+// corrupt line ends the replay of that file (torn tail tolerance).
+func (st *Store) replay(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("warmstore: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if json.Unmarshal(line, &r) != nil {
+			return nil // torn tail: keep what replayed so far
+		}
+		st.apply(r)
+	}
+	return nil
+}
+
+func (st *Store) apply(r record) {
+	switch {
+	case r.T == "q" && r.Q != nil:
+		st.queries[r.Q.Key] = *r.Q
+	case r.T == "c" && r.C != nil:
+		p := st.pool(r.C.Key)
+		for _, raw := range r.C.Clauses {
+			lits := make([]sat.Lit, len(raw))
+			for i, l := range raw {
+				lits[i] = sat.Lit(l)
+			}
+			p.add(lits)
+		}
+	}
+}
+
+func (st *Store) pool(key string) *clausePool {
+	p := st.clauses[key]
+	if p == nil {
+		p = &clausePool{seen: make(map[string]bool)}
+		st.clauses[key] = p
+	}
+	return p
+}
+
+func (p *clausePool) add(lits []sat.Lit) bool {
+	k := litsKey(lits)
+	if p.seen[k] {
+		return false
+	}
+	p.seen[k] = true
+	p.list = append(p.list, lits)
+	return true
+}
+
+func litsKey(lits []sat.Lit) string {
+	b := make([]byte, 4*len(lits))
+	for i, l := range lits {
+		b[4*i] = byte(l)
+		b[4*i+1] = byte(l >> 8)
+		b[4*i+2] = byte(l >> 16)
+		b[4*i+3] = byte(l >> 24)
+	}
+	return string(b)
+}
+
+func (st *Store) append(r record) {
+	if st.logW == nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	st.logW.Write(b)
+	st.logW.WriteByte('\n')
+	st.appends++
+}
+
+// LookupQuery returns the persisted verdict for key, if any. The model
+// map is a copy.
+func (st *Store) LookupQuery(key string) (QueryEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.queries[key]
+	if !ok {
+		st.misses++
+		return QueryEntry{}, false
+	}
+	st.hits++
+	if e.Model != nil {
+		m := make(map[string]uint64, len(e.Model))
+		for k, v := range e.Model {
+			m[k] = v
+		}
+		e.Model = m
+	}
+	return e, true
+}
+
+// PutQuery persists a query verdict. An existing entry with the same
+// status is kept as-is (any valid model serves); a status change — e.g.
+// Unknown strengthened to a conclusive verdict — overwrites.
+func (st *Store) PutQuery(e QueryEntry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prev, ok := st.queries[e.Key]; ok && prev.Status == e.Status {
+		return // already persisted; don't grow the log
+	}
+	st.queries[e.Key] = e
+	st.append(record{T: "q", Q: &e})
+}
+
+// Clauses returns the pooled clauses for key (shared read-only slices).
+func (st *Store) Clauses(key string) [][]sat.Lit {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p := st.clauses[key]
+	if p == nil || len(p.list) == 0 {
+		st.misses++
+		return nil
+	}
+	st.hits++
+	out := make([][]sat.Lit, len(p.list))
+	copy(out, p.list)
+	return out
+}
+
+// PutClauses merges clauses into key's pool, persisting only the ones
+// not already present.
+func (st *Store) PutClauses(key string, clauses [][]sat.Lit) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p := st.pool(key)
+	var fresh [][]int32
+	for _, lits := range clauses {
+		cp := append([]sat.Lit(nil), lits...)
+		if p.add(cp) {
+			raw := make([]int32, len(cp))
+			for i, l := range cp {
+				raw[i] = int32(l)
+			}
+			fresh = append(fresh, raw)
+		}
+	}
+	if len(fresh) > 0 {
+		st.append(record{T: "c", C: &clauseRec{Key: key, Clauses: fresh}})
+	}
+}
+
+// Flush pushes buffered log appends to disk.
+func (st *Store) Flush() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.flushLocked()
+}
+
+func (st *Store) flushLocked() error {
+	if st.logW == nil {
+		return nil
+	}
+	if err := st.logW.Flush(); err != nil {
+		return fmt.Errorf("warmstore: %w", err)
+	}
+	return st.log.Sync()
+}
+
+// Compact rewrites the snapshot from memory and truncates the log.
+func (st *Store) Compact() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tmp := filepath.Join(st.dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("warmstore: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, e := range st.queries {
+		e := e
+		if err := enc.Encode(record{T: "q", Q: &e}); err != nil {
+			f.Close()
+			return fmt.Errorf("warmstore: %w", err)
+		}
+	}
+	for key, p := range st.clauses {
+		if len(p.list) == 0 {
+			continue
+		}
+		cr := clauseRec{Key: key, Clauses: make([][]int32, len(p.list))}
+		for i, lits := range p.list {
+			raw := make([]int32, len(lits))
+			for j, l := range lits {
+				raw[j] = int32(l)
+			}
+			cr.Clauses[i] = raw
+		}
+		if err := enc.Encode(record{T: "c", C: &cr}); err != nil {
+			f.Close()
+			return fmt.Errorf("warmstore: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("warmstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("warmstore: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("warmstore: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, snapshotName)); err != nil {
+		return fmt.Errorf("warmstore: %w", err)
+	}
+	// The snapshot covers everything: restart the log.
+	if st.logW != nil {
+		st.logW.Flush()
+		st.log.Close()
+	}
+	if err := os.Truncate(filepath.Join(st.dir, logName), 0); err != nil {
+		return fmt.Errorf("warmstore: %w", err)
+	}
+	f, err = os.OpenFile(filepath.Join(st.dir, logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("warmstore: %w", err)
+	}
+	st.log = f
+	st.logW = bufio.NewWriter(f)
+	return nil
+}
+
+// Close compacts and releases the store.
+func (st *Store) Close() error {
+	if st == nil {
+		return nil
+	}
+	if err := st.Compact(); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.logW != nil {
+		st.logW.Flush()
+	}
+	if st.log != nil {
+		err := st.log.Close()
+		st.log, st.logW = nil, nil
+		if err != nil {
+			return fmt.Errorf("warmstore: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stats returns the store's current size and traffic counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{
+		Queries: len(st.queries),
+		Hits:    st.hits,
+		Misses:  st.misses,
+		Appends: st.appends,
+	}
+	for _, p := range st.clauses {
+		if len(p.list) > 0 {
+			s.ClauseKeys++
+			s.Clauses += len(p.list)
+		}
+	}
+	return s
+}
