@@ -36,6 +36,16 @@ func main() {
 	warmDir := flag.String("warmstart", "",
 		"warm-start store directory (portfolio only): answered queries and "+
 			"exchanged clauses persist across runs")
+	strategy := flag.String("strategy", "",
+		"frontier search order: "+strings.Join(core.SearchStrategyNames(), ", ")+
+			" (coverage scores candidates by uncovered flip targets; "+
+			"empty keeps the profile default)")
+	fuzz := flag.Bool("fuzz", false,
+		"run mutation-fuzzing breed rounds between concolic generations "+
+			"(requires -strategy coverage; promotes new-coverage mutants as seeds)")
+	coverGoal := flag.Float64("cover-goal", 0,
+		"stop early once this fraction (0,1] of static basic blocks is covered "+
+			"(0 = explore to the profile budget)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -94,6 +104,28 @@ func main() {
 		defer w.Close()
 		p.Caps.Warm = w
 	}
+	if *strategy != "" {
+		strat, err := core.ParseSearchStrategy(*strategy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "concolic: %v\n", err)
+			os.Exit(2)
+		}
+		p.Caps.Search = strat
+	}
+	if *fuzz {
+		if p.Caps.Search != core.SearchCoverage {
+			fmt.Fprintln(os.Stderr, "concolic: -fuzz requires -strategy coverage")
+			os.Exit(2)
+		}
+		p.Caps.Fuzz = true
+	}
+	if *coverGoal != 0 {
+		if *coverGoal < 0 || *coverGoal > 1 {
+			fmt.Fprintln(os.Stderr, "concolic: -cover-goal must be in (0, 1]")
+			os.Exit(2)
+		}
+		p.Caps.CoverGoal = *coverGoal
+	}
 	en := core.New(b.Image(), b.BombAddr(), p.Caps)
 	out := en.ExploreContext(ctx, b.Benign)
 
@@ -143,6 +175,12 @@ func main() {
 			fmt.Printf("stats: portfolio-races=%d clauses-shared=%d clauses-imported=%d warm-hits=%d warm-clauses-seeded=%d\n",
 				s.PortfolioRaces, s.PortfolioClausesShared, s.PortfolioClausesImported,
 				s.WarmQueryHits, s.WarmClausesSeeded)
+		}
+		fmt.Printf("stats: covered-edges=%d covered-blocks=%d new-edges-per-round=%v\n",
+			s.CoveredEdges, s.CoveredBlocks, s.NewEdgesPerRound)
+		if s.FuzzExecs > 0 || s.FuzzSeedsPromoted > 0 {
+			fmt.Printf("stats: fuzz-execs=%d fuzz-seeds-promoted=%d\n",
+				s.FuzzExecs, s.FuzzSeedsPromoted)
 		}
 	}
 	if *verbose {

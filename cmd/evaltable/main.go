@@ -32,6 +32,14 @@ func main() {
 			" (identical verdict labels)")
 	warmDir := flag.String("warmstart", "",
 		"warm-start store directory for the Table II grid (portfolio only)")
+	strategy := flag.String("strategy", "",
+		"frontier search order for the Table II grid: "+
+			strings.Join(core.SearchStrategyNames(), ", ")+
+			" (empty keeps each profile's default)")
+	fuzz := flag.Bool("fuzz", false,
+		"enable mutation-fuzzing breed rounds (requires -strategy coverage)")
+	coverGoal := flag.Float64("cover-goal", 0,
+		"per-engine early stop at this fraction (0,1] of static basic blocks")
 	all := flag.Bool("all", false, "render everything")
 	flag.Parse()
 
@@ -64,8 +72,27 @@ func main() {
 		defer w.Close()
 		warm = w
 	}
+	var strat core.SearchStrategy
+	if *strategy != "" {
+		strat, err = core.ParseSearchStrategy(*strategy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evaltable: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *fuzz && strat != core.SearchCoverage {
+		fmt.Fprintln(os.Stderr, "evaltable: -fuzz requires -strategy coverage")
+		os.Exit(2)
+	}
+	if *coverGoal != 0 && (*coverGoal < 0 || *coverGoal > 1) {
+		fmt.Fprintln(os.Stderr, "evaltable: -cover-goal must be in (0, 1]")
+		os.Exit(2)
+	}
 	runTableII := func() *eval.Grid {
-		return eval.RunTableII(eval.Options{Workers: *workers, Checkpoint: pol, SolverMode: mode, Warm: warm})
+		return eval.RunTableII(eval.Options{
+			Workers: *workers, Checkpoint: pol, SolverMode: mode, Warm: warm,
+			Strategy: strat, Fuzz: *fuzz, CoverGoal: *coverGoal,
+		})
 	}
 
 	if *jsonOut {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/bombs"
+	"repro/internal/cover"
 	"repro/internal/gos"
 	"repro/internal/trace"
 )
@@ -66,10 +67,13 @@ func snapshotCadence(stepBudget int) int {
 
 // candidate is one frontier entry: the input to try plus, when
 // checkpointing is on, the replay plan inherited from the round that
-// generated it.
+// generated it. flipEdge, set under SearchCoverage, is the branch edge
+// the candidate's model was built to flip — the coverage scorer's
+// signal (zero: no targeted flip, e.g. the seed or a fuzz mutant).
 type candidate struct {
-	in   bombs.Input
-	plan *replayPlan
+	in       bombs.Input
+	plan     *replayPlan
+	flipEdge cover.Edge
 }
 
 // checkpoint pairs a machine snapshot with the input whose run produced

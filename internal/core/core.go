@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strconv"
@@ -21,11 +22,13 @@ import (
 
 	"repro/internal/bin"
 	"repro/internal/bombs"
+	"repro/internal/cover"
 	"repro/internal/exchange"
 	"repro/internal/solver"
 	"repro/internal/sym"
 	"repro/internal/symexec"
 	"repro/internal/trace"
+	"repro/internal/vm"
 	"repro/internal/warmstore"
 )
 
@@ -55,6 +58,27 @@ type Capabilities struct {
 
 	// Search selects the exploration strategy (zero value: generational).
 	Search SearchStrategy
+
+	// Fuzz enables hybrid mutation-fuzzing breed rounds between coverage
+	// generations: purely concrete executions of deterministic mutants
+	// whose new-coverage survivors join the frontier as seeds with zero
+	// solver cost. Only meaningful under SearchCoverage.
+	Fuzz bool
+	// FuzzSeed seeds the deterministic mutation stream (any value,
+	// including 0, is a valid fixed seed).
+	FuzzSeed int64
+	// FuzzExecs bounds concrete mutation executions per breed round
+	// (<= 0: DefaultFuzzExecs).
+	FuzzExecs int
+
+	// CoverGoal, in (0, 1], stops exploration early once that fraction of
+	// the image's static basic blocks has been covered
+	// (VerdictCoverGoal, paper outcome E: the analysis was cut short).
+	CoverGoal float64
+	// CoverGoalEdges stops exploration once that many distinct edges are
+	// covered — the programmatic form of CoverGoal, used by benchmarks to
+	// measure queries-to-goal against a reference run's final coverage.
+	CoverGoalEdges int
 
 	// MaxRounds bounds concrete executions; MaxCandidates bounds queued
 	// inputs. StepBudget bounds each concrete run.
@@ -186,7 +210,45 @@ const (
 	// SearchDFS schedules depth-first: newly generated inputs are
 	// explored before older ones, following one path deep.
 	SearchDFS
+	// SearchCoverage schedules by coverage yield: candidates buffer into
+	// generations, and at each generation boundary they are scored by
+	// whether the branch edge their model was built to flip is still
+	// uncovered, highest yield first (see coverage.go). With Fuzz set,
+	// mutation breed rounds run between generations.
+	SearchCoverage
 )
+
+func (s SearchStrategy) String() string {
+	switch s {
+	case SearchGenerational:
+		return "generational"
+	case SearchDFS:
+		return "dfs"
+	case SearchCoverage:
+		return "coverage"
+	}
+	return "invalid"
+}
+
+// SearchStrategyNames lists the accepted -strategy flag values in menu
+// order.
+func SearchStrategyNames() []string {
+	return []string{"generational", "dfs", "coverage"}
+}
+
+// ParseSearchStrategy maps a -strategy flag value to its strategy.
+func ParseSearchStrategy(name string) (SearchStrategy, error) {
+	switch name {
+	case "", "generational":
+		return SearchGenerational, nil
+	case "dfs":
+		return SearchDFS, nil
+	case "coverage":
+		return SearchCoverage, nil
+	}
+	return 0, fmt.Errorf("unknown search strategy %q (known strategies: %s)",
+		name, strings.Join(SearchStrategyNames(), ", "))
+}
 
 // Defaults.
 const (
@@ -195,6 +257,7 @@ const (
 	DefaultMaxArgvLen    = 24
 	DefaultStepBudget    = 400_000
 	DefaultTotalBudget   = 60 * time.Second
+	DefaultFuzzExecs     = 48
 )
 
 // Verdict is the engine's conclusion about the target.
@@ -214,6 +277,10 @@ const (
 	// VerdictCancelled: the caller's context was cancelled mid-exploration
 	// (service job cancellation); not a paper outcome.
 	VerdictCancelled
+	// VerdictCoverGoal: the configured coverage goal was reached and
+	// exploration stopped early without a conclusion about the target
+	// (paper outcome E, like any other deliberately cut-short analysis).
+	VerdictCoverGoal
 )
 
 func (v Verdict) String() string {
@@ -228,6 +295,8 @@ func (v Verdict) String() string {
 		return "budget-exhausted"
 	case VerdictCancelled:
 		return "cancelled"
+	case VerdictCoverGoal:
+		return "cover-goal-reached"
 	}
 	return "invalid"
 }
@@ -317,6 +386,24 @@ type Stats struct {
 	// exchanges.
 	WarmQueryHits     int
 	WarmClausesSeeded int
+
+	// CoveredEdges/CoveredBlocks: distinct lifted-PC edges and static
+	// block leaders covered by this exploration's concrete runs
+	// (concolic rounds plus fuzz breed executions). Deterministic for a
+	// fixed seed across worker counts and checkpoint policies: coverage
+	// is a function of the executed traces, which the scheduler keeps
+	// identical.
+	CoveredEdges  int
+	CoveredBlocks int
+	// NewEdgesPerRound records, per merged round in dispatch order, how
+	// many edges that round's trace covered first.
+	NewEdgesPerRound []int
+	// FuzzExecs counts concrete mutation executions performed by breed
+	// rounds; FuzzSeedsPromoted counts mutants that found new coverage
+	// and joined the frontier as seeds (both 0 unless Capabilities.Fuzz
+	// under SearchCoverage).
+	FuzzExecs         int
+	FuzzSeedsPromoted int
 }
 
 // InternHitRate is InternHits over total lookups, 0 when idle.
@@ -385,6 +472,26 @@ type Engine struct {
 	ex        *exchange.Exchange // clause exchange, non-nil under SolverPortfolio
 	stats     Stats
 	arena0    sym.ArenaStats // arena counters at Explore entry, for deltas
+
+	// Coverage state (see coverage.go). cov is the engine's own
+	// cumulative tracker — the deterministic scoring and goal view;
+	// every merged run also feeds cover.Global() for process metrics.
+	cov        *cover.Tracker
+	prog       *vm.Program     // decoded image; nil when undecodable
+	leaders    map[uint64]bool // static basic-block leaders
+	goalBlocks int             // resolved CoverGoal in blocks (0: no goal)
+
+	// SearchCoverage generational frontier: pushes buffer into queue;
+	// view is the current generation, scored and sorted at promotion.
+	view     []candidate
+	viewHead int
+	gen      int
+
+	// Hybrid fuzzing state: corpus holds inputs whose runs found new
+	// coverage (breeding stock), fuzzSeen dedups executed mutants.
+	corpus    []corpusEntry
+	corpusIdx int
+	fuzzSeen  map[string]bool
 }
 
 // New builds an engine targeting the given address (the bomb symbol).
@@ -404,6 +511,9 @@ func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
 	if caps.TotalBudget <= 0 {
 		caps.TotalBudget = DefaultTotalBudget
 	}
+	if caps.FuzzExecs <= 0 {
+		caps.FuzzExecs = DefaultFuzzExecs
+	}
 	workers := caps.ResolvedWorkers()
 	var ex *exchange.Exchange
 	if caps.SolverMode == SolverPortfolio {
@@ -412,18 +522,36 @@ func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
 		// rounds start from each other's learned clauses.
 		ex = exchange.New()
 	}
+	// The decoded program gives the coverage layer its static structure:
+	// block leaders for the block metric and flip-target successors for
+	// candidate scoring. Images that fail to decode fall back to
+	// edge-only coverage (leaders == nil counts every executed PC).
+	prog, _ := vm.LoadProgram(img)
+	var leaders map[uint64]bool
+	if prog != nil {
+		leaders = blockLeaders(prog)
+	}
+	goalBlocks := 0
+	if caps.CoverGoal > 0 && len(leaders) > 0 {
+		goalBlocks = int(math.Ceil(caps.CoverGoal * float64(len(leaders))))
+	}
 	return &Engine{
-		img:       img,
-		caps:      caps,
-		target:    target,
-		workers:   workers,
-		seenInput: make(map[string]bool),
-		seenFlip:  make(map[string]bool),
-		incSeen:   make(map[string]bool),
-		out:       &Outcome{},
-		ctx:       context.Background(),
-		cache:     solver.NewCache(caps.SolverCacheSize),
-		ex:        ex,
+		img:        img,
+		caps:       caps,
+		target:     target,
+		workers:    workers,
+		seenInput:  make(map[string]bool),
+		seenFlip:   make(map[string]bool),
+		incSeen:    make(map[string]bool),
+		out:        &Outcome{},
+		ctx:        context.Background(),
+		cache:      solver.NewCache(caps.SolverCacheSize),
+		ex:         ex,
+		cov:        cover.NewTracker(),
+		prog:       prog,
+		leaders:    leaders,
+		goalBlocks: goalBlocks,
+		fuzzSeen:   make(map[string]bool),
 	}
 }
 
@@ -474,6 +602,23 @@ loop:
 			}
 			terminal = true
 			break
+		}
+		if en.coverGoalReached() {
+			en.out.Verdict = VerdictCoverGoal
+			en.out.CrashDetail = en.coverGoalDetail()
+			terminal = true
+			break
+		}
+		if en.caps.Search == SearchCoverage && en.viewLen() == 0 {
+			// Generation boundary: every candidate of the previous
+			// generation has been merged, so the buffered pushes, the
+			// coverage state, and therefore the breeding and scoring below
+			// are identical at every worker count.
+			if en.advanceGeneration() {
+				terminal = true
+				break
+			}
+			continue // re-check budgets and the goal before dispatching
 		}
 		if f := en.frontierLen(); f > en.stats.PeakFrontier {
 			en.stats.PeakFrontier = f
@@ -531,6 +676,8 @@ func (en *Engine) finishStats(start time.Time) {
 	en.stats.InternHits = as.Hits - en.arena0.Hits
 	en.stats.InternMisses = as.Misses - en.arena0.Misses
 	en.stats.ArenaNodes = as.Size
+	en.stats.CoveredEdges = en.cov.Edges()
+	en.stats.CoveredBlocks = en.cov.Blocks()
 	en.out.Stats = en.stats
 }
 

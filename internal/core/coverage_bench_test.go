@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/tools"
+)
+
+// bench7Row is one bomb's queries-to-goal comparison: the generational
+// baseline runs to its budget and sets the coverage bar (its final edge
+// count); the coverage and coverage+fuzz runs then explore with exactly
+// that edge count as their stop goal, so "queries" measures how much
+// solver work each strategy needed to reach the same coverage.
+type bench7Row struct {
+	Bomb string `json:"bomb"`
+
+	GoalEdges           int     `json:"goal_edges"`
+	GenerationalQueries int     `json:"generational_queries"`
+	GenerationalSeconds float64 `json:"generational_seconds"`
+
+	CoverageQueries int     `json:"coverage_queries"`
+	CoverageEdges   int     `json:"coverage_edges"`
+	CoverageSeconds float64 `json:"coverage_seconds"`
+
+	FuzzQueries   int     `json:"coverage_fuzz_queries"`
+	FuzzEdges     int     `json:"coverage_fuzz_edges"`
+	FuzzExecs     int     `json:"coverage_fuzz_execs"`
+	FuzzPromoted  int     `json:"coverage_fuzz_seeds_promoted"`
+	FuzzSeconds   float64 `json:"coverage_fuzz_seconds"`
+	FuzzReachedAt string  `json:"coverage_fuzz_verdict"`
+}
+
+// bench7 is the trajectory file emitted by TestBench7Emit.
+type bench7 struct {
+	Rows []bench7Row `json:"rows"`
+
+	TotalGenerationalQueries int `json:"total_generational_queries"`
+	TotalCoverageQueries     int `json:"total_coverage_queries"`
+	TotalFuzzQueries         int `json:"total_coverage_fuzz_queries"`
+}
+
+func bench7Run(t *testing.T, b *bombs.Bomb, caps core.Capabilities) *core.Outcome {
+	t.Helper()
+	en := core.New(b.Image(), b.BombAddr(), caps)
+	return en.Explore(b.Benign)
+}
+
+// TestBench7Emit measures queries-to-goal for the generational baseline
+// versus coverage and coverage+fuzz on the loop bomb and the two
+// factorization stress bombs, writing BENCH_7.json. Gated on BENCH7_OUT
+// so ordinary test runs never touch the working tree (make bench sets
+// it). The acceptance claim: the hybrid strategy reaches the baseline's
+// final coverage with no more solver queries.
+func TestBench7Emit(t *testing.T) {
+	out := os.Getenv("BENCH7_OUT")
+	if out == "" {
+		t.Skip("BENCH7_OUT not set")
+	}
+	var b7 bench7
+	for _, name := range []string{"loop", "factor26", "factor29"} {
+		b, ok := bombs.ByName(name)
+		if !ok {
+			t.Fatalf("no bomb %s", name)
+		}
+		base := tools.FastBudgets(tools.Reference()).Caps
+		base.Workers = 1
+		base.GrowArgv = true
+		row := bench7Row{Bomb: name}
+
+		// Baseline: generational to its budget; its final edge count is
+		// the goal the guided strategies must reach.
+		gen := base
+		gen.Search = core.SearchGenerational
+		start := time.Now()
+		og := bench7Run(t, b, gen)
+		row.GenerationalSeconds = time.Since(start).Seconds()
+		row.GenerationalQueries = og.Stats.SolverQueries
+		row.GoalEdges = og.Stats.CoveredEdges
+
+		covCaps := base
+		covCaps.Search = core.SearchCoverage
+		covCaps.CoverGoalEdges = row.GoalEdges
+		start = time.Now()
+		oc := bench7Run(t, b, covCaps)
+		row.CoverageSeconds = time.Since(start).Seconds()
+		row.CoverageQueries = oc.Stats.SolverQueries
+		row.CoverageEdges = oc.Stats.CoveredEdges
+
+		fzCaps := covCaps
+		fzCaps.Fuzz = true
+		fzCaps.FuzzSeed = 42
+		start = time.Now()
+		of := bench7Run(t, b, fzCaps)
+		row.FuzzSeconds = time.Since(start).Seconds()
+		row.FuzzQueries = of.Stats.SolverQueries
+		row.FuzzEdges = of.Stats.CoveredEdges
+		row.FuzzExecs = of.Stats.FuzzExecs
+		row.FuzzPromoted = of.Stats.FuzzSeedsPromoted
+		row.FuzzReachedAt = of.Verdict.String()
+
+		if row.FuzzEdges < row.GoalEdges && of.Verdict != core.VerdictSolved {
+			t.Errorf("%s: coverage+fuzz stopped at %d edges, goal %d (verdict %v)",
+				name, row.FuzzEdges, row.GoalEdges, of.Verdict)
+		}
+		b7.Rows = append(b7.Rows, row)
+		b7.TotalGenerationalQueries += row.GenerationalQueries
+		b7.TotalCoverageQueries += row.CoverageQueries
+		b7.TotalFuzzQueries += row.FuzzQueries
+	}
+
+	if b7.TotalFuzzQueries > b7.TotalGenerationalQueries {
+		t.Errorf("coverage+fuzz needed %d queries to reach the baseline's coverage; baseline used %d",
+			b7.TotalFuzzQueries, b7.TotalGenerationalQueries)
+	}
+
+	data, err := json.MarshalIndent(b7, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_7 -> %s\n%s", out, data)
+}

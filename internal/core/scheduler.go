@@ -6,10 +6,12 @@ import (
 	"time"
 
 	"repro/internal/bombs"
+	"repro/internal/cover"
 	"repro/internal/gos"
 	"repro/internal/solver"
 	"repro/internal/sym"
 	"repro/internal/symexec"
+	"repro/internal/trace"
 )
 
 // The parallel scheduler runs exploration rounds in synchronous batches.
@@ -59,6 +61,7 @@ type event struct {
 	claim    Claim
 	input    bombs.Input // push payload, fault input, or solving input
 	plan     *replayPlan // replay plan attached to a push
+	flipEdge cover.Edge  // coverage-scoring signal attached to a push
 	tainted  int
 	verdict  Verdict
 	detail   string
@@ -69,6 +72,13 @@ type roundRec struct {
 	idx     int // 1-based round number, assigned at dispatch
 	events  []event
 	queries int // solver queries issued (stats)
+
+	// Coverage payload: the run's per-trace coverage set plus the input
+	// and child plan, so the scheduler can merge coverage in dispatch
+	// order and feed the fuzz corpus deterministically.
+	cov   *cover.Set
+	input bombs.Input
+	plan  *replayPlan
 
 	// Checkpoint work profile of this round (stats; deterministic for a
 	// fixed schedule, identical across worker counts).
@@ -107,8 +117,23 @@ type roundSolver interface {
 }
 
 // popBatch removes up to n candidates from the frontier in strategy
-// order.
+// order. Under SearchCoverage it pops from the scored generation view
+// only — never from the buffer of pending pushes — so a batch cannot
+// cross a generation boundary (the determinism barrier; see
+// coverage.go).
 func (en *Engine) popBatch(n int) []candidate {
+	if en.caps.Search == SearchCoverage {
+		if v := en.viewLen(); n > v {
+			n = v
+		}
+		batch := make([]candidate, n)
+		copy(batch, en.view[en.viewHead:en.viewHead+n])
+		en.viewHead += n
+		if en.viewHead == len(en.view) {
+			en.view, en.viewHead = nil, 0
+		}
+		return batch
+	}
 	if f := en.frontierLen(); n > f {
 		n = f
 	}
@@ -136,7 +161,12 @@ func (en *Engine) compact() {
 	}
 }
 
-func (en *Engine) frontierLen() int { return len(en.queue) - en.head }
+// frontierLen counts every pending candidate: the push buffer plus,
+// under SearchCoverage, the unpopped remainder of the current
+// generation view.
+func (en *Engine) frontierLen() int {
+	return len(en.queue) - en.head + en.viewLen()
+}
 
 // runBatch executes the batch's rounds, in parallel when more than one
 // worker is available. Workers only read engine state (image, caps,
@@ -182,6 +212,18 @@ func (en *Engine) applyRound(rec *roundRec) bool {
 	en.stats.PortfolioClausesImported += rec.pfImported
 	en.stats.WarmQueryHits += rec.warmHits
 	en.stats.WarmClausesSeeded += rec.warmSeeded
+	if rec.cov != nil {
+		// Coverage merges in dispatch order on the engine thread, so the
+		// per-round novelty counts — and the corpus they feed — are
+		// identical at every worker count (the runs themselves depend only
+		// on their inputs).
+		newEdges, _ := en.cov.Merge(rec.cov)
+		cover.Global().Merge(rec.cov)
+		en.stats.NewEdgesPerRound = append(en.stats.NewEdgesPerRound, newEdges)
+		if newEdges > 0 && en.fuzzOn() {
+			en.corpusAdd(rec.input, rec.plan)
+		}
+	}
 	var gated map[string]bool
 	for i := range rec.events {
 		ev := &rec.events[i]
@@ -216,7 +258,7 @@ func (en *Engine) applyRound(rec *roundRec) bool {
 		case evMark:
 			en.seenFlip[ev.flip] = true
 		case evPush:
-			en.push(candidate{in: ev.input, plan: ev.plan})
+			en.push(candidate{in: ev.input, plan: ev.plan, flipEdge: ev.flipEdge})
 		case evTerminal:
 			en.out.Verdict = ev.verdict
 			en.out.CrashDetail = ev.detail
@@ -244,46 +286,21 @@ func (en *Engine) runRound(c candidate, idx int) *roundRec {
 	}
 
 	ckptOn := en.caps.Checkpoint == CheckpointAuto
-	cfg := in.Config()
-	cfg.Record = true
-	cfg.MaxSteps = en.caps.StepBudget
-	cfg.WatchAddrs = []uint64{en.target}
-	if ckptOn {
-		cfg.SnapshotEvery = snapshotCadence(en.caps.StepBudget)
+	m, res, prefixLen, resumed, skipped, err := en.runConcrete(in, c.plan)
+	if err != nil {
+		rec.emit(event{kind: evTerminal, verdict: VerdictCrashed, detail: err.Error()})
+		return rec
 	}
-
-	// Checkpointed replay: restore the deepest snapshot that provably
-	// precedes this input's divergence from its parent, patch the
-	// differing argv bytes, and continue on a stitched copy of the shared
-	// trace prefix. Any failure falls back to a from-scratch run — the
-	// outcome is identical either way.
-	var m *gos.Machine
-	prefixLen := 0
-	if ckptOn && c.plan != nil {
-		if ck := c.plan.best(in); ck != nil {
-			rm, err := ck.snap.Resume(cfg, c.plan.trace.PrefixCopy(ck.snap.TraceLen))
-			if err == nil && in.Argv1 != ck.base.Argv1 {
-				err = rm.PatchArgv(1, in.Argv1, len(ck.base.Argv1))
-			}
-			if err == nil {
-				m = rm
-				prefixLen = ck.snap.TraceLen
-				rec.resumed = true
-				rec.skippedSteps = int64(ck.snap.Steps)
-			}
-		}
-	}
-	if m == nil {
-		nm, err := gos.New(en.img, cfg)
-		if err != nil {
-			rec.emit(event{kind: evTerminal, verdict: VerdictCrashed, detail: err.Error()})
-			return rec
-		}
-		m = nm
-	}
-	res := m.Run()
+	rec.resumed = resumed
+	rec.skippedSteps = skipped
 	rec.ckptsTaken = len(m.Snapshots())
 	rec.cowFaults = m.COWFaults()
+	// Every concrete trace feeds coverage, whatever the strategy: the
+	// counters stay comparable across strategies, and checkpointed runs
+	// contribute identical sets (the stitched prefix replays the same
+	// entries a from-scratch run would record).
+	rec.cov = cover.FromTrace(res.Trace, en.leaders)
+	rec.input = in
 
 	if res.Reason == gos.StopFault {
 		rec.emit(event{kind: evFault, input: in})
@@ -324,6 +341,9 @@ func (en *Engine) runRound(c candidate, idx int) *roundRec {
 		return rec
 	}
 
+	// Rebuild the run's config view for the symbolic pass; only the
+	// input-derived fields (argv, env facets, files) matter here.
+	cfg := in.Config()
 	opts := en.caps.Sym
 	opts.Env = symexec.EnvInfo{TimeNow: cfg.TimeNow, Pid: cfg.Pid}
 	for f := range cfg.Files {
@@ -358,8 +378,49 @@ func (en *Engine) runRound(c candidate, idx int) *roundRec {
 	if ckptOn {
 		childPlan = makePlan(in, res, m.Snapshots(), c.plan)
 	}
-	en.negate(rec, in, sr, childPlan)
+	rec.plan = childPlan
+	en.negate(rec, in, sr, res.Trace, childPlan)
 	return rec
+}
+
+// runConcrete performs one concrete execution of in, resuming from the
+// deepest valid checkpoint of plan when the policy allows: restore the
+// snapshot that provably precedes this input's divergence from its
+// parent, patch the differing argv bytes, and continue on a stitched
+// copy of the shared trace prefix. Any resume failure falls back to a
+// from-scratch run — the result is identical either way. Shared by
+// concolic rounds and fuzz breed executions.
+func (en *Engine) runConcrete(in bombs.Input, plan *replayPlan) (m *gos.Machine, res *gos.Result, prefixLen int, resumed bool, skipped int64, err error) {
+	ckptOn := en.caps.Checkpoint == CheckpointAuto
+	cfg := in.Config()
+	cfg.Record = true
+	cfg.MaxSteps = en.caps.StepBudget
+	cfg.WatchAddrs = []uint64{en.target}
+	if ckptOn {
+		cfg.SnapshotEvery = snapshotCadence(en.caps.StepBudget)
+	}
+	if ckptOn && plan != nil {
+		if ck := plan.best(in); ck != nil {
+			rm, rerr := ck.snap.Resume(cfg, plan.trace.PrefixCopy(ck.snap.TraceLen))
+			if rerr == nil && in.Argv1 != ck.base.Argv1 {
+				rerr = rm.PatchArgv(1, in.Argv1, len(ck.base.Argv1))
+			}
+			if rerr == nil {
+				m = rm
+				prefixLen = ck.snap.TraceLen
+				resumed = true
+				skipped = int64(ck.snap.Steps)
+			}
+		}
+	}
+	if m == nil {
+		nm, nerr := gos.New(en.img, cfg)
+		if nerr != nil {
+			return nil, nil, 0, false, 0, nerr
+		}
+		m = nm
+	}
+	return m, m.Run(), prefixLen, resumed, skipped, nil
 }
 
 // negate builds and solves the negation of each explorable constraint
@@ -376,7 +437,7 @@ func (en *Engine) runRound(c candidate, idx int) *roundRec {
 // discipline, but every query races the session against diversified
 // fresh workers sharing learned clauses through the engine's exchange
 // and, when configured, warm-starting from the persistent store.
-func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, childPlan *replayPlan) {
+func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, tr *trace.Trace, childPlan *replayPlan) {
 	// Forward occurrence numbering keeps flip keys stable across rounds
 	// (the n-th execution of a loop branch keeps its identity as traces
 	// lengthen).
@@ -435,15 +496,56 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, chi
 			rec.warmSeeded += st.WarmClausesSeeded
 		}()
 	}
-	// Ascending order: the deepest branch's candidate is pushed last, so
-	// depth-first scheduling pops it first (negate the deepest unexplored
-	// branch — the classic DFS concolic strategy).
-	for i := 0; i < len(sr.Constraints); i++ {
-		if sess != nil && i > 0 {
+	n := len(sr.Constraints)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	var flipEdges []cover.Edge
+	if en.caps.Search == SearchCoverage && n > 0 {
+		// Flip-target edges: the coverage scorer's signal for the pushed
+		// candidates, and the issue-order key below. Read-only against
+		// the engine tracker — safe from parallel rounds, because merges
+		// only happen between batches.
+		flipEdges = make([]cover.Edge, n)
+		uncovered := make([]bool, n)
+		for i := range sr.Constraints {
+			flipEdges[i] = en.flipEdgeFor(sr.Constraints[i], tr)
+			uncovered[i] = flipEdges[i] != (cover.Edge{}) && !en.cov.HasEdge(flipEdges[i])
+		}
+		if sess == nil {
+			// Issue queries for still-uncovered targets first. Fresh
+			// solving only: each query independently builds its whole
+			// system and seeds by constraint index, so its result is
+			// issue-order-independent; persistent sessions keep their
+			// prefix discipline and natural order. Recorded events are
+			// grouped per constraint and flattened in ascending index
+			// below, so the replayed schedule — and every determinism
+			// guarantee — is unchanged; what moves is which negations get
+			// solver time before the budget runs out.
+			sort.SliceStable(order, func(x, y int) bool {
+				return uncovered[order[x]] && !uncovered[order[y]]
+			})
+		}
+	}
+	// Events group per constraint and flatten in ascending constraint
+	// order (the historical emission order), whatever order the queries
+	// were issued in.
+	groups := make([][]event, n)
+	defer func() {
+		for gi := range groups {
+			rec.events = append(rec.events, groups[gi]...)
+		}
+	}()
+
+	for oi := 0; oi < n; oi++ {
+		i := order[oi]
+		emit := func(ev event) { groups[i] = append(groups[i], ev) }
+		if sess != nil && oi > 0 {
 			// The previous constraint joins the session prefix whether or
 			// not it was queried: every later query's path condition
-			// includes it.
-			sess.Assert(sr.Constraints[i-1].Expr)
+			// includes it. (Sessions always run in natural order.)
+			sess.Assert(sr.Constraints[order[oi-1]].Expr)
 		}
 		if en.ctx.Err() != nil {
 			// Cancellation is not budget exhaustion: stop recording and
@@ -451,7 +553,7 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, chi
 			return
 		}
 		if time.Now().After(en.deadline) {
-			rec.emit(event{kind: evSolverExhausted})
+			emit(event{kind: evSolverExhausted})
 			return
 		}
 		pc := sr.Constraints[i]
@@ -488,25 +590,25 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, chi
 		switch resu.Status {
 		case solver.StatusUnknown:
 			// Hopeless within budget; don't retry.
-			rec.emit(event{kind: evSolverExhausted, flip: flipKey})
-			rec.emit(event{kind: evMark, flip: flipKey})
+			emit(event{kind: evSolverExhausted, flip: flipKey})
+			emit(event{kind: evMark, flip: flipKey})
 			continue
 		case solver.StatusFloatUnsupported:
-			rec.emit(event{kind: evIncident, flip: flipKey, incident: symexec.Incident{
+			emit(event{kind: evIncident, flip: flipKey, incident: symexec.Incident{
 				Stage: symexec.StageEs3, Index: pc.Index, PC: pc.PC,
 				Detail: "floating-point theory unsupported by the solver",
 			}})
 			continue
 		case solver.StatusUnsat:
 			// Branch direction infeasible on this prefix; mark explored.
-			rec.emit(event{kind: evMark, flip: flipKey})
+			emit(event{kind: evMark, flip: flipKey})
 			continue
 		}
 
 		// Satisfiable: realize the model as an input.
 		next, realized, truncated := reconstruct(resu.Model, sr.Seed, cur, en.caps)
 		if truncated {
-			rec.emit(event{kind: evIncident, flip: flipKey, incident: symexec.Incident{
+			emit(event{kind: evIncident, flip: flipKey, incident: symexec.Incident{
 				Stage: symexec.StageEs2, Index: pc.Index, PC: pc.PC,
 				Detail: "model requires a longer input than the tool can construct",
 			}})
@@ -516,16 +618,20 @@ func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, chi
 			// the tool believes the flipped path is feasible but cannot
 			// build an input for it.
 			if bindsSim(resu.Model) {
-				rec.emit(event{kind: evClaim, flip: flipKey, claim: Claim{
+				emit(event{kind: evClaim, flip: flipKey, claim: Claim{
 					PC:      pc.PC,
 					Syscall: bindsSyscallSim(resu.Model),
 					Input:   cur,
 				}})
 			}
-			rec.emit(event{kind: evMark, flip: flipKey})
+			emit(event{kind: evMark, flip: flipKey})
 			continue
 		}
-		rec.emit(event{kind: evMark, flip: flipKey})
-		rec.emit(event{kind: evPush, flip: flipKey, input: next, plan: childPlan})
+		var fe cover.Edge
+		if flipEdges != nil {
+			fe = flipEdges[i]
+		}
+		emit(event{kind: evMark, flip: flipKey})
+		emit(event{kind: evPush, flip: flipKey, input: next, plan: childPlan, flipEdge: fe})
 	}
 }

@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bombs"
+	"repro/internal/core"
+	"repro/internal/tools"
+)
+
+// withSearch returns the profiles with the given search strategy and
+// fuzz setting, with sequential engines: both strategies are fully
+// deterministic at Workers=1, so any divergence the test reports is a
+// real semantic difference, not scheduling noise.
+func withSearch(profiles []tools.Profile, s core.SearchStrategy, fuzz bool) []tools.Profile {
+	out := make([]tools.Profile, len(profiles))
+	for i, p := range profiles {
+		p.Caps.Search = s
+		p.Caps.Fuzz = fuzz
+		p.Caps.FuzzSeed = 42
+		p.Caps.Workers = 1
+		out[i] = p
+	}
+	return out
+}
+
+// diffCoverageLabels requires every coverage cell to be at least as
+// strong as its generational counterpart: identical labels, or one of
+// the two permitted strengthenings — the coverage run detonated a bomb
+// the baseline left at an error label (mechanical OK, the strongest
+// cell), or the baseline gave up with an exhausted budget (mechanical E,
+// VerdictBudget) while the coverage run exhausted the frontier and
+// proved unreachability. A coverage cell weaker than generational in
+// any other way fails the test: reordering solver attention by uncovered
+// flip targets must never lose a result the baseline had.
+func diffCoverageLabels(t *testing.T, cov, gen *Grid) (solved int) {
+	t.Helper()
+	for _, b := range cov.Rows {
+		for _, tool := range cov.Tools {
+			cc, cg := cov.Cell(b.Name, tool), gen.Cell(b.Name, tool)
+			if cc == nil || cg == nil {
+				t.Fatalf("%s/%s: missing cell (coverage %v, generational %v)", tool, b.Name, cc != nil, cg != nil)
+			}
+			if cc.Got != cg.Got || cc.Mechanical != cg.Mechanical {
+				stronger := (cc.Mechanical == bombs.OK && cg.Mechanical != bombs.OK) ||
+					(cg.Mechanical == bombs.E &&
+						cg.Outcome.Verdict == core.VerdictBudget &&
+						cc.Outcome.Verdict == core.VerdictUnreachable)
+				if stronger {
+					t.Logf("%s/%s: coverage strictly stronger: %s (mech %s) vs generational %s (mech %s)",
+						tool, b.Name, cc.Got, cc.Mechanical, cg.Got, cg.Mechanical)
+				} else {
+					t.Errorf("%s/%s: coverage weakens the cell: coverage %s (mech %s), generational %s (mech %s)",
+						tool, b.Name, cc.Got, cc.Mechanical, cg.Got, cg.Mechanical)
+				}
+			}
+			if cc.Outcome.Stats.CoveredEdges == 0 {
+				t.Errorf("%s/%s: coverage run recorded no covered edges", tool, b.Name)
+			}
+			if cc.Mechanical == bombs.OK {
+				solved++
+			}
+		}
+	}
+	return solved
+}
+
+// TestGridCoverageDifferential runs the Table II grid (minus the two
+// crypto bombs, whose conflict-bounded queries dominate the runtime as
+// in the other differentials) under the generational baseline and under
+// SearchCoverage with the hybrid fuzz stage, and asserts no cell label
+// weakens — the ISSUE 7 acceptance harness.
+func TestGridCoverageDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential grid is slow; run without -short")
+	}
+	var fast []tools.Profile
+	for _, p := range tools.TableII() {
+		p = tools.FastBudgets(p)
+		p.Caps.TotalBudget = 2 * time.Minute
+		p.Caps.SolverTimeout = 10 * time.Second
+		fast = append(fast, p)
+	}
+	var rows []*bombs.Bomb
+	for _, b := range bombs.TableII() {
+		if b.Name == "sha1" || b.Name == "aes" {
+			continue
+		}
+		rows = append(rows, b)
+	}
+
+	gen := runGrid(withSearch(fast, core.SearchGenerational, false), rows, 0)
+	cov := runGrid(withSearch(fast, core.SearchCoverage, true), rows, 0)
+	solved := diffCoverageLabels(t, cov, gen)
+
+	// The comparison would hold trivially on an all-error grid; require
+	// that the coverage grid actually detonated bombs.
+	if solved == 0 {
+		t.Error("coverage grid solved no cells")
+	}
+}

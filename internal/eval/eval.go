@@ -37,9 +37,11 @@ func Classify(out *core.Outcome) bombs.PaperOutcome {
 		return bombs.OK
 	}
 	if out.Verdict == core.VerdictCrashed || out.Verdict == core.VerdictBudget ||
-		out.Verdict == core.VerdictCancelled {
+		out.Verdict == core.VerdictCancelled || out.Verdict == core.VerdictCoverGoal {
 		// A cancelled analysis never reached a conclusion; like a crash or
-		// budget exhaustion it is an abnormal exit.
+		// budget exhaustion it is an abnormal exit. A coverage-goal stop is
+		// a deliberate early exit and classifies the same way: the tool
+		// quit before reaching the bomb.
 		return bombs.E
 	}
 	for _, c := range out.Claims {
@@ -175,6 +177,18 @@ type Options struct {
 	// worker count (Capabilities.Workers); the grid-level Workers knob
 	// above is independent of it.
 	EngineWorkers int
+	// Strategy, when non-zero, overrides each profile's search strategy
+	// (the zero value keeps every profile's own default — only the
+	// Reference profile deviates from generational). The coverage
+	// differential grid test asserts labels never weaken under
+	// core.SearchCoverage.
+	Strategy core.SearchStrategy
+	// Fuzz enables the hybrid mutation stage on every profile; it only
+	// takes effect under core.SearchCoverage.
+	Fuzz bool
+	// CoverGoal, when in (0, 1], stops each engine early once that
+	// fraction of static basic blocks has been covered.
+	CoverGoal float64
 	// Warm, when non-nil, is the persistent warm-start store every
 	// engine consults and feeds under core.SolverPortfolio (ignored in
 	// the other modes). The caller owns the store's lifecycle.
@@ -192,6 +206,13 @@ func RunTableII(opts Options) *Grid {
 		profiles[i].Caps.Warm = opts.Warm
 		if opts.EngineWorkers > 0 {
 			profiles[i].Caps.Workers = opts.EngineWorkers
+		}
+		if opts.Strategy != 0 {
+			profiles[i].Caps.Search = opts.Strategy
+		}
+		profiles[i].Caps.Fuzz = opts.Fuzz
+		if opts.CoverGoal > 0 {
+			profiles[i].Caps.CoverGoal = opts.CoverGoal
 		}
 	}
 	return runGrid(profiles, bombs.TableII(), opts.Workers)

@@ -21,6 +21,9 @@ type CellJSON struct {
 	Note       string `json:"note,omitempty"`
 	Verdict    string `json:"verdict"`
 	Rounds     int    `json:"rounds"`
+	// CoverageNewEdgesPerRound is the per-round coverage novelty profile
+	// (new edges each round contributed, in merge order).
+	CoverageNewEdgesPerRound []int `json:"coverage_new_edges_per_round,omitempty"`
 }
 
 // RowJSON is one bomb row of the grid.
@@ -65,7 +68,12 @@ type AggStatsJSON struct {
 	PortfolioClausesImported int64 `json:"portfolio_clauses_imported"`
 	WarmQueryHits            int   `json:"warmstart_query_hits"`
 	WarmClausesSeeded        int   `json:"warmstart_clauses_seeded"`
-	WallMS                   int64 `json:"wall_ms"` // summed per-cell engine time
+	// Coverage and hybrid-fuzzing work profile, summed over cells.
+	CoveredEdges      int   `json:"covered_edges"`
+	CoveredBlocks     int   `json:"covered_blocks"`
+	FuzzExecs         int   `json:"fuzz_execs"`
+	FuzzSeedsPromoted int   `json:"fuzz_seeds_promoted"`
+	WallMS            int64 `json:"wall_ms"` // summed per-cell engine time
 }
 
 // GridJSON is the full machine-readable Table II report.
@@ -108,6 +116,8 @@ func ToJSON(g *Grid) *GridJSON {
 				Note:       c.Note,
 				Verdict:    c.Outcome.Verdict.String(),
 				Rounds:     c.Outcome.Rounds,
+				CoverageNewEdgesPerRound: append([]int(nil),
+					c.Outcome.Stats.NewEdgesPerRound...),
 			}
 			if c.Got == bombs.OK {
 				out.Solved[tool]++
@@ -138,6 +148,10 @@ func ToJSON(g *Grid) *GridJSON {
 			out.Stats.PortfolioClausesImported += s.PortfolioClausesImported
 			out.Stats.WarmQueryHits += s.WarmQueryHits
 			out.Stats.WarmClausesSeeded += s.WarmClausesSeeded
+			out.Stats.CoveredEdges += s.CoveredEdges
+			out.Stats.CoveredBlocks += s.CoveredBlocks
+			out.Stats.FuzzExecs += s.FuzzExecs
+			out.Stats.FuzzSeedsPromoted += s.FuzzSeedsPromoted
 			out.Stats.WallMS += s.WallTime.Milliseconds()
 		}
 		out.Rows = append(out.Rows, row)

@@ -1,0 +1,138 @@
+// Package mutate is a deterministic-seeded mutation fuzzer over input
+// strings — the concrete half of the engine's hybrid concolic-fuzzing
+// loop. Between concolic generations the engine breeds mutants of
+// inputs that previously found new coverage (solved models included);
+// mutants that cover new edges are promoted back into the frontier as
+// seeds, costing zero solver queries.
+//
+// Everything is a pure function of the seed and the arguments: the
+// generator is a splitmix64 stream, there is no global state, and no
+// wall clock — so a fixed (seed, corpus) always yields the same mutant
+// stream, which is what keeps coverage-guided explorations byte-identical
+// across worker counts and repeatable in tests (FuzzMutateDeterminism).
+package mutate
+
+// Mutator derives mutants from a deterministic random stream.
+type Mutator struct {
+	state uint64
+}
+
+// New returns a mutator whose stream is fully determined by seed.
+func New(seed int64) *Mutator {
+	return &Mutator{state: uint64(seed)}
+}
+
+// Uint64 advances the splitmix64 stream.
+func (m *Mutator) Uint64() uint64 {
+	m.state += 0x9e3779b97f4a7c15
+	z := m.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n); n must be positive.
+func (m *Mutator) Intn(n int) int {
+	return int(m.Uint64() % uint64(n))
+}
+
+// interesting holds the boundary and format bytes AFL-style fuzzers
+// splice in: arithmetic edges, digits, letter-case anchors, sign and
+// separator characters — the values small-binary parsers branch on.
+var interesting = []byte{
+	0x01, 0x7f, 0x80, 0xff, '0', '1', '9', 'A', 'Z', 'a', 'z', ' ', '-', '+', '.', '/',
+}
+
+// Mutation operator tags, in stream-stable order: the operator picked
+// for a given stream position must never change, or every seed's mutant
+// stream would shift between builds.
+const (
+	opBitflip = iota
+	opByteset
+	opArith
+	opInteresting
+	opInsert
+	opDelete
+	opSplice
+	opHavoc
+	opCount
+)
+
+// Mutate derives one mutant of s. corpus provides splice partners (may
+// be empty); maxLen > 0 caps the mutant's length. The result never
+// contains a NUL byte — inputs are C strings in the guest, where an
+// embedded NUL would silently truncate and alias another input.
+func (m *Mutator) Mutate(s string, corpus []string, maxLen int) string {
+	out := m.apply(m.Intn(opCount), []byte(s), corpus, maxLen)
+	// Havoc stacking may still produce an empty or NUL-carrying mutant;
+	// normalize once at the end so every operator stays simple.
+	for i := range out {
+		if out[i] == 0 {
+			out[i] = 1
+		}
+	}
+	if len(out) == 0 {
+		out = []byte{interesting[m.Intn(len(interesting))]}
+	}
+	if maxLen > 0 && len(out) > maxLen {
+		out = out[:maxLen]
+	}
+	return string(out)
+}
+
+func (m *Mutator) apply(op int, b []byte, corpus []string, maxLen int) []byte {
+	if len(b) == 0 && op != opInsert && op != opSplice {
+		op = opInsert
+	}
+	switch op {
+	case opBitflip:
+		i := m.Intn(len(b))
+		b[i] ^= 1 << uint(m.Intn(8))
+	case opByteset:
+		b[m.Intn(len(b))] = byte(1 + m.Intn(255))
+	case opArith:
+		delta := byte(1 + m.Intn(16))
+		i := m.Intn(len(b))
+		if m.Intn(2) == 0 {
+			b[i] += delta
+		} else {
+			b[i] -= delta
+		}
+	case opInteresting:
+		b[m.Intn(len(b))] = interesting[m.Intn(len(interesting))]
+	case opInsert:
+		if maxLen > 0 && len(b) >= maxLen {
+			return m.apply(opByteset, b, corpus, maxLen)
+		}
+		i := m.Intn(len(b) + 1)
+		c := interesting[m.Intn(len(interesting))]
+		b = append(b, 0)
+		copy(b[i+1:], b[i:])
+		b[i] = c
+	case opDelete:
+		if len(b) <= 1 {
+			return m.apply(opByteset, b, corpus, maxLen)
+		}
+		i := m.Intn(len(b))
+		b = append(b[:i], b[i+1:]...)
+	case opSplice:
+		if len(corpus) == 0 {
+			return m.apply(opHavoc, b, corpus, maxLen)
+		}
+		partner := corpus[m.Intn(len(corpus))]
+		cut := m.Intn(len(b) + 1)
+		pcut := 0
+		if len(partner) > 0 {
+			pcut = m.Intn(len(partner) + 1)
+		}
+		b = append(b[:cut], partner[pcut:]...)
+	case opHavoc:
+		// Stack 2-8 basic operators; splice and havoc are excluded so the
+		// recursion is bounded by construction.
+		n := 2 + m.Intn(7)
+		for i := 0; i < n; i++ {
+			b = m.apply(m.Intn(opSplice), b, corpus, maxLen)
+		}
+	}
+	return b
+}

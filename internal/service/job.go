@@ -46,6 +46,13 @@ type Request struct {
 	Solver    string `json:"solver,omitempty"`
 	Warmstart bool   `json:"warmstart,omitempty"`
 	BudgetMS  int64  `json:"budget_ms,omitempty"`
+	// Strategy selects the frontier search order ("" or "generational",
+	// "dfs", "coverage"); Fuzz enables the hybrid mutation stage
+	// (coverage strategy only); CoverGoal, in (0, 1], stops the engine
+	// early once that fraction of static basic blocks is covered.
+	Strategy  string  `json:"strategy,omitempty"`
+	Fuzz      bool    `json:"fuzz,omitempty"`
+	CoverGoal float64 `json:"cover_goal,omitempty"`
 }
 
 // Validate checks the request against the bomb registry and the tool
@@ -79,6 +86,16 @@ func (r *Request) Validate() error {
 	if r.Warmstart && mode != core.SolverPortfolio {
 		return errors.New("warmstart requires solver=portfolio")
 	}
+	strat, err := core.ParseSearchStrategy(r.Strategy)
+	if err != nil {
+		return err
+	}
+	if r.Fuzz && strat != core.SearchCoverage {
+		return errors.New("fuzz requires strategy=coverage")
+	}
+	if r.CoverGoal < 0 || r.CoverGoal > 1 {
+		return errors.New("cover_goal must be in [0, 1]")
+	}
 	if r.BudgetMS < 0 {
 		return errors.New("budget_ms must be non-negative")
 	}
@@ -88,6 +105,11 @@ func (r *Request) Validate() error {
 // solverMode maps the wire field to the engine capability.
 func (r *Request) solverMode() (core.SolverMode, error) {
 	return core.ParseSolverMode(r.Solver)
+}
+
+// searchStrategy maps the wire field to the engine capability.
+func (r *Request) searchStrategy() (core.SearchStrategy, error) {
+	return core.ParseSearchStrategy(r.Strategy)
 }
 
 // RunStats is the engine work profile exposed per job.
@@ -103,6 +125,11 @@ type RunStats struct {
 	ClausesShared     int64 `json:"portfolio_clauses_shared,omitempty"`
 	WarmQueryHits     int   `json:"warmstart_query_hits,omitempty"`
 	WarmClausesSeeded int   `json:"warmstart_clauses_seeded,omitempty"`
+	// Coverage/fuzz profile.
+	CoveredEdges      int `json:"covered_edges,omitempty"`
+	CoveredBlocks     int `json:"covered_blocks,omitempty"`
+	FuzzExecs         int `json:"fuzz_execs,omitempty"`
+	FuzzSeedsPromoted int `json:"fuzz_seeds_promoted,omitempty"`
 }
 
 // SolvedInput is the detonating input of a solved job.
@@ -144,6 +171,10 @@ func resultFrom(out *core.Outcome) *Result {
 			ClausesShared:     out.Stats.PortfolioClausesShared,
 			WarmQueryHits:     out.Stats.WarmQueryHits,
 			WarmClausesSeeded: out.Stats.WarmClausesSeeded,
+			CoveredEdges:      out.Stats.CoveredEdges,
+			CoveredBlocks:     out.Stats.CoveredBlocks,
+			FuzzExecs:         out.Stats.FuzzExecs,
+			FuzzSeedsPromoted: out.Stats.FuzzSeedsPromoted,
 		},
 	}
 	if out.Verdict == core.VerdictSolved {
@@ -182,6 +213,9 @@ type View struct {
 	Workers         int     `json:"workers,omitempty"`
 	Solver          string  `json:"solver,omitempty"`
 	Warmstart       bool    `json:"warmstart,omitempty"`
+	Strategy        string  `json:"strategy,omitempty"`
+	Fuzz            bool    `json:"fuzz,omitempty"`
+	CoverGoal       float64 `json:"cover_goal,omitempty"`
 	BudgetMS        int64   `json:"budget_ms,omitempty"`
 	State           State   `json:"state"`
 	CancelRequested bool    `json:"cancel_requested,omitempty"`
@@ -201,6 +235,9 @@ func (j *Job) view() View {
 		Workers:         j.Req.Workers,
 		Solver:          j.Req.Solver,
 		Warmstart:       j.Req.Warmstart,
+		Strategy:        j.Req.Strategy,
+		Fuzz:            j.Req.Fuzz,
+		CoverGoal:       j.Req.CoverGoal,
 		BudgetMS:        j.Req.BudgetMS,
 		State:           j.State,
 		CancelRequested: j.CancelRequested,

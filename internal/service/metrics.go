@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/cover"
 	"repro/internal/sym"
 )
 
@@ -42,6 +43,11 @@ type Metrics struct {
 	portfolioImported uint64
 	warmQueryHits     uint64
 	warmClausesSeeded uint64
+
+	coveredEdges      uint64
+	coveredBlocks     uint64
+	fuzzExecs         uint64
+	fuzzSeedsPromoted uint64
 
 	wallBuckets []uint64 // one per wallBucketBound, non-cumulative
 	wallSum     float64
@@ -112,6 +118,10 @@ func (m *Metrics) JobFinished(state State, out *core.Outcome, wasRunning bool) {
 	m.portfolioImported += uint64(out.Stats.PortfolioClausesImported)
 	m.warmQueryHits += uint64(out.Stats.WarmQueryHits)
 	m.warmClausesSeeded += uint64(out.Stats.WarmClausesSeeded)
+	m.coveredEdges += uint64(out.Stats.CoveredEdges)
+	m.coveredBlocks += uint64(out.Stats.CoveredBlocks)
+	m.fuzzExecs += uint64(out.Stats.FuzzExecs)
+	m.fuzzSeedsPromoted += uint64(out.Stats.FuzzSeedsPromoted)
 	sec := out.Stats.WallTime.Seconds()
 	m.wallSum += sec
 	m.wallCount++
@@ -178,6 +188,16 @@ func (m *Metrics) Render(queueDepth, queueCap, workers int) string {
 	counter("concolicd_solver_portfolio_clauses_imported_total", "Exchange clauses adopted by a peer portfolio worker.", m.portfolioImported)
 	counter("concolicd_warmstart_query_hits_total", "Negation queries answered from the warm-start store.", m.warmQueryHits)
 	counter("concolicd_warmstart_clauses_seeded_total", "Stored clauses seeded into portfolio races.", m.warmClausesSeeded)
+
+	counter("concolicd_cover_edges_total", "Covered control-flow edges summed over finished jobs' engines.", m.coveredEdges)
+	counter("concolicd_cover_blocks_total", "Covered basic blocks summed over finished jobs' engines.", m.coveredBlocks)
+	counter("concolicd_fuzz_execs_total", "Concrete mutation-fuzzing executions across finished jobs.", m.fuzzExecs)
+	counter("concolicd_fuzz_seeds_promoted_total", "Fuzz mutants promoted into an exploration frontier.", m.fuzzSeedsPromoted)
+
+	// The process-wide coverage tracker is shared by every job (like the
+	// sym arena), so its population is read live rather than summed.
+	gauge("concolicd_cover_global_edges", "Distinct control-flow edges ever covered in this process.", cover.Global().Edges())
+	gauge("concolicd_cover_global_blocks", "Distinct basic blocks ever covered in this process.", cover.Global().Blocks())
 
 	// Hash-consing arena counters are process-global (the arena is shared
 	// by every job), so they are read live rather than summed from

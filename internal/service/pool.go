@@ -110,6 +110,11 @@ func (p *pool) runJob(j *Job) {
 	}
 	prof.Caps.Workers = j.Req.Workers
 	prof.Caps.SolverMode, _ = j.Req.solverMode() // validated at submission
+	if j.Req.Strategy != "" {
+		prof.Caps.Search, _ = j.Req.searchStrategy() // validated at submission
+	}
+	prof.Caps.Fuzz = j.Req.Fuzz
+	prof.Caps.CoverGoal = j.Req.CoverGoal
 	if j.Req.Warmstart && p.warm != nil {
 		prof.Caps.Warm = p.warm
 	}

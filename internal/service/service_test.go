@@ -142,6 +142,36 @@ func TestSubmitValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty request: status %d, want 400", resp.StatusCode)
 	}
+	resp, _ = postJob(t, ts, Request{Bomb: "jump", Strategy: "bfs"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown strategy: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJob(t, ts, Request{Bomb: "jump", Fuzz: true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("fuzz without coverage strategy: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJob(t, ts, Request{Bomb: "jump", CoverGoal: 1.5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range cover_goal: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCoverageJob runs a job under the coverage strategy with fuzzing
+// and checks the wire result carries the coverage counters.
+func TestCoverageJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	_, v := postJob(t, ts, Request{Bomb: "jump", Tool: "reference", Strategy: "coverage", Fuzz: true})
+	done := waitState(t, ts, v.ID, StateDone, 60*time.Second)
+	if done.Result == nil || done.Result.Verdict != "solved" {
+		t.Fatalf("coverage job result: %+v", done.Result)
+	}
+	if done.Result.Stats.CoveredEdges == 0 || done.Result.Stats.CoveredBlocks == 0 {
+		t.Errorf("coverage counters missing: %+v", done.Result.Stats)
+	}
+	if done.Strategy != "coverage" || !done.Fuzz {
+		t.Errorf("view does not echo strategy/fuzz: %+v", done)
+	}
 }
 
 // slowResolver hands out profiles whose budgets keep sha1 busy for

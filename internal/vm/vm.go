@@ -7,6 +7,7 @@ package vm
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/bin"
 	"repro/internal/isa"
@@ -75,6 +76,20 @@ func (p *Program) At(addr uint64) (isa.Instr, int, bool) {
 
 // NumInstrs returns the number of decoded instructions.
 func (p *Program) NumInstrs() int { return len(p.code) }
+
+// Instrs calls f for every decoded instruction in ascending address
+// order (static analyses over the code need a stable iteration order).
+func (p *Program) Instrs(f func(addr uint64, in isa.Instr, size int)) {
+	addrs := make([]uint64, 0, len(p.code))
+	for a := range p.code {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		d := p.code[a]
+		f(a, d.instr, d.len)
+	}
+}
 
 // StepKind describes what the executed instruction asks the OS to do next.
 type StepKind int
