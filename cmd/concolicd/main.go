@@ -1,14 +1,23 @@
 // Command concolicd serves concolic analyses over HTTP: clients submit
 // {bomb, tool, workers, budget} jobs, the service runs them on a bounded
-// worker pool over the shared engine, and job lifecycle, cancellation
-// and Prometheus metrics are all exposed under /v1 (see README and
-// DESIGN.md §10).
+// worker pool over the shared engine, and job lifecycle, cancellation,
+// streaming progress and Prometheus metrics are all exposed under /v1
+// (see README and DESIGN.md §10, §16).
 //
 //	concolicd -addr :8344 -queue 64 -workers 4
 //	curl -s localhost:8344/v1/jobs -d '{"bomb":"jump","tool":"reference"}'
 //	curl -s localhost:8344/v1/jobs/job-000001
+//	curl -s localhost:8344/v1/jobs/job-000001/events        # SSE progress
 //	curl -s -X DELETE localhost:8344/v1/jobs/job-000001
 //	curl -s localhost:8344/metrics
+//
+// Fleet mode: give each replica a -store (jobs survive restarts), one
+// shared -sharedcache directory (negation queries solved once fleet-
+// wide), a -replica name and the sibling URLs in -peers (idle replicas
+// steal queued jobs):
+//
+//	concolicd -addr :8344 -replica a -store /var/a -sharedcache /var/tier -peers http://localhost:8345
+//	concolicd -addr :8345 -replica b -store /var/b -sharedcache /var/tier -peers http://localhost:8344
 //
 // SIGTERM (or SIGINT) begins a graceful drain: submissions get 503,
 // accepted jobs finish, and past -drain-timeout the remaining jobs are
@@ -23,10 +32,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/jobstore"
 	"repro/internal/service"
+	"repro/internal/sharedcache"
+	"repro/internal/solver"
 	"repro/internal/warmstore"
 )
 
@@ -39,6 +52,23 @@ func main() {
 		"how long a drain waits for accepted jobs before cancelling them")
 	warmDir := flag.String("warmstart", "",
 		`warm-start store directory; jobs opt in with {"warmstart": true} (portfolio solver)`)
+	storeDir := flag.String("store", "",
+		"job store directory; queued jobs and finished results survive restarts")
+	sharedDir := flag.String("sharedcache", "",
+		"cross-replica solver-cache tier directory (shared by the fleet)")
+	replica := flag.String("replica", "",
+		"this replica's name in a fleet (defaults to the listen address)")
+	peers := flag.String("peers", "",
+		"comma-separated sibling base URLs to steal queued jobs from")
+	stealInterval := flag.Duration("steal-interval", service.DefaultStealInterval,
+		"how often an idle replica polls its peers for work")
+	stealLease := flag.Duration("steal-lease", service.DefaultStealLease,
+		"how long a stolen job may run before being requeued")
+	rate := flag.Float64("rate", 0,
+		"per-tenant submissions per second (X-API-Key header; 0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "per-tenant submission burst (0 = 1)")
+	tenantMax := flag.Int("tenant-max-active", 0,
+		"per-tenant cap on queued+running jobs (0 = unlimited)")
 	flag.Parse()
 
 	var warm *warmstore.Store
@@ -49,7 +79,48 @@ func main() {
 		}
 		warm = w
 	}
-	srv := service.New(service.Config{QueueDepth: *queue, Workers: *workers, Warm: warm})
+	var jobs *jobstore.Log
+	if *storeDir != "" {
+		jl, err := jobstore.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("concolicd: open job store: %v", err)
+		}
+		jobs = jl
+	}
+	var shared solver.QueryCache
+	var tier *sharedcache.Tier
+	if *sharedDir != "" {
+		t, err := sharedcache.Open(*sharedDir)
+		if err != nil {
+			log.Fatalf("concolicd: open shared cache tier: %v", err)
+		}
+		tier = t
+		shared = solver.SharedTier(t)
+	}
+	if *replica == "" {
+		*replica = *addr
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+
+	srv := service.New(service.Config{
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		Warm:            warm,
+		Jobs:            jobs,
+		SharedCache:     shared,
+		Replica:         *replica,
+		Peers:           peerList,
+		StealInterval:   *stealInterval,
+		StealLease:      *stealLease,
+		RatePerSec:      *rate,
+		RateBurst:       *rateBurst,
+		TenantMaxActive: *tenantMax,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -61,7 +132,8 @@ func main() {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("concolicd listening on %s (queue %d, workers %d)", *addr, *queue, w)
+	log.Printf("concolicd listening on %s (replica %s, queue %d, workers %d, peers %d)",
+		*addr, *replica, *queue, w, len(peerList))
 
 	select {
 	case err := <-errc:
@@ -80,6 +152,16 @@ func main() {
 	if warm != nil {
 		if err := warm.Close(); err != nil {
 			log.Printf("concolicd: close warm-start store: %v", err)
+		}
+	}
+	if jobs != nil {
+		if err := jobs.Close(); err != nil {
+			log.Printf("concolicd: close job store: %v", err)
+		}
+	}
+	if tier != nil {
+		if err := tier.Close(); err != nil {
+			log.Printf("concolicd: close shared cache tier: %v", err)
 		}
 	}
 	log.Printf("concolicd: drained, bye")

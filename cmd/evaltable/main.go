@@ -40,6 +40,8 @@ func main() {
 		"enable mutation-fuzzing breed rounds (requires -strategy coverage)")
 	coverGoal := flag.Float64("cover-goal", 0,
 		"per-engine early stop at this fraction (0,1] of static basic blocks")
+	fleet := flag.String("fleet", "",
+		"comma-separated concolicd base URLs; the Table II grid runs as fleet jobs instead of in-process engines")
 	all := flag.Bool("all", false, "render everything")
 	flag.Parse()
 
@@ -89,6 +91,23 @@ func main() {
 		os.Exit(2)
 	}
 	runTableII := func() *eval.Grid {
+		if *fleet != "" {
+			var endpoints []string
+			for _, e := range strings.Split(*fleet, ",") {
+				if e = strings.TrimSpace(e); e != "" {
+					endpoints = append(endpoints, strings.TrimRight(e, "/"))
+				}
+			}
+			g, err := eval.RunTableIIFleet(eval.FleetOptions{
+				EngineWorkers: 0, SolverMode: mode,
+				Strategy: strat, Fuzz: *fuzz, CoverGoal: *coverGoal,
+			}, endpoints)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "evaltable: %v\n", err)
+				os.Exit(1)
+			}
+			return g
+		}
 		return eval.RunTableII(eval.Options{
 			Workers: *workers, Checkpoint: pol, SolverMode: mode, Warm: warm,
 			Strategy: strat, Fuzz: *fuzz, CoverGoal: *coverGoal,

@@ -141,6 +141,36 @@ type Capabilities struct {
 	// caller owns the store's lifecycle; the engine only reads and
 	// appends.
 	Warm *warmstore.Store
+
+	// SharedCache, when non-nil, backs the engine's solver query cache
+	// with a persistent tier shared across replicas (see
+	// solver.Cache.SetShared): LRU misses consult it before solving, and
+	// solved queries write through. Tier entries are seed-independent raw
+	// results keyed by cross-process-stable digests, so sharing them
+	// never perturbs verdicts. The caller owns the tier's lifecycle.
+	SharedCache solver.QueryCache
+
+	// Progress, when non-nil, is called on the engine goroutine after
+	// each merged round with cumulative counters — the streaming-progress
+	// hook. It runs inside the exploration loop in round order, so it
+	// must be fast and must not call back into the engine.
+	Progress func(Progress)
+}
+
+// Progress is one per-round progress report: the cumulative counters as
+// of the round it follows. Values are deltas-friendly (monotone), and —
+// like the verdict — deterministic for a fixed seed and worker count.
+type Progress struct {
+	// Round is the 1-based merged round this report follows.
+	Round int
+	// SolverQueries is the cumulative negation-query count.
+	SolverQueries int
+	// CoveredEdges/CoveredBlocks is the engine tracker's cumulative
+	// coverage.
+	CoveredEdges  int
+	CoveredBlocks int
+	// Frontier is the number of pending candidates after the round.
+	Frontier int
 }
 
 // SolverMode selects the negation-query solving strategy.
@@ -301,6 +331,17 @@ func (v Verdict) String() string {
 	return "invalid"
 }
 
+// ParseVerdict maps a Verdict.String() rendering back to the verdict —
+// the inverse a fleet client needs to decode a replica's job result.
+func ParseVerdict(name string) (Verdict, error) {
+	for v := VerdictSolved; v <= VerdictCoverGoal; v++ {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown verdict %q", name)
+}
+
 // Claim records a model the engine could not realize as a concrete input
 // (it bound simulation variables): the tool "thinks" the path is feasible.
 type Claim struct {
@@ -386,6 +427,16 @@ type Stats struct {
 	// exchanges.
 	WarmQueryHits     int
 	WarmClausesSeeded int
+
+	// SharedCacheHits/SharedCacheMisses count shared-tier consults on
+	// local cache misses; SharedCacheStores counts write-throughs;
+	// SharedCacheServed counts queries answered by a shared-born entry
+	// (the direct tier hit plus later local re-hits on it). All zero
+	// without Capabilities.SharedCache.
+	SharedCacheHits   uint64
+	SharedCacheMisses uint64
+	SharedCacheStores uint64
+	SharedCacheServed uint64
 
 	// CoveredEdges/CoveredBlocks: distinct lifted-PC edges and static
 	// block leaders covered by this exploration's concrete runs
@@ -545,7 +596,7 @@ func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
 		incSeen:    make(map[string]bool),
 		out:        &Outcome{},
 		ctx:        context.Background(),
-		cache:      solver.NewCache(caps.SolverCacheSize),
+		cache:      newEngineCache(caps),
 		ex:         ex,
 		cov:        cover.NewTracker(),
 		prog:       prog,
@@ -553,6 +604,16 @@ func New(img *bin.Image, target uint64, caps Capabilities) *Engine {
 		goalBlocks: goalBlocks,
 		fuzzSeen:   make(map[string]bool),
 	}
+}
+
+// newEngineCache builds the engine's query cache, backed by the
+// caller's shared tier when one is configured.
+func newEngineCache(caps Capabilities) *solver.Cache {
+	c := solver.NewCache(caps.SolverCacheSize)
+	if caps.SharedCache != nil {
+		c.SetShared(caps.SharedCache)
+	}
+	return c
 }
 
 // Explore runs the concolic loop from the seed input.
@@ -670,6 +731,10 @@ func (en *Engine) finishStats(start time.Time) {
 	en.stats.CacheHits = cs.Hits
 	en.stats.CacheMisses = cs.Misses
 	en.stats.CacheEvictions = cs.Evictions
+	en.stats.SharedCacheHits = cs.SharedHits
+	en.stats.SharedCacheMisses = cs.SharedMisses
+	en.stats.SharedCacheStores = cs.SharedStores
+	en.stats.SharedCacheServed = cs.SharedServed
 	en.stats.Workers = en.workers
 	en.stats.WallTime = time.Since(start)
 	as := sym.ArenaSnapshot()

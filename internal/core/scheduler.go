@@ -193,6 +193,10 @@ func (en *Engine) runBatch(batch []candidate) []*roundRec {
 // applyRound replays one round's events onto the engine state. It returns
 // true when the round is terminal (exploration must stop).
 func (en *Engine) applyRound(rec *roundRec) bool {
+	// The progress hook fires after the round's full effect — stats,
+	// coverage merge, event replay — has landed, terminal rounds
+	// included; deferring covers both exits.
+	defer en.emitProgress()
 	en.out.Rounds++
 	en.out.CandidatesTried++
 	en.stats.SolverQueries += rec.queries
@@ -269,6 +273,23 @@ func (en *Engine) applyRound(rec *roundRec) bool {
 		}
 	}
 	return false
+}
+
+// emitProgress reports the cumulative counters after a merged round to
+// the Capabilities.Progress hook, if any. It runs on the engine
+// goroutine in round order — the same order at every worker count — so
+// streamed progress is as deterministic as the verdict.
+func (en *Engine) emitProgress() {
+	if en.caps.Progress == nil {
+		return
+	}
+	en.caps.Progress(Progress{
+		Round:         en.out.Rounds,
+		SolverQueries: en.stats.SolverQueries,
+		CoveredEdges:  en.cov.Edges(),
+		CoveredBlocks: en.cov.Blocks(),
+		Frontier:      en.frontierLen(),
+	})
 }
 
 // runRound executes one concrete run plus its symbolic pass and negation

@@ -1,0 +1,177 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func put(l *Log, id, state string) {
+	l.Put(Record{
+		ID:        id,
+		Req:       json.RawMessage(`{"bomb":"b"}`),
+		State:     state,
+		Submitted: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+	})
+}
+
+func ids(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func TestPutUpdateDeleteOrder(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	put(l, "a", "queued")
+	put(l, "b", "queued")
+	put(l, "c", "queued")
+	put(l, "a", "done") // update must not move a to the back
+	l.Delete("b")
+
+	recs := l.Records()
+	got := ids(recs)
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("order after update+delete: %v", got)
+	}
+	if recs[0].State != "done" {
+		t.Fatalf("update lost: %+v", recs[0])
+	}
+}
+
+func TestReplayPreservesOrderAndLatestState(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(l, "j1", "queued")
+	put(l, "j2", "queued")
+	put(l, "j1", "running")
+	put(l, "j1", "done")
+	// No Close: simulate a crash (the log is unbuffered, so every Put is
+	// already on disk).
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := re.Records()
+	if got := ids(recs); len(got) != 2 || got[0] != "j1" || got[1] != "j2" {
+		t.Fatalf("replayed order: %v", got)
+	}
+	if recs[0].State != "done" || recs[1].State != "queued" {
+		t.Fatalf("replayed states: %s/%s", recs[0].State, recs[1].State)
+	}
+	if st := re.Stats(); st.Replayed != 2 {
+		t.Fatalf("replayed count: %+v", st)
+	}
+}
+
+func TestCompactAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"x", "y", "z"} {
+		put(l, id, "queued")
+	}
+	l.Delete("y")
+	put(l, "x", "failed")
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compact appends land in the fresh log.
+	put(l, "w", "queued")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := ids(re.Records()); len(got) != 3 || got[0] != "x" || got[1] != "z" || got[2] != "w" {
+		t.Fatalf("after compact+reopen: %v", got)
+	}
+}
+
+func TestTornTailTolerance(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(l, "keep", "done")
+	// Crash mid-append: an unterminated partial record at the log tail.
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(`{"t":"j","j":{"id":"torn","sta`)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer re.Close()
+	if got := ids(re.Records()); len(got) != 1 || got[0] != "keep" {
+		t.Fatalf("after torn tail: %v", got)
+	}
+	// The repaired tail must not eat the next append.
+	put(re, "after", "queued")
+	re2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := ids(re2.Records()); len(got) != 2 || got[1] != "after" {
+		t.Fatalf("append after torn tail lost: %v", got)
+	}
+}
+
+func TestResultPayloadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Put(Record{
+		ID:     "r",
+		State:  "done",
+		Result: json.RawMessage(`{"verdict":"solved","label":"","rounds":3}`),
+	})
+	l.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := re.Records()
+	var res struct {
+		Verdict string `json:"verdict"`
+		Rounds  int    `json:"rounds"`
+	}
+	if err := json.Unmarshal(recs[0].Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != "solved" || res.Rounds != 3 {
+		t.Fatalf("payload mangled: %+v", res)
+	}
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Fleet wire types. Stealing is lease-based: POST /v1/steal marks up to
+// Max queued jobs running under the caller's replica name with a lease
+// deadline and hands their requests over; the stealer runs them and
+// posts a RemoteResult to /v1/jobs/{id}/result. If the stealer dies the
+// lease reaper requeues the job, and the first terminal transition
+// (remote result or local rerun) wins — safe because verdicts are
+// deterministic for a given request.
+
+// StealRequest asks a victim for queued work.
+type StealRequest struct {
+	Replica string `json:"replica"`
+	Max     int    `json:"max"`
+}
+
+// StolenJob is one leased job: its ID on the victim and the request to
+// run.
+type StolenJob struct {
+	ID  string  `json:"id"`
+	Req Request `json:"req"`
+}
+
+// StealResponse lists the leased jobs (possibly empty).
+type StealResponse struct {
+	Jobs []StolenJob `json:"jobs"`
+}
+
+// RemoteResult is a stolen job's outcome posted back to the victim.
+type RemoteResult struct {
+	Replica string  `json:"replica"`
+	State   State   `json:"state"`
+	Result  *Result `json:"result,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// fleetClient is the HTTP timeout for steal polls and result posts.
+// Result posts are tiny; the engine run between them is not under this
+// timeout.
+var fleetClient = &http.Client{Timeout: 10 * time.Second}
+
+// stealFrom leases work from one peer and runs it to completion. Errors
+// are swallowed: an unreachable or drained peer just yields nothing,
+// and the next tick tries again.
+func (p *pool) stealFrom(peer string) {
+	body, _ := json.Marshal(StealRequest{Replica: p.replica, Max: 1})
+	resp, err := fleetClient.Post(peer+"/v1/steal", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	var sr StealResponse
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return
+	}
+	for _, sj := range sr.Jobs {
+		select {
+		case <-p.stopSteal:
+			return
+		case <-p.baseCtx.Done():
+			return
+		default:
+		}
+		state, res, errMsg := p.runRemote(sj.Req)
+		p.metrics.JobStolen()
+		p.postResult(peer, sj.ID, RemoteResult{
+			Replica: p.replica, State: state, Result: res, Error: errMsg,
+		})
+	}
+}
+
+// postResult returns a stolen job's outcome to its owner. A failed post
+// is not retried here: the owner's lease reaper requeues the job, and
+// determinism makes the rerun equivalent.
+func (p *pool) postResult(peer, id string, rr RemoteResult) error {
+	body, err := json.Marshal(rr)
+	if err != nil {
+		return err
+	}
+	resp, err := fleetClient.Post(
+		fmt.Sprintf("%s/v1/jobs/%s/result", peer, id),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result post: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

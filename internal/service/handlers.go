@@ -3,8 +3,11 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // routes wires the v1 API. Method-qualified patterns (Go 1.22 mux) give
@@ -15,6 +18,10 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("POST /v1/steal", s.handleSteal)
+	mux.HandleFunc("POST /v1/jobs/{id}/result", s.handleRemoteResult)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
@@ -33,12 +40,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "malformed request: "+err.Error())
 		return
 	}
-	v, err := s.Submit(req)
+	v, err := s.SubmitAs(req, r.Header.Get("X-API-Key"))
 	if err != nil {
 		var reqErr *RequestError
+		var rlErr *RateLimitError
 		switch {
 		case errors.As(err, &reqErr):
 			writeErr(w, http.StatusBadRequest, reqErr.Error())
+		case errors.As(err, &rlErr):
+			w.Header().Set("Retry-After", strconv.Itoa(rlErr.RetryAfterSeconds()))
+			writeErr(w, http.StatusTooManyRequests, rlErr.Error())
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusTooManyRequests, err.Error())
@@ -52,8 +63,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, v)
 }
 
+// handleList pages through jobs in stable submission order.
+// ?offset=&limit= window the list; the response carries the total so
+// clients can iterate without racing submissions.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": s.store.Views()})
+	q := r.URL.Query()
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "offset must be a non-negative integer")
+		return
+	}
+	limit, err := queryInt(q.Get("limit"), 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "limit must be a non-negative integer")
+		return
+	}
+	views, total := s.store.Page(offset, limit)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"jobs":   views,
+		"total":  total,
+		"offset": offset,
+		"count":  len(views),
+	})
+}
+
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return n, nil
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +119,130 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err.Error())
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": string(st)})
+	}
+}
+
+// handleEvents streams a job's per-round progress as server-sent
+// events: one `progress` event per engine round already recorded plus
+// each new one as it lands, then a final `done` event carrying the
+// job's terminal view. Clients see intermediate state while the engine
+// is still exploring — the fleet's live dashboard primitive.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	evs, state, ch, err := s.store.ProgressSince(id, 0)
+	if errors.Is(err, ErrNotFound) {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	cursor := 0
+	for {
+		for _, ev := range evs {
+			b, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", b)
+			cursor = ev.Seq + 1
+		}
+		fl.Flush()
+		if state.Terminal() {
+			v, _ := s.store.View(id)
+			b, _ := json.Marshal(v)
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", b)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+		evs, state, ch, err = s.store.ProgressSince(id, cursor)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleProgress is the chunk-free poll twin of handleEvents: the
+// events from ?from= on, the job state, and the next cursor.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from, err := queryInt(r.URL.Query().Get("from"), 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "from must be a non-negative integer")
+		return
+	}
+	evs, state, _, err := s.store.ProgressSince(id, from)
+	if errors.Is(err, ErrNotFound) {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if evs == nil {
+		evs = []ProgressEvent{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id":     id,
+		"state":  state,
+		"events": evs,
+		"next":   from + len(evs),
+	})
+}
+
+// handleSteal leases queued jobs to a sibling replica (see fleet.go for
+// the protocol).
+func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	var req StealRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed steal request: "+err.Error())
+		return
+	}
+	if req.Replica == "" {
+		writeErr(w, http.StatusBadRequest, "steal request needs a replica name")
+		return
+	}
+	if req.Max <= 0 {
+		req.Max = 1
+	}
+	leased := s.store.Lease(req.Replica, req.Max, time.Now().Add(s.stealLease))
+	resp := StealResponse{Jobs: make([]StolenJob, 0, len(leased))}
+	for _, j := range leased {
+		s.metrics.JobStarted()
+		s.metrics.JobLeased()
+		resp.Jobs = append(resp.Jobs, StolenJob{ID: j.ID, Req: j.Req})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRemoteResult accepts a stolen job's outcome from the stealer.
+func (s *Server) handleRemoteResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var rr RemoteResult
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&rr); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed result: "+err.Error())
+		return
+	}
+	v, wasRunning, err := s.store.FinishRemote(id, rr.Replica, rr.State, rr.Result, rr.Error)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeErr(w, http.StatusNotFound, "no such job")
+	case errors.Is(err, ErrFinished):
+		writeErr(w, http.StatusConflict, "job already in terminal state")
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	default:
+		s.metrics.JobFinishedRemote(rr.State, rr.Result, wasRunning)
+		writeJSON(w, http.StatusOK, v)
 	}
 }
 

@@ -130,6 +130,11 @@ type RunStats struct {
 	CoveredBlocks     int `json:"covered_blocks,omitempty"`
 	FuzzExecs         int `json:"fuzz_execs,omitempty"`
 	FuzzSeedsPromoted int `json:"fuzz_seeds_promoted,omitempty"`
+	// Cross-replica shared-cache profile (zero without -sharedcache).
+	SharedCacheHits   uint64 `json:"sharedcache_hits,omitempty"`
+	SharedCacheMisses uint64 `json:"sharedcache_misses,omitempty"`
+	SharedCacheStores uint64 `json:"sharedcache_stores,omitempty"`
+	SharedCacheServed uint64 `json:"sharedcache_served,omitempty"`
 }
 
 // SolvedInput is the detonating input of a solved job.
@@ -175,6 +180,10 @@ func resultFrom(out *core.Outcome) *Result {
 			CoveredBlocks:     out.Stats.CoveredBlocks,
 			FuzzExecs:         out.Stats.FuzzExecs,
 			FuzzSeedsPromoted: out.Stats.FuzzSeedsPromoted,
+			SharedCacheHits:   out.Stats.SharedCacheHits,
+			SharedCacheMisses: out.Stats.SharedCacheMisses,
+			SharedCacheStores: out.Stats.SharedCacheStores,
+			SharedCacheServed: out.Stats.SharedCacheServed,
 		},
 	}
 	if out.Verdict == core.VerdictSolved {
@@ -188,11 +197,25 @@ func resultFrom(out *core.Outcome) *Result {
 	return res
 }
 
+// ProgressEvent is one per-round streaming report: the engine's
+// cumulative counters after a merged round (see core.Progress). Seq is
+// the event's position in the job's progress sequence, the cursor for
+// resuming a stream.
+type ProgressEvent struct {
+	Seq           int `json:"seq"`
+	Round         int `json:"round"`
+	SolverQueries int `json:"solver_queries"`
+	CoveredEdges  int `json:"covered_edges"`
+	CoveredBlocks int `json:"covered_blocks"`
+	Frontier      int `json:"frontier"`
+}
+
 // Job is one queued analysis. All fields are guarded by the owning
 // Store's mutex; handlers only see View snapshots.
 type Job struct {
-	ID  string
-	Req Request
+	ID     string
+	Req    Request
+	Tenant string // API key the job was submitted under ("" = anonymous)
 
 	State           State
 	CancelRequested bool
@@ -201,6 +224,18 @@ type Job struct {
 	Finished        time.Time
 	Error           string
 	Result          *Result
+
+	// Replica is the fleet member executing the job: "" while local,
+	// the stealer's identity after a lease. LeaseExpiry bounds a remote
+	// lease; past it the reaper requeues the job.
+	Replica     string
+	LeaseExpiry time.Time
+
+	// progress accumulates per-round streaming events; notify is closed
+	// and replaced whenever progress grows or the job reaches a terminal
+	// state, waking streaming handlers.
+	progress []ProgressEvent
+	notify   chan struct{}
 
 	cancel context.CancelFunc // set while running
 }
@@ -219,11 +254,14 @@ type View struct {
 	BudgetMS        int64   `json:"budget_ms,omitempty"`
 	State           State   `json:"state"`
 	CancelRequested bool    `json:"cancel_requested,omitempty"`
+	Tenant          string  `json:"tenant,omitempty"`
+	Replica         string  `json:"replica,omitempty"`
 	Submitted       string  `json:"submitted_at"`
 	Started         string  `json:"started_at,omitempty"`
 	Finished        string  `json:"finished_at,omitempty"`
 	Error           string  `json:"error,omitempty"`
 	Result          *Result `json:"result,omitempty"`
+	Progress        int     `json:"progress_events,omitempty"`
 }
 
 // view snapshots the job; call with the store lock held.
@@ -241,9 +279,12 @@ func (j *Job) view() View {
 		BudgetMS:        j.Req.BudgetMS,
 		State:           j.State,
 		CancelRequested: j.CancelRequested,
+		Tenant:          j.Tenant,
+		Replica:         j.Replica,
 		Submitted:       j.Submitted.UTC().Format(time.RFC3339Nano),
 		Error:           j.Error,
 		Result:          j.Result,
+		Progress:        len(j.progress),
 	}
 	if !j.Started.IsZero() {
 		v.Started = j.Started.UTC().Format(time.RFC3339Nano)

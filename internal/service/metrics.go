@@ -49,6 +49,17 @@ type Metrics struct {
 	fuzzExecs         uint64
 	fuzzSeedsPromoted uint64
 
+	sharedHits   uint64
+	sharedMisses uint64
+	sharedStores uint64
+	sharedServed uint64
+
+	rateLimited   uint64
+	leased        uint64 // jobs leased out to stealers
+	stolen        uint64 // peer jobs this replica ran
+	leasesExpired uint64
+	remoteResults uint64 // stolen-job results accepted back
+
 	wallBuckets []uint64 // one per wallBucketBound, non-cumulative
 	wallSum     float64
 	wallCount   uint64
@@ -87,6 +98,70 @@ func (m *Metrics) JobStarted() {
 	m.running++
 }
 
+// RateLimited counts a submission refused over a tenant budget (token
+// bucket or active-job cap).
+func (m *Metrics) RateLimited() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rateLimited++
+}
+
+// JobLeased counts a queued job handed to a stealing replica.
+func (m *Metrics) JobLeased() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.leased++
+}
+
+// JobStolen counts a peer job this replica executed.
+func (m *Metrics) JobStolen() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stolen++
+}
+
+// LeaseExpired counts a stolen job requeued after its lease lapsed;
+// it also releases the running-gauge slot the lease claimed.
+func (m *Metrics) LeaseExpired() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.leasesExpired++
+	m.running--
+}
+
+// JobFinishedRemote counts a stolen job's result arriving from its
+// stealer. The engine ran elsewhere, so the only engine counters
+// available are the wire RunStats — the shared-cache profile among
+// them, which is exactly what fleet observability needs.
+func (m *Metrics) JobFinishedRemote(state State, res *Result, wasRunning bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished[state]++
+	m.remoteResults++
+	if wasRunning {
+		m.running--
+	}
+	if res == nil {
+		return
+	}
+	m.solverQueries += uint64(res.Stats.SolverQueries)
+	m.cacheHits += res.Stats.CacheHits
+	m.cacheMisses += res.Stats.CacheMisses
+	m.sharedHits += res.Stats.SharedCacheHits
+	m.sharedMisses += res.Stats.SharedCacheMisses
+	m.sharedStores += res.Stats.SharedCacheStores
+	m.sharedServed += res.Stats.SharedCacheServed
+	sec := float64(res.Stats.WallMS) / 1000
+	m.wallSum += sec
+	m.wallCount++
+	for i, bound := range wallBucketBounds {
+		if sec <= bound {
+			m.wallBuckets[i]++
+			break
+		}
+	}
+}
+
 // JobFinished counts a terminal transition. out may be nil (a job
 // cancelled while queued never ran); wasRunning balances the running
 // gauge.
@@ -122,6 +197,10 @@ func (m *Metrics) JobFinished(state State, out *core.Outcome, wasRunning bool) {
 	m.coveredBlocks += uint64(out.Stats.CoveredBlocks)
 	m.fuzzExecs += uint64(out.Stats.FuzzExecs)
 	m.fuzzSeedsPromoted += uint64(out.Stats.FuzzSeedsPromoted)
+	m.sharedHits += out.Stats.SharedCacheHits
+	m.sharedMisses += out.Stats.SharedCacheMisses
+	m.sharedStores += out.Stats.SharedCacheStores
+	m.sharedServed += out.Stats.SharedCacheServed
 	sec := out.Stats.WallTime.Seconds()
 	m.wallSum += sec
 	m.wallCount++
@@ -188,6 +267,17 @@ func (m *Metrics) Render(queueDepth, queueCap, workers int) string {
 	counter("concolicd_solver_portfolio_clauses_imported_total", "Exchange clauses adopted by a peer portfolio worker.", m.portfolioImported)
 	counter("concolicd_warmstart_query_hits_total", "Negation queries answered from the warm-start store.", m.warmQueryHits)
 	counter("concolicd_warmstart_clauses_seeded_total", "Stored clauses seeded into portfolio races.", m.warmClausesSeeded)
+
+	counter("concolicd_sharedcache_hits_total", "Negation queries answered by the cross-replica shared cache tier.", m.sharedHits)
+	counter("concolicd_sharedcache_misses_total", "Shared-tier lookups that fell through to a local solve.", m.sharedMisses)
+	counter("concolicd_sharedcache_stores_total", "Locally solved queries published to the shared tier.", m.sharedStores)
+	counter("concolicd_sharedcache_served_total", "Queries ultimately served by shared-tier-born results (direct hits plus local re-hits).", m.sharedServed)
+
+	counter("concolicd_ratelimited_total", "Submissions refused over a tenant budget (429).", m.rateLimited)
+	counter("concolicd_steal_leased_total", "Queued jobs leased out to stealing replicas.", m.leased)
+	counter("concolicd_steal_stolen_total", "Peer jobs this replica executed.", m.stolen)
+	counter("concolicd_steal_lease_expired_total", "Stolen jobs requeued after their lease lapsed.", m.leasesExpired)
+	counter("concolicd_steal_remote_results_total", "Stolen-job results accepted back from stealers.", m.remoteResults)
 
 	counter("concolicd_cover_edges_total", "Covered control-flow edges summed over finished jobs' engines.", m.coveredEdges)
 	counter("concolicd_cover_blocks_total", "Covered basic blocks summed over finished jobs' engines.", m.coveredBlocks)

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// limiter is a per-tenant token bucket: every tenant (X-API-Key value;
+// "" for anonymous) refills at rate tokens/second up to burst. It is
+// hand-rolled — like the metrics renderer — so the service stays
+// dependency-free.
+type limiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter returns nil (no limiting) unless rate is positive. A
+// non-positive burst defaults to one full token.
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from the tenant's bucket. On refusal it
+// reports how long until the next token accrues (the Retry-After hint).
+// A nil limiter always allows.
+func (l *limiter) allow(tenant string, now time.Time) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// RateLimitError rejects a submission over a tenant budget (HTTP 429
+// with a Retry-After hint).
+type RateLimitError struct {
+	RetryAfter time.Duration
+	msg        string
+}
+
+func (e *RateLimitError) Error() string { return e.msg }
+
+// RetryAfterSeconds renders the hint for the Retry-After header,
+// rounded up so clients never retry early.
+func (e *RateLimitError) RetryAfterSeconds() int {
+	s := int(math.Ceil(e.RetryAfter.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func rateLimited(wait time.Duration) *RateLimitError {
+	return &RateLimitError{RetryAfter: wait, msg: "tenant rate limit exceeded"}
+}
+
+func tenantBusy(active, max int) *RateLimitError {
+	return &RateLimitError{
+		RetryAfter: time.Second,
+		msg:        fmt.Sprintf("tenant has %d active jobs (limit %d)", active, max),
+	}
+}

@@ -1,8 +1,12 @@
 // Package service is the concolicd serving layer: an HTTP JSON front
 // end that accepts analysis jobs ({bomb, tool, workers, budget}), runs
 // them on a bounded worker pool over the core engine, and exposes the
-// job lifecycle — submit, inspect, list, cancel — plus Prometheus-text
-// metrics and a health probe.
+// job lifecycle — submit, inspect, list, cancel, stream progress — plus
+// Prometheus-text metrics and a health probe. With a job store attached
+// the lifecycle is disk-backed (queued work and finished results
+// survive a restart), and with peers configured replicas steal queued
+// jobs from each other, sharing solver work through the cross-replica
+// query-cache tier.
 //
 // The contract with the engine is context cancellation: every job runs
 // under its own context (cancelled by DELETE, expired by the per-job
@@ -10,7 +14,9 @@
 // observes it between rounds, between negation queries, and inside SAT
 // search. Verdicts are byte-identical to the concolic CLI for the same
 // {bomb, tool, workers} tuple: the service adds scheduling around the
-// engine, never inside it.
+// engine, never inside it — and because the shared cache tier stores
+// only seed-independent, budget-deterministic results, that holds at
+// any fleet size too.
 package service
 
 import (
@@ -18,7 +24,10 @@ import (
 	"net/http"
 	"runtime"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/jobstore"
+	"repro/internal/solver"
 	"repro/internal/tools"
 	"repro/internal/warmstore"
 )
@@ -42,23 +51,59 @@ type Config struct {
 	// starting; the caller owns the store's lifecycle (concolicd opens it
 	// from -warmstart and closes it after drain).
 	Warm *warmstore.Store
+	// Jobs is the disk-backed job registry (concolicd -store). Nil keeps
+	// the registry in memory. On New, persisted jobs are replayed: done
+	// jobs' results become fetchable again and queued/running jobs are
+	// re-enqueued. The caller owns the store's lifecycle.
+	Jobs *jobstore.Log
+	// SharedCache is the cross-replica solver-query tier (concolicd
+	// -sharedcache): every job's engine reads and writes it, so a fleet
+	// sharing one tier answers repeated negation queries once. Nil keeps
+	// solving replica-local.
+	SharedCache solver.QueryCache
+	// Replica names this fleet member (shown on stolen jobs). Peers lists
+	// sibling base URLs (e.g. http://host:8080) to steal queued jobs from
+	// when the local queue is empty; empty disables stealing.
+	Replica string
+	Peers   []string
+	// StealInterval paces the steal loop (<= 0: DefaultStealInterval);
+	// StealLease bounds how long a stolen job may run before the lease
+	// reaper requeues it (<= 0: DefaultStealLease).
+	StealInterval time.Duration
+	StealLease    time.Duration
+	// RatePerSec/RateBurst shape the per-tenant submission token bucket
+	// (tenant = X-API-Key header value). RatePerSec <= 0 disables it.
+	// TenantMaxActive caps one tenant's queued+running jobs (<= 0: no
+	// cap). Both reject with 429 and a Retry-After hint.
+	RatePerSec      float64
+	RateBurst       int
+	TenantMaxActive int
 }
 
-// DefaultQueueDepth bounds the queue when the config leaves it unset.
-const DefaultQueueDepth = 64
+// Defaults for the work-stealing loop.
+const (
+	DefaultQueueDepth    = 64
+	DefaultStealInterval = 500 * time.Millisecond
+	DefaultStealLease    = 30 * time.Second
+)
 
 // Server ties the store, pool and metrics together behind an http.Handler.
 type Server struct {
-	store    *Store
-	pool     *pool
-	metrics  *Metrics
-	mux      *http.ServeMux
-	queueCap int
-	workers  int
-	draining atomic.Bool
+	store      *Store
+	pool       *pool
+	metrics    *Metrics
+	mux        *http.ServeMux
+	queueCap   int
+	workers    int
+	limiter    *limiter
+	tenantMax  int
+	stealLease time.Duration
+	draining   atomic.Bool
 }
 
-// New builds a ready-to-serve instance; its workers start immediately.
+// New builds a ready-to-serve instance; its workers start immediately,
+// and jobs recovered from cfg.Jobs are re-enqueued before the first
+// submission can land.
 func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
@@ -69,13 +114,30 @@ func New(cfg Config) *Server {
 	if cfg.ResolveProfile == nil {
 		cfg.ResolveProfile = tools.ByName
 	}
-	s := &Server{
-		store:    NewStore(),
-		metrics:  NewMetrics(),
-		queueCap: cfg.QueueDepth,
-		workers:  cfg.Workers,
+	if cfg.StealInterval <= 0 {
+		cfg.StealInterval = DefaultStealInterval
 	}
-	s.pool = newPool(s.store, s.metrics, cfg.QueueDepth, cfg.Workers, cfg.ResolveProfile, cfg.Warm)
+	if cfg.StealLease <= 0 {
+		cfg.StealLease = DefaultStealLease
+	}
+	s := &Server{
+		store:      NewStore(),
+		metrics:    NewMetrics(),
+		queueCap:   cfg.QueueDepth,
+		workers:    cfg.Workers,
+		limiter:    newLimiter(cfg.RatePerSec, cfg.RateBurst),
+		tenantMax:  cfg.TenantMaxActive,
+		stealLease: cfg.StealLease,
+	}
+	requeue := s.store.Recover(cfg.Jobs)
+	s.pool = newPool(s.store, s.metrics, cfg)
+	for _, j := range requeue {
+		if err := s.pool.enqueue(j); err != nil {
+			// More recovered work than queue: fail the overflow loudly
+			// rather than strand it in a queued state nothing will run.
+			s.store.Finish(j, StateFailed, nil, "recovery overflowed the queue: "+err.Error())
+		}
+	}
 	s.routes()
 	return s
 }
@@ -83,17 +145,32 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP interface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Submit validates and enqueues a job. It returns ErrQueueFull under
-// backpressure, ErrDraining during shutdown, and a RequestError for
+// Submit enqueues a job for the anonymous tenant (the embedding/CLI
+// path; HTTP goes through SubmitAs).
+func (s *Server) Submit(req Request) (View, error) { return s.SubmitAs(req, "") }
+
+// SubmitAs validates and enqueues a job under a tenant identity. It
+// returns ErrQueueFull under backpressure, ErrDraining during shutdown,
+// a RateLimitError over a tenant budget, and a RequestError for
 // malformed requests.
-func (s *Server) Submit(req Request) (View, error) {
+func (s *Server) SubmitAs(req Request, tenant string) (View, error) {
 	if s.draining.Load() {
 		return View{}, ErrDraining
+	}
+	if ok, wait := s.limiter.allow(tenant, time.Now()); !ok {
+		s.metrics.RateLimited()
+		return View{}, rateLimited(wait)
+	}
+	if s.tenantMax > 0 {
+		if active := s.store.ActiveByTenant(tenant); active >= s.tenantMax {
+			s.metrics.RateLimited()
+			return View{}, tenantBusy(active, s.tenantMax)
+		}
 	}
 	if err := req.Validate(); err != nil {
 		return View{}, &RequestError{err}
 	}
-	j := s.store.Add(req)
+	j := s.store.Add(req, tenant)
 	if err := s.pool.enqueue(j); err != nil {
 		s.store.Remove(j.ID)
 		if err == ErrQueueFull {

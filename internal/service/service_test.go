@@ -392,7 +392,7 @@ func TestDrainDeadlineCancelsRunning(t *testing.T) {
 func TestStoreIDsSequential(t *testing.T) {
 	st := NewStore()
 	for i := 1; i <= 3; i++ {
-		j := st.Add(Request{Bomb: "jump", Tool: "reference"})
+		j := st.Add(Request{Bomb: "jump", Tool: "reference"}, "")
 		want := fmt.Sprintf("job-%06d", i)
 		if j.ID != want {
 			t.Errorf("ID %q, want %q", j.ID, want)

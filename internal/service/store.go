@@ -2,40 +2,134 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/jobstore"
 )
 
-// Store is the in-memory job registry. One mutex guards every job's
-// fields; all state transitions go through its methods so the lifecycle
-// invariants hold under concurrent handlers and workers.
+// Store is the job registry. One mutex guards every job's fields; all
+// state transitions go through its methods so the lifecycle invariants
+// hold under concurrent handlers and workers. With a jobstore attached
+// (Recover), every transition also appends a full job record to the
+// disk journal, so queued work and finished results survive a restart.
 type Store struct {
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string // submission order, for listing
 	nextID int
+	jl     *jobstore.Log // nil = in-memory only
 }
 
-// NewStore returns an empty registry.
+// NewStore returns an empty in-memory registry.
 func NewStore() *Store {
 	return &Store{jobs: make(map[string]*Job)}
 }
 
+// Recover attaches a disk journal and replays its records into the
+// registry: terminal jobs come back with their results fetchable,
+// queued jobs come back queued, and jobs that were running when the
+// process died are requeued (their engines died with it; rerunning
+// yields the identical verdict). It returns the jobs to re-enqueue, in
+// original submission order, and must be called before the store is
+// shared. ID assignment resumes past the highest recovered ID.
+func (s *Store) Recover(jl *jobstore.Log) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jl = jl
+	if jl == nil {
+		return nil
+	}
+	var requeue []*Job
+	for _, r := range jl.Records() {
+		j := &Job{
+			ID:        r.ID,
+			Tenant:    r.Tenant,
+			State:     State(r.State),
+			Submitted: r.Submitted,
+			Started:   r.Started,
+			Finished:  r.Finished,
+			Error:     r.Error,
+		}
+		if json.Unmarshal(r.Req, &j.Req) != nil {
+			continue // foreign or corrupt record: not runnable, drop it
+		}
+		if len(r.Result) > 0 {
+			var res Result
+			if json.Unmarshal(r.Result, &res) == nil {
+				j.Result = &res
+			}
+		}
+		requeued := false
+		if j.State == StateRunning || j.State == StateQueued {
+			// The previous process's engine (local or leased) is gone.
+			requeued = j.State == StateRunning
+			j.State = StateQueued
+			j.Started = time.Time{}
+			j.Replica = ""
+			requeue = append(requeue, j)
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if n, err := strconv.Atoi(strings.TrimPrefix(r.ID, "job-")); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		if requeued {
+			s.persistLocked(j) // the running→queued repair must survive the next crash
+		}
+	}
+	return requeue
+}
+
+// persistLocked journals the job's current state; call with the store
+// lock held. A nil journal makes it a no-op.
+func (s *Store) persistLocked(j *Job) {
+	if s.jl == nil {
+		return
+	}
+	req, err := json.Marshal(j.Req)
+	if err != nil {
+		return
+	}
+	rec := jobstore.Record{
+		ID:        j.ID,
+		Req:       req,
+		State:     string(j.State),
+		Tenant:    j.Tenant,
+		Replica:   j.Replica,
+		Submitted: j.Submitted,
+		Started:   j.Started,
+		Finished:  j.Finished,
+		Error:     j.Error,
+	}
+	if j.Result != nil {
+		if res, err := json.Marshal(j.Result); err == nil {
+			rec.Result = res
+		}
+	}
+	s.jl.Put(rec)
+}
+
 // Add registers a new queued job and assigns its ID.
-func (s *Store) Add(req Request) *Job {
+func (s *Store) Add(req Request, tenant string) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
 	j := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.nextID),
 		Req:       req,
+		Tenant:    tenant,
 		State:     StateQueued,
 		Submitted: time.Now(),
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	s.persistLocked(j)
 	return j
 }
 
@@ -51,6 +145,9 @@ func (s *Store) Remove(id string) {
 			break
 		}
 	}
+	if s.jl != nil {
+		s.jl.Delete(id)
+	}
 }
 
 // View snapshots one job.
@@ -64,20 +161,41 @@ func (s *Store) View(id string) (View, bool) {
 	return j.view(), true
 }
 
-// Views snapshots every job in submission order.
+// Views snapshots every job in stable submission order (recovered jobs
+// keep their original positions).
 func (s *Store) Views() []View {
+	v, _ := s.Page(0, 0)
+	return v
+}
+
+// Page snapshots a window of the job list in stable submission order:
+// up to limit jobs starting at offset (limit <= 0 means all). The
+// second result is the total job count, for pagination headers.
+func (s *Store) Page(offset, limit int) ([]View, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]View, 0, len(s.order))
-	for _, id := range s.order {
+	total := len(s.order)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	out := make([]View, 0, end-offset)
+	for _, id := range s.order[offset:end] {
 		out = append(out, s.jobs[id].view())
 	}
-	return out
+	return out, total
 }
 
 // MarkRunning transitions a popped job to running and installs its
-// cancel function. It returns false when the job was cancelled while
-// queued; the worker must then skip it without running anything.
+// cancel function. It returns false when the job left the queued state
+// while waiting (cancelled, leased to another replica, or finished
+// remotely); the worker must then skip it without running anything.
 func (s *Store) MarkRunning(j *Job, cancel context.CancelFunc) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -87,6 +205,7 @@ func (s *Store) MarkRunning(j *Job, cancel context.CancelFunc) bool {
 	j.State = StateRunning
 	j.Started = time.Now()
 	j.cancel = cancel
+	s.persistLocked(j)
 	return true
 }
 
@@ -99,6 +218,147 @@ func (s *Store) Finish(j *Job, state State, res *Result, errMsg string) {
 	j.Result = res
 	j.Error = errMsg
 	j.cancel = nil
+	s.persistLocked(j)
+	s.wakeLocked(j)
+}
+
+// Lease transitions queued jobs to running on behalf of a remote
+// replica: up to max jobs (in submission order) are marked running with
+// the stealer's identity and a lease deadline, and returned for the
+// stealer to execute. Cancelled or already-claimed jobs are skipped.
+// The pool's queue channel still holds these jobs; when a local worker
+// eventually pops one, MarkRunning sees the non-queued state and skips.
+func (s *Store) Lease(replica string, max int, expiry time.Time) []*Job {
+	if max <= 0 || replica == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, id := range s.order {
+		if len(out) >= max {
+			break
+		}
+		j := s.jobs[id]
+		if j.State != StateQueued {
+			continue
+		}
+		j.State = StateRunning
+		j.Started = time.Now()
+		j.Replica = replica
+		j.LeaseExpiry = expiry
+		s.persistLocked(j)
+		out = append(out, j)
+	}
+	return out
+}
+
+// ExpireLeases requeues remote jobs whose lease has lapsed (the stealer
+// died or stalled): state returns to queued and the jobs are returned
+// for re-enqueueing. Rerunning is safe — verdicts are deterministic,
+// and a late remote result for a requeued job is still accepted while
+// the local rerun is in flight (first terminal transition wins).
+func (s *Store) ExpireLeases(now time.Time) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State != StateRunning || j.Replica == "" || j.LeaseExpiry.IsZero() || now.Before(j.LeaseExpiry) {
+			continue
+		}
+		j.State = StateQueued
+		j.Started = time.Time{}
+		j.Replica = ""
+		j.LeaseExpiry = time.Time{}
+		s.persistLocked(j)
+		out = append(out, j)
+	}
+	return out
+}
+
+// FinishRemote records a result posted back by a stealer. The job must
+// not already be terminal; a requeued-but-not-yet-rerun job is
+// accepted (its local rerun will be skipped by the MarkRunning guard).
+// wasRunning reports whether the job occupied the running gauge.
+func (s *Store) FinishRemote(id, replica string, state State, res *Result, errMsg string) (View, bool, error) {
+	if !state.Terminal() {
+		return View{}, false, fmt.Errorf("non-terminal result state %q", state)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, false, ErrNotFound
+	}
+	if j.State.Terminal() {
+		return View{}, false, ErrFinished
+	}
+	wasRunning := j.State == StateRunning
+	if j.cancel != nil {
+		// A local worker picked it up (e.g. after lease expiry): stop it.
+		j.cancel()
+		j.cancel = nil
+	}
+	j.State = state
+	j.Finished = time.Now()
+	j.Result = res
+	j.Error = errMsg
+	if replica != "" {
+		j.Replica = replica
+	}
+	j.LeaseExpiry = time.Time{}
+	s.persistLocked(j)
+	s.wakeLocked(j)
+	return j.view(), wasRunning, nil
+}
+
+// AppendProgress records one per-round streaming event and wakes
+// streamers. Progress is in-memory only: it narrates a live run and is
+// superseded by the final result.
+func (s *Store) AppendProgress(j *Job, ev ProgressEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev.Seq = len(j.progress)
+	j.progress = append(j.progress, ev)
+	s.wakeLocked(j)
+}
+
+// wakeLocked wakes every goroutine waiting on the job's notify channel;
+// call with the store lock held.
+func (s *Store) wakeLocked(j *Job) {
+	if j.notify != nil {
+		close(j.notify)
+		j.notify = nil
+	}
+}
+
+// ProgressSince returns the job's progress events from sequence number
+// from on, the job's current state, and a channel that closes on the
+// next change (more events, or a terminal transition) — the blocking
+// primitive under both streaming endpoints. The channel is nil when the
+// job is already terminal.
+func (s *Store) ProgressSince(id string, from int) ([]ProgressEvent, State, <-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, "", nil, ErrNotFound
+	}
+	var evs []ProgressEvent
+	if from < 0 {
+		from = 0
+	}
+	if from < len(j.progress) {
+		evs = append(evs, j.progress[from:]...)
+	}
+	if j.State.Terminal() {
+		return evs, j.State, nil, nil
+	}
+	if j.notify == nil {
+		j.notify = make(chan struct{})
+	}
+	return evs, j.State, j.notify, nil
 }
 
 // Cancellation errors.
@@ -126,12 +386,15 @@ func (s *Store) RequestCancel(id string) (State, error) {
 		j.State = StateCancelled
 		j.CancelRequested = true
 		j.Finished = time.Now()
+		s.persistLocked(j)
+		s.wakeLocked(j)
 		return StateCancelled, nil
 	case j.State == StateRunning:
 		j.CancelRequested = true
 		if j.cancel != nil {
 			j.cancel()
 		}
+		s.persistLocked(j)
 		return StateRunning, nil
 	default:
 		return j.State, ErrFinished
@@ -147,4 +410,18 @@ func (s *Store) Counts() map[State]int {
 		out[j.State]++
 	}
 	return out
+}
+
+// ActiveByTenant counts the tenant's live (queued or running) jobs, the
+// budget the TenantMaxActive limit is enforced against.
+func (s *Store) ActiveByTenant(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.Tenant == tenant && (j.State == StateQueued || j.State == StateRunning) {
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,240 @@
+// Package sharedcache is the cross-replica solver-query cache tier: a
+// directory shared by every concolicd replica (and CLI run) of a fleet,
+// holding solved query verdicts keyed by cross-process-stable digests.
+// One replica solves a query; every other replica answers it from disk.
+//
+// Layout: a single append-only JSONL log (`queries.jsonl`). Writers
+// append whole lines with O_APPEND — on a local filesystem each append
+// lands atomically at the tail, so concurrent replicas interleave lines
+// but never interleave bytes within a line. Readers tail the log
+// incrementally: each Lookup miss re-scans only the bytes appended since
+// the last scan, so another replica's entries become visible without any
+// coordination, watcher, or server. A torn tail (a crash mid-append, or
+// a reader racing a writer mid-line) parks the read offset at the start
+// of the incomplete line and retries on the next refresh.
+//
+// Keys are opaque strings chosen by the caller; they must be stable
+// across processes and JSON-safe. The solver layer keys entries with
+// hex-encoded sym.DigestKey digests plus the conflict budget, so an
+// entry is a pure function of the query — which is what keeps verdicts
+// byte-identical whether they were solved locally or served from the
+// tier. Statuses are stored as plain ints to keep this package below the
+// solver in the dependency order; the solver layer owns the mapping.
+package sharedcache
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Entry is one persisted query verdict.
+type Entry struct {
+	Key       string            `json:"k"`
+	Status    int               `json:"s"`
+	Conflicts int64             `json:"n,omitempty"`
+	Model     map[string]uint64 `json:"m,omitempty"`
+}
+
+// Stats counts tier traffic since Open.
+type Stats struct {
+	Entries   int   // entries visible in memory
+	Hits      int64 // lookups answered
+	Misses    int64 // lookups that stayed unanswered after a refresh
+	Stores    int64 // entries this process appended
+	Refreshes int64 // incremental log re-scans
+}
+
+const logName = "queries.jsonl"
+
+// Tier is one process's handle on a shared cache directory. Safe for
+// concurrent use; multiple processes may hold handles on one directory.
+type Tier struct {
+	mu      sync.Mutex
+	dir     string
+	log     *os.File // O_APPEND writer
+	entries map[string]Entry
+	offset  int64 // bytes of the log already scanned
+	stats   Stats
+}
+
+// Open opens (creating if needed) the tier rooted at dir and loads the
+// entries already on disk.
+func Open(dir string) (*Tier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sharedcache: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sharedcache: %w", err)
+	}
+	if err := terminateTail(dir, f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	t := &Tier{dir: dir, log: f, entries: make(map[string]Entry)}
+	t.mu.Lock()
+	err = t.refreshLocked()
+	t.mu.Unlock()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// terminateTail closes off a torn final line left by a crashed writer:
+// without this, the first append of the new session would fuse onto the
+// partial line and be lost as garbage on the next replay. Appends are
+// single atomic writes, so a missing trailing newline can only be crash
+// damage; should another replica sneak an append in between the check
+// and the repair, the extra newline merely makes one empty line, which
+// replay skips.
+func terminateTail(dir string, log *os.File) error {
+	f, err := os.Open(filepath.Join(dir, logName))
+	if err != nil {
+		return fmt.Errorf("sharedcache: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("sharedcache: %w", err)
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	var last [1]byte
+	if _, err := f.ReadAt(last[:], st.Size()-1); err != nil {
+		return fmt.Errorf("sharedcache: %w", err)
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	if _, err := log.Write([]byte{'\n'}); err != nil {
+		return fmt.Errorf("sharedcache: %w", err)
+	}
+	return nil
+}
+
+// refreshLocked scans log bytes appended since the last scan into the
+// in-memory map. A line that does not parse — torn tail, or a writer
+// caught mid-append — stops the scan with the offset parked at its
+// start, so the next refresh retries it.
+func (t *Tier) refreshLocked() error {
+	f, err := os.Open(filepath.Join(t.dir, logName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sharedcache: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(t.offset, io.SeekStart); err != nil {
+		return fmt.Errorf("sharedcache: %w", err)
+	}
+	t.stats.Refreshes++
+	r := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// No trailing newline yet: an append in flight (or a torn
+			// tail). Leave the offset at the line start and retry later.
+			return nil
+		}
+		var e Entry
+		if json.Unmarshal(line, &e) != nil || e.Key == "" {
+			// A complete but undecodable line is a torn tail from a crash:
+			// skip it for good, or the log would jam here forever.
+			t.offset += int64(len(line))
+			continue
+		}
+		t.offset += int64(len(line))
+		if _, ok := t.entries[e.Key]; !ok {
+			t.entries[e.Key] = e
+		}
+	}
+}
+
+// Lookup returns the persisted verdict for key, refreshing from disk on
+// a memory miss so other replicas' appends are observed. The model map
+// is a copy.
+func (t *Tier) Lookup(key string) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok {
+		if err := t.refreshLocked(); err == nil {
+			e, ok = t.entries[key]
+		}
+	}
+	if !ok {
+		t.stats.Misses++
+		return Entry{}, false
+	}
+	t.stats.Hits++
+	if e.Model != nil {
+		m := make(map[string]uint64, len(e.Model))
+		for k, v := range e.Model {
+			m[k] = v
+		}
+		e.Model = m
+	}
+	return e, true
+}
+
+// Store persists a query verdict. An entry already visible under the
+// same key is kept (verdicts are pure functions of the key, so any copy
+// serves); the append is a single write so concurrent replicas never
+// interleave partial lines.
+func (t *Tier) Store(e Entry) {
+	if e.Key == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.entries[e.Key]; ok {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	if _, err := t.log.Write(append(b, '\n')); err != nil {
+		return
+	}
+	t.entries[e.Key] = e
+	t.stats.Stores++
+}
+
+// Stats returns the tier's traffic counters.
+func (t *Tier) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.Entries = len(t.entries)
+	return s
+}
+
+// Close releases the log handle. Entries are already durable — every
+// Store was a direct append.
+func (t *Tier) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.log == nil {
+		return nil
+	}
+	err := t.log.Close()
+	t.log = nil
+	if err != nil {
+		return fmt.Errorf("sharedcache: %w", err)
+	}
+	return nil
+}

@@ -26,14 +26,28 @@ import (
 // bypass the cache. Unknown verdicts caused by the wall-clock deadline
 // (as opposed to the deterministic conflict budget) are not stored.
 //
+// A Cache may be backed by a shared tier (SetShared): a persistent,
+// cross-replica QueryCache consulted on LRU misses and written through
+// on solves, keyed by cross-process-stable digests ("d:" +
+// sym.DigestKey + ":" + conflict budget). Because tier entries hold the
+// same seed-independent raw results the LRU holds, a tier hit is
+// bit-for-bit what a local solve would have produced — replicas share
+// work without perturbing verdicts. Entries that arrived from the tier
+// are tagged, and the SharedServed counter charges both the direct tier
+// hit and every later LRU re-hit on such an entry: it answers "how many
+// queries were decided by someone else's solve".
+//
 // A Cache is safe for concurrent use by multiple goroutines.
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	ll      *list.List // front = most recent
 	entries map[string]*list.Element
+	shared  QueryCache
 
-	hits, misses, evictions, bypasses uint64
+	hits, misses, evictions, bypasses      uint64
+	sharedHits, sharedMisses, sharedStores uint64
+	sharedServed                           uint64
 }
 
 // DefaultCacheSize is the entry bound used when NewCache is given a
@@ -41,8 +55,9 @@ type Cache struct {
 const DefaultCacheSize = 4096
 
 type cacheEntry struct {
-	key string
-	res cachedResult
+	key        string
+	res        cachedResult
+	fromShared bool // entry arrived from the shared tier, not a local solve
 }
 
 // cachedResult is the seed-independent part of a Solve outcome.
@@ -52,9 +67,15 @@ type cachedResult struct {
 	model     map[string]uint64 // raw model; nil unless status is sat
 }
 
-// CacheStats is a snapshot of the cache counters.
+// CacheStats is a snapshot of the cache counters. The Shared* counters
+// cover the tier behind SetShared: SharedHits/SharedMisses count tier
+// consults on LRU misses, SharedStores counts write-throughs, and
+// SharedServed counts queries answered by a shared-born entry — the
+// direct tier hit plus every later LRU re-hit on it.
 type CacheStats struct {
 	Hits, Misses, Evictions, Bypasses uint64
+	SharedHits, SharedMisses          uint64
+	SharedStores, SharedServed        uint64
 	Len                               int
 }
 
@@ -78,6 +99,15 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
+// SetShared installs (or, with nil, removes) the persistent tier
+// consulted on LRU misses. Call before the cache is in use; the tier
+// must be safe for concurrent use.
+func (c *Cache) SetShared(q QueryCache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shared = q
+}
+
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
@@ -85,6 +115,8 @@ func (c *Cache) Stats() CacheStats {
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses,
 		Evictions: c.evictions, Bypasses: c.bypasses,
+		SharedHits: c.sharedHits, SharedMisses: c.sharedMisses,
+		SharedStores: c.sharedStores, SharedServed: c.sharedServed,
 		Len: c.ll.Len(),
 	}
 }
@@ -119,6 +151,30 @@ func (c *Cache) SolveContext(ctx context.Context, constraints []sym.Expr, opts O
 		return finishBV(res, constraints, opts), nil
 	}
 
+	// LRU miss: consult the shared tier before paying for a solve. The
+	// digest key is computed only here — intern-id keys stay the fast
+	// path for the (far more common) local hits.
+	c.mu.Lock()
+	shared := c.shared
+	c.mu.Unlock()
+	var sharedKey string
+	if shared != nil {
+		sharedKey = "d:" + sym.DigestKey(constraints) + ":" + strconv.FormatInt(opts.MaxConflicts, 10)
+		if e, ok := shared.Lookup(sharedKey); ok {
+			if res, ok := validateShared(e, constraints); ok {
+				c.mu.Lock()
+				c.sharedHits++
+				c.sharedServed++
+				c.mu.Unlock()
+				c.storeTagged(key, cachedResult{status: res.status, conflicts: res.conflicts, model: cloneEnv(res.model)}, true)
+				return finishBV(res, constraints, opts), nil
+			}
+		}
+		c.mu.Lock()
+		c.sharedMisses++
+		c.mu.Unlock()
+	}
+
 	st, model, conflicts, timedOut, err := solveBV(ctx, constraints, opts)
 	if err != nil {
 		return Result{}, err
@@ -126,6 +182,12 @@ func (c *Cache) SolveContext(ctx context.Context, constraints []sym.Expr, opts O
 	res := cachedResult{status: st, conflicts: conflicts, model: model}
 	if !timedOut {
 		c.store(key, cachedResult{status: st, conflicts: conflicts, model: cloneEnv(model)})
+		if shared != nil {
+			shared.Store(sharedKey, CachedResult{Status: st, Conflicts: conflicts, Model: cloneEnv(model)})
+			c.mu.Lock()
+			c.sharedStores++
+			c.mu.Unlock()
+		}
 	}
 	return finishBV(res, constraints, opts), nil
 }
@@ -149,13 +211,22 @@ func (c *Cache) lookup(key string) (cachedResult, bool) {
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		return el.Value.(*cacheEntry).res, true
+		e := el.Value.(*cacheEntry)
+		if e.fromShared {
+			// A repeat of a query someone else solved: still their work.
+			c.sharedServed++
+		}
+		return e.res, true
 	}
 	c.misses++
 	return cachedResult{}, false
 }
 
 func (c *Cache) store(key string, res cachedResult) {
+	c.storeTagged(key, res, false)
+}
+
+func (c *Cache) storeTagged(key string, res cachedResult, fromShared bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -163,7 +234,7 @@ func (c *Cache) store(key string, res cachedResult) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, fromShared: fromShared})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

@@ -3,6 +3,7 @@ package sym
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"hash"
 )
 
@@ -40,6 +41,23 @@ func CanonicalKey(exprs []Expr) string {
 		binary.LittleEndian.PutUint64(buf[1+8*i:], id)
 	}
 	return string(buf)
+}
+
+// DigestKey returns a compact cross-process-stable key for a constraint
+// slice: the hex rendering of each constraint's 8-byte structural digest
+// (see Digest), in order. Unlike CanonicalKey it never depends on intern
+// ids, so two replicas building the same system — in different processes,
+// in different construction orders — produce the same key; unlike
+// StableKey it is 8 bytes per constraint instead of one sha-256 walk over
+// the whole system, so it stays O(1) per interned constraint. Distinct
+// systems collide with probability ~2^-64 per constraint pair; consumers
+// needing exactness (the in-process cache) use CanonicalKey instead.
+func DigestKey(exprs []Expr) string {
+	buf := make([]byte, 8*len(exprs))
+	for i, e := range exprs {
+		binary.LittleEndian.PutUint64(buf[8*i:], Digest(e))
+	}
+	return hex.EncodeToString(buf)
 }
 
 // StableKey returns a sha-256 digest of the constraint slice that is
