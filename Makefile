@@ -6,9 +6,10 @@ GO ?= go
 # packages under the race detector, short fuzz smokes on the solver
 # cache key, the interning equivalence property, the COW memory
 # (clone/write vs a deep-copy reference model), the incremental/
-# fresh solver equivalence, the portfolio/fresh equivalence and the
-# job-journal replay (against an in-memory reference model), then the
-# full suite.
+# fresh solver equivalence, the portfolio/fresh equivalence, the
+# job-journal replay (against an in-memory reference model) and the
+# symbolic-store weak-update image (against a concrete-memory reference
+# model), then the full suite.
 ci: vet build race fuzz test
 
 vet:
@@ -18,7 +19,8 @@ build:
 	$(GO) build ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/sym/... ./internal/sat/... ./internal/bitblast/... ./internal/core/... ./internal/cover/... ./internal/mutate/... ./internal/solver/... ./internal/exchange/... ./internal/warmstore/... ./internal/service/... ./internal/mem/... ./internal/gos/... ./internal/lift/... ./internal/jobstore/... ./internal/sharedcache/...
+	$(GO) test -race -count=1 ./internal/sym/... ./internal/sat/... ./internal/bitblast/... ./internal/core/... ./internal/cover/... ./internal/mutate/... ./internal/solver/... ./internal/exchange/... ./internal/warmstore/... ./internal/service/... ./internal/mem/... ./internal/gos/... ./internal/lift/... ./internal/jobstore/... ./internal/sharedcache/... ./internal/bombs/... ./internal/symexec/...
+	$(GO) test -race -count=1 -run 'TestGridExtended' ./internal/eval/
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCanonicalKey -fuzztime=5s ./internal/sym/
@@ -28,6 +30,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPortfolioEquivalence -fuzztime=5s ./internal/solver/
 	$(GO) test -run '^$$' -fuzz FuzzMutateDeterminism -fuzztime=5s ./internal/mutate/
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime=5s ./internal/jobstore/
+	$(GO) test -run '^$$' -fuzz FuzzSymbolicWriteEquivalence -fuzztime=5s ./internal/symexec/
 
 test:
 	$(GO) test ./...

@@ -69,6 +69,8 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 0, "per-tenant submission burst (0 = 1)")
 	tenantMax := flag.Int("tenant-max-active", 0,
 		"per-tenant cap on queued+running jobs (0 = unlimited)")
+	categories := flag.String("categories", "",
+		"comma-separated bomb categories this replica serves, e.g. accuracy,scalability,extended (empty = all)")
 	flag.Parse()
 
 	var warm *warmstore.Store
@@ -106,6 +108,12 @@ func main() {
 			peerList = append(peerList, strings.TrimRight(p, "/"))
 		}
 	}
+	var catList []string
+	for _, c := range strings.Split(*categories, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			catList = append(catList, c)
+		}
+	}
 
 	srv := service.New(service.Config{
 		QueueDepth:      *queue,
@@ -120,6 +128,7 @@ func main() {
 		RatePerSec:      *rate,
 		RateBurst:       *rateBurst,
 		TenantMaxActive: *tenantMax,
+		Categories:      catList,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

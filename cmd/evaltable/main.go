@@ -21,6 +21,8 @@ func main() {
 	fig3 := flag.Bool("fig3", false, "render the Figure 3 comparison")
 	negative := flag.Bool("negative", false, "render the negative-bomb study")
 	reference := flag.Bool("reference", false, "render the reference-engine extension table")
+	extended := flag.Bool("extended", false,
+		"render Table II-extended (the TIFS-2018 taxonomy corpus; composes with -json, -diag, -fleet and the grid knobs)")
 	extras := flag.Bool("extras", false, "render the extension-bomb study (loop, retjump, array3)")
 	diag := flag.Bool("diag", false, "with -table2: print per-cell root-cause diagnostics")
 	workers := flag.Int("workers", 0, "concurrent Table II cells (0 = all CPUs, 1 = sequential)")
@@ -98,7 +100,11 @@ func main() {
 					endpoints = append(endpoints, strings.TrimRight(e, "/"))
 				}
 			}
-			g, err := eval.RunTableIIFleet(eval.FleetOptions{
+			run := eval.RunTableIIFleet
+			if *extended {
+				run = eval.RunTableIIExtendedFleet
+			}
+			g, err := run(eval.FleetOptions{
 				EngineWorkers: 0, SolverMode: mode,
 				Strategy: strat, Fuzz: *fuzz, CoverGoal: *coverGoal,
 			}, endpoints)
@@ -108,10 +114,14 @@ func main() {
 			}
 			return g
 		}
-		return eval.RunTableII(eval.Options{
+		opts := eval.Options{
 			Workers: *workers, Checkpoint: pol, SolverMode: mode, Warm: warm,
 			Strategy: strat, Fuzz: *fuzz, CoverGoal: *coverGoal,
-		})
+		}
+		if *extended {
+			return eval.RunTableIIExtended(opts)
+		}
+		return eval.RunTableII(opts)
 	}
 
 	if *jsonOut {
@@ -125,13 +135,13 @@ func main() {
 		return
 	}
 
-	if !*table1 && !*table2 && !*fig3 && !*negative && !*reference && !*extras {
+	if !*table1 && !*table2 && !*fig3 && !*negative && !*reference && !*extras && !*extended {
 		*all = true
 	}
 	if *all || *table1 {
 		fmt.Println(eval.RenderTableI())
 	}
-	if *all || *table2 {
+	if *all || *table2 || *extended {
 		g := runTableII()
 		fmt.Println(eval.RenderTableII(g))
 		if *diag {

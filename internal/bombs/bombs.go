@@ -31,6 +31,12 @@ const (
 	// stages — the solver stress suite's engine-level counterpart. Not
 	// part of the paper's Table II.
 	Stress Category = "stress"
+	// Extended bombs cover the TIFS-2018 follow-up taxonomy categories
+	// absent from the DSN Table II: parallel programs, symbolic memory
+	// writes, contextual values beyond time/pid, and covert propagation
+	// through laundering tricks. They form Table II-extended and carry a
+	// Taxonomy tag instead of a paper row.
+	Extended Category = "extended"
 )
 
 // Challenge names, matching the paper's Table I / Table II rows.
@@ -47,6 +53,7 @@ const (
 	ChNegative      = "Negative Predicate"
 	ChLoop          = "Loop" // extension: the challenge the paper defers
 	ChHardSolve     = "Hard Constraint" // stress: solver-bound factoring guards
+	ChSymbolicWrite = "Symbolic Memory Write" // extended: symbolic store addresses
 )
 
 // PaperOutcome is a Table II cell value.
@@ -73,6 +80,7 @@ type Input struct {
 	Pid     uint64
 	Web     map[string]string
 	Files   map[string][]byte
+	Env     map[string]string
 }
 
 // Default environment values for benign runs.
@@ -89,6 +97,7 @@ func (in Input) Config() gos.Config {
 		Pid:        in.Pid,
 		WebContent: in.Web,
 		Files:      in.Files,
+		Env:        in.Env,
 	}
 	if cfg.TimeNow == 0 {
 		cfg.TimeNow = DefaultTime
@@ -105,6 +114,10 @@ type Bomb struct {
 	Category    Category
 	Challenge   string
 	Description string // the Table II "Sample Case" text
+
+	// Taxonomy is the TIFS-2018 follow-up taxonomy slug for extended
+	// bombs (e.g. "parallel-program"); empty for the DSN-era corpus.
+	Taxonomy string
 
 	Source string // LB64 assembly for the program unit
 
@@ -187,6 +200,18 @@ func TableII() []*Bomb {
 	return out
 }
 
+// TableIIExtended returns the Table II-extended corpus: the TIFS-2018
+// taxonomy categories added on top of the DSN benchmark.
+func TableIIExtended() []*Bomb {
+	var out []*Bomb
+	for _, b := range registry {
+		if b.Category == Extended {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // ByName returns the named bomb.
 func ByName(name string) (*Bomb, bool) {
 	for _, b := range registry {
@@ -204,6 +229,7 @@ var ChallengeStages = map[string][]PaperOutcome{
 	ChCovertProp:    {Es2, Es3},
 	ChParallel:      {Es2, Es3},
 	ChSymbolicArray: {Es3},
+	ChSymbolicWrite: {Es3},
 	ChContextual:    {Es3},
 	ChSymbolicJump:  {Es3},
 	ChFloat:         {Es3},

@@ -8,8 +8,11 @@ func TestRegistryShape(t *testing.T) {
 	if got := len(TableII()); got != 22 {
 		t.Errorf("Table II bombs = %d, want 22", got)
 	}
-	if got := len(All()); got != 30 {
-		t.Errorf("total bombs = %d, want 30 (22 + negpow + 2 fig3 + 3 extensions + 2 stress)", got)
+	if got := len(All()); got != 43 {
+		t.Errorf("total bombs = %d, want 43 (22 + negpow + 2 fig3 + 3 extensions + 2 stress + 13 extended)", got)
+	}
+	if got := len(TableIIExtended()); got != 13 {
+		t.Errorf("extended bombs = %d, want 13", got)
 	}
 	seen := make(map[string]bool)
 	for _, b := range All() {
@@ -46,6 +49,37 @@ func TestCategoryCounts(t *testing.T) {
 	for ch, n := range want {
 		if counts[ch] != n {
 			t.Errorf("%s: %d bombs, want %d", ch, counts[ch], n)
+		}
+	}
+}
+
+func TestExtendedCorpusShape(t *testing.T) {
+	counts := map[string]int{}
+	taxonomies := map[string]bool{}
+	for _, b := range TableIIExtended() {
+		counts[b.Challenge]++
+		if b.Taxonomy == "" {
+			t.Errorf("%s: extended bomb without taxonomy tag", b.Name)
+		}
+		taxonomies[b.Taxonomy] = true
+	}
+	want := map[string]int{
+		ChParallel:      4,
+		ChSymbolicWrite: 3,
+		ChContextual:    3,
+		ChCovertProp:    3,
+	}
+	for ch, n := range want {
+		if counts[ch] != n {
+			t.Errorf("%s: %d extended bombs, want %d", ch, counts[ch], n)
+		}
+	}
+	if len(taxonomies) < 4 {
+		t.Errorf("extended taxonomy slugs = %d, want >= 4", len(taxonomies))
+	}
+	for _, b := range All() {
+		if b.Category != Extended && b.Taxonomy != "" {
+			t.Errorf("%s: taxonomy tag on a non-extended bomb", b.Name)
 		}
 	}
 }

@@ -1,5 +1,7 @@
 package bombs
 
+import "bytes"
+
 // The bomb programs. Each `main` receives argc in r1 and argv in r2 per
 // the crt0 convention; the trigger path calls `bomb` (libc BombRT), which
 // prints BOOM and exits 42. Non-trigger paths return 0.
@@ -1071,6 +1073,541 @@ main:
     mul r3, r5
     cmp r3, 268828591
     jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+
+	// ── Table II-extended: the TIFS-2018 taxonomy categories ─────────
+	// Parallel programs beyond the two DSN samples: multiple writers,
+	// producer/consumer relays, multi-process ping-pong and thread-to-
+	// kernel-store propagation.
+	{
+		Name:        "race2",
+		Category:    Extended,
+		Challenge:   ChParallel,
+		Taxonomy:    "parallel-program",
+		Description: "Two threads add constants to a shared cell; sum checked",
+		Trigger:     Input{Argv1: "13"}, // 13 + 5 + 9 == 27
+		Benign:      Input{Argv1: "1"},
+		Source: `
+adder5:
+    ld.q r6, [r1+0]
+    add  r6, 5
+    st.q [r1+0], r6
+    ret
+
+adder9:
+    ld.q r6, [r1+0]
+    add  r6, 9
+    st.q [r1+0], r6
+    ret
+
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r6, rcell
+    st.q [r6+0], r0
+    mov r0, 10             ; thread_create(adder5, rcell)
+    mov r1, adder5
+    mov r2, rcell
+    syscall
+    mov r1, r0
+    mov r0, 11             ; thread_join(tid)
+    syscall
+    mov r0, 10             ; thread_create(adder9, rcell)
+    mov r1, adder9
+    mov r2, rcell
+    syscall
+    mov r1, r0
+    mov r0, 11             ; thread_join(tid)
+    syscall
+    mov r6, rcell
+    ld.q r7, [r6+0]
+    cmp r7, 27
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+rcell: .quad 0
+`,
+	},
+	{
+		Name:        "relay",
+		Category:    Extended,
+		Challenge:   ChParallel,
+		Taxonomy:    "parallel-program",
+		Description: "Worker thread derives 3x+1 into a second cell; main checks it",
+		Trigger:     Input{Argv1: "13"}, // 3*13 + 1 == 40
+		Benign:      Input{Argv1: "2"},
+		Source: `
+relayer:
+    ld.q r6, [r1+0]
+    mul  r6, 3
+    add  r6, 1
+    st.q [r1+8], r6
+    ret
+
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r6, cells
+    st.q [r6+0], r0
+    mov r0, 10             ; thread_create(relayer, cells)
+    mov r1, relayer
+    mov r2, cells
+    syscall
+    mov r1, r0
+    mov r0, 11             ; thread_join(tid)
+    syscall
+    mov r6, cells
+    ld.q r7, [r6+8]
+    cmp r7, 40
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+cells: .space 16
+`,
+	},
+	{
+		Name:        "pingpong",
+		Category:    Extended,
+		Challenge:   ChParallel,
+		Taxonomy:    "parallel-program",
+		Description: "Parent sends x+1 to the child, child doubles it back over a second pipe",
+		Trigger:     Input{Argv1: "13"}, // (13+1)*2 == 28
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r12, r0
+    mov r0, 9              ; pipe(fds1)
+    mov r1, fds1
+    syscall
+    mov r0, 9              ; pipe(fds2)
+    mov r1, fds2
+    syscall
+    mov r0, 8              ; fork()
+    syscall
+    cmp r0, 0
+    je .child
+    add r12, 1             ; parent: send x+1
+    mov r6, pbuf
+    st.b [r6+0], r12
+    mov r0, 3              ; write(fds1[1], pbuf, 1)
+    mov r1, fds1
+    ld.q r1, [r1+8]
+    mov r2, pbuf
+    mov r3, 1
+    syscall
+    mov r0, 2              ; read(fds2[0], pbuf2, 1)
+    mov r1, fds2
+    ld.q r1, [r1+0]
+    mov r2, pbuf2
+    mov r3, 1
+    syscall
+    mov r1, pbuf2
+    ld.b r3, [r1+0]
+    cmp r3, 28
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+.child:
+    mov r0, 2              ; read(fds1[0], cbuf, 1)
+    mov r1, fds1
+    ld.q r1, [r1+0]
+    mov r2, cbuf
+    mov r3, 1
+    syscall
+    mov r6, cbuf
+    ld.b r7, [r6+0]
+    mul r7, 2
+    st.b [r6+0], r7
+    mov r0, 3              ; write(fds2[1], cbuf, 1)
+    mov r1, fds2
+    ld.q r1, [r1+8]
+    mov r2, cbuf
+    mov r3, 1
+    syscall
+    mov r0, 1              ; exit(0)
+    mov r1, 0
+    syscall
+
+    .data
+fds1:  .space 16
+fds2:  .space 16
+pbuf:  .space 8
+pbuf2: .space 8
+cbuf:  .space 8
+`,
+	},
+	{
+		Name:        "kvthread",
+		Category:    Extended,
+		Challenge:   ChParallel,
+		Taxonomy:    "parallel-program",
+		Description: "Worker thread publishes x^0x5a through the kernel store; main reads back",
+		Trigger:     Input{Argv1: "99"}, // 99 ^ 0x5a == 57
+		Benign:      Input{Argv1: "1"},
+		Source: `
+publisher:
+    ld.q r6, [r1+0]
+    xor  r6, 0x5a
+    mov r7, kbuf
+    st.b [r7+0], r6
+    mov r0, 17             ; kv_put("chan", kbuf, 1)
+    mov r1, kkey
+    mov r2, kbuf
+    mov r3, 1
+    syscall
+    ret
+
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r6, kcell
+    st.q [r6+0], r0
+    mov r0, 10             ; thread_create(publisher, kcell)
+    mov r1, publisher
+    mov r2, kcell
+    syscall
+    mov r1, r0
+    mov r0, 11             ; thread_join(tid)
+    syscall
+    mov r0, 18             ; kv_get("chan", gbuf, 1)
+    mov r1, kkey
+    mov r2, gbuf
+    mov r3, 1
+    syscall
+    mov r1, gbuf
+    ld.b r3, [r1+0]
+    cmp r3, 57
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+kkey:  .asciz "chan"
+kcell: .quad 0
+kbuf:  .space 8
+gbuf:  .space 8
+`,
+	},
+
+	// Symbolic memory writes: the store address (and possibly the stored
+	// value) derives from input — the dual of the symbolic-array loads.
+	{
+		Name:        "stwrite",
+		Category:    Extended,
+		Challenge:   ChSymbolicWrite,
+		Taxonomy:    "symbolic-memory-write",
+		Description: "Store a flag at a symbolic offset; a fixed cell is checked",
+		Trigger:     Input{Argv1: "3"}, // wtable[3] = 1 hits the checked cell
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0
+    jl .out
+    cmp r0, 9
+    jg .out
+    mov r6, wtable
+    add r6, r0
+    mov r7, 1
+    st.b [r6+0], r7        ; wtable[x] = 1
+    mov r6, wtable
+    ld.b r8, [r6+3]
+    cmp r8, 1
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+wtable: .space 10
+`,
+	},
+	{
+		Name:        "stval",
+		Category:    Extended,
+		Challenge:   ChSymbolicWrite,
+		Taxonomy:    "symbolic-memory-write",
+		Description: "Store a symbolic value at a symbolic offset; a fixed cell is checked",
+		Trigger:     Input{Argv1: "4"}, // vtable[4] = 4*3 == 12
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0
+    jl .out
+    cmp r0, 9
+    jg .out
+    mov r6, vtable
+    add r6, r0
+    mov r7, r0
+    mul r7, 3
+    st.b [r6+0], r7        ; vtable[x] = x*3
+    mov r6, vtable
+    ld.b r8, [r6+4]
+    cmp r8, 12
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+vtable: .space 10
+`,
+	},
+	{
+		Name:        "stwrite2",
+		Category:    Extended,
+		Challenge:   ChSymbolicWrite,
+		Taxonomy:    "symbolic-memory-write",
+		Description: "Symbolic load feeds a symbolic store offset (two-level write)",
+		Trigger:     Input{Argv1: "3"}, // w1[3] = 7, so w2[7] = 9 hits the check
+		Benign:      Input{Argv1: "0"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    cmp r0, 0
+    jl .out
+    cmp r0, 9
+    jg .out
+    mov r6, w1
+    add r6, r0
+    ld.b r7, [r6+0]        ; i2 = w1[x]
+    mov r6, w2
+    add r6, r7
+    mov r8, 9
+    st.b [r6+0], r8        ; w2[i2] = 9
+    mov r6, w2
+    ld.b r9, [r6+7]
+    cmp r9, 9
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+w1: .byte 4, 2, 9, 7, 0, 1, 3, 5, 8, 6
+w2: .space 10
+`,
+	},
+
+	// Contextual symbolic values beyond time/pid: the size of a file and
+	// the length/content of an environment variable.
+	{
+		Name:        "filesize",
+		Category:    Extended,
+		Challenge:   ChContextual,
+		Taxonomy:    "contextual-value",
+		Description: "Employ the size of a file (stat) in conditions",
+		Trigger:     Input{Argv1: "1", Files: map[string][]byte{"data.bin": bytes.Repeat([]byte{'x'}, 77)}},
+		Benign:      Input{Argv1: "1", Files: map[string][]byte{"data.bin": []byte("abc")}},
+		Source: `
+main:
+    mov r0, 19             ; stat("data.bin")
+    mov r1, fpath
+    syscall
+    cmp r0, 77
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+fpath: .asciz "data.bin"
+`,
+	},
+	{
+		Name:        "envlen",
+		Category:    Extended,
+		Challenge:   ChContextual,
+		Taxonomy:    "contextual-value",
+		Description: "Employ the length of an environment variable in conditions",
+		Trigger:     Input{Argv1: "1", Env: map[string]string{"SECRET": "magic77"}},
+		Benign:      Input{Argv1: "1", Env: map[string]string{"SECRET": "abc"}},
+		Source: `
+main:
+    mov r0, 20             ; getenv("SECRET", ebuf, 16)
+    mov r1, ename
+    mov r2, ebuf
+    mov r3, 16
+    syscall
+    cmp r0, 7
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+ename: .asciz "SECRET"
+ebuf:  .space 16
+`,
+	},
+	{
+		Name:        "envkey",
+		Category:    Extended,
+		Challenge:   ChContextual,
+		Taxonomy:    "contextual-value",
+		Description: "Employ the content of an environment variable in conditions",
+		Trigger:     Input{Argv1: "1", Env: map[string]string{"KEY": "mag"}},
+		Benign:      Input{Argv1: "1", Env: map[string]string{"KEY": "abc"}},
+		Source: `
+main:
+    mov r0, 20             ; getenv("KEY", kvbuf, 8)
+    mov r1, kname
+    mov r2, kvbuf
+    mov r3, 8
+    syscall
+    cmp r0, 3
+    jl .out
+    mov r1, kvbuf
+    ld.b r3, [r1+0]
+    cmp r3, 'm'
+    jne .out
+    ld.b r3, [r1+1]
+    cmp r3, 'a'
+    jne .out
+    ld.b r3, [r1+2]
+    cmp r3, 'g'
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+
+    .data
+kname: .asciz "KEY"
+kvbuf: .space 8
+`,
+	},
+
+	// Covert propagation through laundering tricks: the wait exit-status
+	// channel and round-trips through the FP unit and an external pow.
+	{
+		Name:        "waitstatus",
+		Category:    Extended,
+		Challenge:   ChCovertProp,
+		Taxonomy:    "covert-propagation",
+		Description: "Child exits with a derived status; parent branches on wait's result",
+		Trigger:     Input{Argv1: "13"}, // (13*3) & 0x7f == 39
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r12, r0
+    mov r0, 8              ; fork()
+    syscall
+    cmp r0, 0
+    je .child
+    mov r1, r0             ; wait(child)
+    mov r0, 16
+    syscall
+    cmp r0, 39
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+.child:
+    mul r12, 3
+    and r12, 0x7f
+    mov r0, 1              ; exit((x*3) & 0x7f)
+    mov r1, r12
+    syscall
+`,
+	},
+	{
+		Name:        "fplaunder",
+		Category:    Extended,
+		Challenge:   ChCovertProp,
+		Taxonomy:    "covert-propagation",
+		Description: "Launder an integer through the FP unit (i2f, fadd, f2i)",
+		Trigger:     Input{Argv1: "13"}, // f2i(i2f(13) + 1.0) == 14
+		Benign:      Input{Argv1: "1"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atoi
+    mov r12, r0
+    i2f r12
+    movf r6, 1.0
+    fadd r12, r6
+    f2i r12
+    cmp r12, 14
+    jne .out
+    call bomb
+.out:
+    mov r0, 0
+    ret
+`,
+	},
+	{
+		Name:        "powlaunder",
+		Category:    Extended,
+		Challenge:   ChCovertProp,
+		Taxonomy:    "covert-propagation",
+		Description: "Launder a float through the external pow routine (x^1)",
+		Trigger:     Input{Argv1: "13"}, // 12.5 < fpowi(x, 1) < 13.5
+		Benign:      Input{Argv1: "10"},
+		Source: `
+main:
+    cmp r1, 2
+    jl .out
+    ld.q r1, [r2+8]
+    call atof
+    mov r1, r0
+    mov r2, 1
+    call fpowi             ; x^1: identity, but through the external call
+    movf r6, 12.5
+    fcmp r0, r6
+    jle .out               ; need x^1 > 12.5
+    movf r6, 13.5
+    fcmp r0, r6
+    jge .out               ; need x^1 < 13.5
     call bomb
 .out:
     mov r0, 0

@@ -31,10 +31,37 @@ func TestClosestSuggestsTypos(t *testing.T) {
 		{"time", "time"},      // exact names still resolve to themselves
 		{"zzzzzzzzzz", ""},    // nothing plausible
 		{"", ""},              // empty query never suggests
+		// Extended-corpus names must suggest like the original ones.
+		{"stwrit", "stwrite"},        // symbolic-write bombs
+		{"stwrite2x", "stwrite2"},    // trailing noise on a variant name
+		{"envlne", "envlen"},         // contextual bombs
+		{"filesiz", "filesize"},      // dropped final letter
+		{"waitstat", "waitstatus"},   // covert-propagation bombs
+		{"powlaundr", "powlaunder"},  // dropped letter
+		{"ping-pong", "pingpong"},    // punctuation slip
+		{"kvthred", "kvthread"},      // parallel bombs
 	}
 	for _, c := range cases {
 		if got := Closest(c.query); got != c.want {
 			t.Errorf("Closest(%q) = %q, want %q", c.query, got, c.want)
+		}
+	}
+}
+
+// TestClosestNeverPanics sweeps degenerate and adversarial queries —
+// empty, single-byte, non-ASCII, and very long strings — over the full
+// grown registry; Closest must return without panicking on all of them.
+func TestClosestNeverPanics(t *testing.T) {
+	queries := []string{"", "a", "\x00", "日本語", string(make([]byte, 1024))}
+	for _, b := range All() {
+		queries = append(queries, b.Name, b.Name+b.Name)
+	}
+	for _, q := range queries {
+		got := Closest(q)
+		if got != "" {
+			if _, ok := ByName(got); !ok {
+				t.Errorf("Closest(%q) suggested unregistered name %q", q, got)
+			}
 		}
 	}
 }

@@ -167,7 +167,9 @@ func diffInputs(base, next bombs.Input, argvAddr uint64) inputDiff {
 	d.time = base.TimeNow != next.TimeNow
 	d.pid = base.Pid != next.Pid
 	d.web = !webEqual(base.Web, next.Web)
-	d.other = !filesEqual(base.Files, next.Files)
+	// File and env changes invalidate the whole trace (stat results, fd
+	// contents and getenv data can flow anywhere): no snapshot sharing.
+	d.other = !filesEqual(base.Files, next.Files) || !webEqual(base.Env, next.Env)
 	return d
 }
 

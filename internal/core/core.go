@@ -799,6 +799,32 @@ func inputKey(in bombs.Input) string {
 			b.WriteString(in.Web[k])
 		}
 	}
+	if len(in.Files) > 0 {
+		fileKeys := make([]string, 0, len(in.Files))
+		for k := range in.Files {
+			fileKeys = append(fileKeys, k)
+		}
+		sort.Strings(fileKeys)
+		for _, k := range fileKeys {
+			b.WriteByte(0)
+			b.WriteString(k)
+			b.WriteByte(2)
+			b.Write(in.Files[k])
+		}
+	}
+	if len(in.Env) > 0 {
+		envKeys := make([]string, 0, len(in.Env))
+		for k := range in.Env {
+			envKeys = append(envKeys, k)
+		}
+		sort.Strings(envKeys)
+		for _, k := range envKeys {
+			b.WriteByte(0)
+			b.WriteString(k)
+			b.WriteByte(3)
+			b.WriteString(in.Env[k])
+		}
+	}
 	return b.String()
 }
 

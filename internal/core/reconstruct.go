@@ -17,6 +17,7 @@ func reconstruct(model, seed map[string]uint64, cur bombs.Input, caps Capabiliti
 	next = cur
 	next.Web = cloneStrMap(cur.Web)
 	next.Files = cloneBytesMap(cur.Files)
+	next.Env = cloneStrMap(cur.Env)
 
 	// argv[1]: read byte variables until the first NUL.
 	var raw []byte
@@ -54,6 +55,8 @@ func reconstruct(model, seed map[string]uint64, cur bombs.Input, caps Capabiliti
 		next.Pid = v
 	}
 	reconstructWeb(model, seed, &next)
+	reconstructFiles(model, &next)
+	reconstructEnv(model, seed, &next)
 
 	realized = inputKey(next) != inputKey(cur)
 	return next, realized, truncated
@@ -108,6 +111,123 @@ func reconstructWeb(model, seed map[string]uint64, next *bombs.Input) {
 		}
 		next.Web[u] = string(body)
 	}
+}
+
+// reconstructFiles resizes files to satisfy "filesize:<path>" model
+// variables: the size is the input facet, the content bytes only need to
+// exist, so the current content is truncated or padded.
+func reconstructFiles(model map[string]uint64, next *bombs.Input) {
+	const maxFileSize = 4096
+	paths := make([]string, 0, 1)
+	for name := range model {
+		if p, ok := statPath(name); ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		want := int64(model["filesize:"+p])
+		if want < 0 {
+			delete(next.Files, p) // the model wants stat to keep failing
+			continue
+		}
+		if want > maxFileSize {
+			want = maxFileSize
+		}
+		data := next.Files[p]
+		for int64(len(data)) < want {
+			data = append(data, 'x')
+		}
+		data = data[:want]
+		if next.Files == nil {
+			next.Files = make(map[string][]byte)
+		}
+		next.Files[p] = data
+	}
+}
+
+// reconstructEnv rebuilds requested environment variables from
+// "getenv:<NAME>!ret" and "getenv:<NAME>[i]" model variables, mirroring
+// reconstructWeb.
+func reconstructEnv(model, seed map[string]uint64, next *bombs.Input) {
+	const maxValue = 64
+	names := make(map[string]bool)
+	for name := range model {
+		if n, ok := getenvName(name); ok {
+			names[n] = true
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, en := range sorted {
+		retName := "getenv:" + en + "!ret"
+		n := int64(0)
+		if v, ok := model[retName]; ok {
+			n = int64(v)
+		} else if v, ok := seed[retName]; ok {
+			n = int64(v)
+		}
+		if n < 0 {
+			delete(next.Env, en) // the model wants the variable unset
+			continue
+		}
+		if n > maxValue {
+			n = maxValue
+		}
+		val := make([]byte, n)
+		for i := range val {
+			name := "getenv:" + en + "[" + strconv.Itoa(i) + "]"
+			switch {
+			case hasKey(model, name):
+				val[i] = byte(model[name])
+			case hasKey(seed, name):
+				val[i] = byte(seed[name])
+			default:
+				val[i] = 'x' // unconstrained filler
+			}
+		}
+		if next.Env == nil {
+			next.Env = make(map[string]string)
+		}
+		next.Env[en] = string(val)
+	}
+}
+
+// statPath extracts the path from a "filesize:<path>" variable name,
+// rejecting env/sim prefixed ones (those cannot be realized).
+func statPath(name string) (string, bool) {
+	if symexec.IsEnvVar(name) || symexec.IsSimVar(name) {
+		return "", false
+	}
+	if !strings.HasPrefix(name, "filesize:") {
+		return "", false
+	}
+	return name[len("filesize:"):], true
+}
+
+// getenvName extracts the variable name from a getenv model variable,
+// rejecting env/sim prefixed ones.
+func getenvName(name string) (string, bool) {
+	if symexec.IsEnvVar(name) || symexec.IsSimVar(name) {
+		return "", false
+	}
+	if !strings.HasPrefix(name, "getenv:") {
+		return "", false
+	}
+	rest := name[len("getenv:"):]
+	if i := strings.LastIndexByte(rest, '!'); i >= 0 {
+		return rest[:i], true
+	}
+	if i := strings.LastIndexByte(rest, '['); i >= 0 {
+		return rest[:i], true
+	}
+	return "", false
 }
 
 func hasKey(m map[string]uint64, k string) bool {

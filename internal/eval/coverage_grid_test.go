@@ -90,8 +90,8 @@ func TestGridCoverageDifferential(t *testing.T) {
 		rows = append(rows, b)
 	}
 
-	gen := runGrid(withSearch(fast, core.SearchGenerational, false), rows, 0)
-	cov := runGrid(withSearch(fast, core.SearchCoverage, true), rows, 0)
+	gen := runGrid(withSearch(fast, core.SearchGenerational, false), rows, 0, true)
+	cov := runGrid(withSearch(fast, core.SearchCoverage, true), rows, 0, true)
 	solved := diffCoverageLabels(t, cov, gen)
 
 	// The comparison would hold trivially on an all-error grid; require

@@ -102,11 +102,16 @@ type Cell struct {
 	Outcome *core.Outcome
 }
 
-// Grid is a completed Table II run.
+// Grid is a completed Table II (or Table II-extended) run.
 type Grid struct {
-	Tools []string
-	Rows  []*bombs.Bomb
-	Cells map[string]map[string]*Cell // bomb -> tool -> cell
+	// Title names the grid in rendered output ("TABLE II" when empty).
+	Title string
+	// HasPaper reports whether the rows carry paper outcomes to compare
+	// against; the extended corpus has none.
+	HasPaper bool
+	Tools    []string
+	Rows     []*bombs.Bomb
+	Cells    map[string]map[string]*Cell // bomb -> tool -> cell
 }
 
 // Cell returns the cell for a bomb/tool pair.
@@ -195,11 +200,8 @@ type Options struct {
 	Warm *warmstore.Store
 }
 
-// RunTableII evaluates the four Table II profiles over the 22 bombs
-// under the given options; the zero Options value reproduces the
-// historical defaults.
-func RunTableII(opts Options) *Grid {
-	profiles := tools.TableII()
+// applyOptions overlays the evaluation options onto each profile.
+func applyOptions(profiles []tools.Profile, opts Options) {
 	for i := range profiles {
 		profiles[i].Caps.Checkpoint = opts.Checkpoint
 		profiles[i].Caps.SolverMode = opts.SolverMode
@@ -215,15 +217,38 @@ func RunTableII(opts Options) *Grid {
 			profiles[i].Caps.CoverGoal = opts.CoverGoal
 		}
 	}
-	return runGrid(profiles, bombs.TableII(), opts.Workers)
 }
 
-// runGrid fans profile x bomb cells over a bounded worker pool.
-func runGrid(profiles []tools.Profile, rows []*bombs.Bomb, workers int) *Grid {
+// RunTableII evaluates the four Table II profiles over the 22 bombs
+// under the given options; the zero Options value reproduces the
+// historical defaults.
+func RunTableII(opts Options) *Grid {
+	profiles := tools.TableII()
+	applyOptions(profiles, opts)
+	g := runGrid(profiles, bombs.TableII(), opts.Workers, true)
+	g.Title = "TABLE II"
+	return g
+}
+
+// RunTableIIExtended evaluates the five extended-grid columns (the four
+// paper profiles plus the reference engine) over the TIFS-2018 taxonomy
+// corpus. The extended rows have no paper record, so cells carry no
+// paper comparison.
+func RunTableIIExtended(opts Options) *Grid {
+	profiles := tools.TableIIExtended()
+	applyOptions(profiles, opts)
+	g := runGrid(profiles, bombs.TableIIExtended(), opts.Workers, false)
+	g.Title = "TABLE II-EXTENDED"
+	return g
+}
+
+// runGrid fans profile x bomb cells over a bounded worker pool. withPaper
+// selects whether profile columns map to the rows' paper outcomes.
+func runGrid(profiles []tools.Profile, rows []*bombs.Bomb, workers int, withPaper bool) *Grid {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	g := &Grid{Cells: make(map[string]map[string]*Cell)}
+	g := &Grid{HasPaper: withPaper, Cells: make(map[string]map[string]*Cell)}
 	for _, p := range profiles {
 		g.Tools = append(g.Tools, p.Name())
 	}
@@ -232,13 +257,17 @@ func runGrid(profiles []tools.Profile, rows []*bombs.Bomb, workers int) *Grid {
 	type job struct {
 		b *bombs.Bomb
 		p tools.Profile
-		i int // paper column index
+		i int // paper column index, or -1 without a paper row
 	}
 	var jobs []job
 	for _, b := range g.Rows {
 		g.Cells[b.Name] = make(map[string]*Cell)
 		for i, p := range profiles {
-			jobs = append(jobs, job{b: b, p: p, i: i})
+			paperIdx := i
+			if !withPaper {
+				paperIdx = -1
+			}
+			jobs = append(jobs, job{b: b, p: p, i: paperIdx})
 		}
 	}
 	cells := make([]*Cell, len(jobs))
@@ -283,8 +312,16 @@ func label(o bombs.PaperOutcome) string {
 // disagreements with the paper's recorded cell.
 func RenderTableII(g *Grid) string {
 	var b strings.Builder
-	b.WriteString("TABLE II: tool performance on the logic bombs\n")
-	b.WriteString("(label = our result; [paper X] marks a deviation; * = modeled tool bug, see notes)\n\n")
+	title := g.Title
+	if title == "" {
+		title = "TABLE II"
+	}
+	b.WriteString(title + ": tool performance on the logic bombs\n")
+	if g.HasPaper {
+		b.WriteString("(label = our result; [paper X] marks a deviation; * = modeled tool bug, see notes)\n\n")
+	} else {
+		b.WriteString("(label = our result; * = modeled tool bug, see notes)\n\n")
+	}
 	fmt.Fprintf(&b, "%-11s %-10s %-56s", "Challenge", "Bomb", "Case")
 	for _, tname := range g.Tools {
 		fmt.Fprintf(&b, " %-12s", tname)
@@ -306,7 +343,7 @@ func RenderTableII(g *Grid) string {
 			if c.Overridden {
 				cell += "*"
 			}
-			if !c.Match {
+			if g.HasPaper && !c.Match {
 				cell += fmt.Sprintf(" [paper %s]", label(c.Paper))
 			}
 			fmt.Fprintf(&b, " %-12s", cell)
@@ -328,8 +365,12 @@ func RenderTableII(g *Grid) string {
 		}
 		fmt.Fprintf(&b, "%s %d", tname, solved[tname])
 	}
-	match, total := g.Matches()
-	fmt.Fprintf(&b, "\nAgreement with the paper: %d/%d cells\n", match, total)
+	if g.HasPaper {
+		match, total := g.Matches()
+		fmt.Fprintf(&b, "\nAgreement with the paper: %d/%d cells\n", match, total)
+	} else {
+		b.WriteString("\n")
+	}
 
 	var notes []string
 	seen := map[string]bool{}

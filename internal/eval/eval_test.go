@@ -207,8 +207,9 @@ func TestRenderTableIIShape(t *testing.T) {
 	// the agreement line without running the engines.
 	b, _ := bombs.ByName("time")
 	g := &Grid{
-		Tools: []string{"BAP"},
-		Rows:  []*bombs.Bomb{b},
+		HasPaper: true,
+		Tools:    []string{"BAP"},
+		Rows:     []*bombs.Bomb{b},
 		Cells: map[string]map[string]*Cell{
 			"time": {"BAP": {
 				Bomb: "time", Tool: "BAP",

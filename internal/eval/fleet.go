@@ -55,6 +55,8 @@ type fleetResult struct {
 		TimeNow uint64            `json:"time"`
 		Pid     uint64            `json:"pid"`
 		Web     map[string]string `json:"web"`
+		Files   map[string][]byte `json:"files"`
+		Env     map[string]string `json:"env"`
 	} `json:"input"`
 	Stats struct {
 		Workers           int    `json:"workers"`
@@ -96,6 +98,26 @@ type FleetOptions struct {
 // bombs on a concolicd fleet, submitting cells round-robin across the
 // endpoints and assembling the same Grid RunTableII returns.
 func RunTableIIFleet(opts FleetOptions, endpoints []string) (*Grid, error) {
+	// tools.Names() lists the wire/CLI ids in Table II order (plus the
+	// reference engine); the grid itself is keyed by display name.
+	return runFleetGrid(tools.TableII(), tools.Names()[:4], bombs.TableII(),
+		true, "TABLE II", opts, endpoints)
+}
+
+// RunTableIIExtendedFleet is RunTableIIFleet for the Table II-extended
+// corpus: the five extended columns (paper profiles plus the reference
+// engine) over the TIFS-2018 taxonomy bombs, assembling the same Grid
+// RunTableIIExtended returns.
+func RunTableIIExtendedFleet(opts FleetOptions, endpoints []string) (*Grid, error) {
+	return runFleetGrid(tools.TableIIExtended(), tools.Names(), bombs.TableIIExtended(),
+		false, "TABLE II-EXTENDED", opts, endpoints)
+}
+
+// runFleetGrid submits every profile x bomb cell round-robin over the
+// endpoints and assembles the grid from the finished jobs. wireNames
+// must parallel profiles with the service/CLI tool ids.
+func runFleetGrid(profiles []tools.Profile, wireNames []string, rows []*bombs.Bomb,
+	withPaper bool, title string, opts FleetOptions, endpoints []string) (*Grid, error) {
 	if len(endpoints) == 0 {
 		return nil, fmt.Errorf("fleet: no endpoints")
 	}
@@ -105,13 +127,8 @@ func RunTableIIFleet(opts FleetOptions, endpoints []string) (*Grid, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 10 * time.Minute
 	}
-	profiles := tools.TableII()
-	// tools.Names() lists the wire/CLI ids in Table II order (plus the
-	// reference engine); the grid itself is keyed by display name.
-	wireNames := tools.Names()
-	rows := bombs.TableII()
 
-	g := &Grid{Cells: make(map[string]map[string]*Cell)}
+	g := &Grid{Title: title, HasPaper: withPaper, Cells: make(map[string]map[string]*Cell)}
 	for _, p := range profiles {
 		g.Tools = append(g.Tools, p.Name())
 	}
@@ -148,7 +165,11 @@ func RunTableIIFleet(opts FleetOptions, endpoints []string) (*Grid, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fleet: submit %s/%s to %s: %w", b.Name, p.Name(), endpoint, err)
 			}
-			jobs = append(jobs, pending{endpoint: endpoint, jobID: id, bomb: b, profile: p, paperIdx: i})
+			paperIdx := i
+			if !withPaper {
+				paperIdx = -1
+			}
+			jobs = append(jobs, pending{endpoint: endpoint, jobID: id, bomb: b, profile: p, paperIdx: paperIdx})
 		}
 	}
 
@@ -265,7 +286,8 @@ func cellFromView(b *bombs.Bomb, p tools.Profile, paperIdx int, v *fleetView) (*
 	out.Stats.SharedCacheStores = v.Result.Stats.SharedCacheStores
 	out.Stats.SharedCacheServed = v.Result.Stats.SharedCacheServed
 	if in := v.Result.Input; in != nil {
-		out.Input = bombs.Input{Argv1: in.Argv1, TimeNow: in.TimeNow, Pid: in.Pid, Web: in.Web}
+		out.Input = bombs.Input{Argv1: in.Argv1, TimeNow: in.TimeNow, Pid: in.Pid,
+			Web: in.Web, Files: in.Files, Env: in.Env}
 	}
 
 	mech := bombs.PaperOutcome(v.Result.Label)

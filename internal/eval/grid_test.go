@@ -116,12 +116,12 @@ func TestGridCheckpointDifferential(t *testing.T) {
 		rows = append(rows, b)
 	}
 
-	on := runGrid(withCheckpoint(fast, core.CheckpointAuto), rows, 0)
-	off := runGrid(withCheckpoint(fast, core.CheckpointOff), rows, 0)
+	on := runGrid(withCheckpoint(fast, core.CheckpointAuto), rows, 0, true)
+	off := runGrid(withCheckpoint(fast, core.CheckpointOff), rows, 0, true)
 	resumes, skipped := diffGrids(t, on, off)
 
-	onC := runGrid(withCheckpoint(crypto, core.CheckpointAuto), cryptoRows, 0)
-	offC := runGrid(withCheckpoint(crypto, core.CheckpointOff), cryptoRows, 0)
+	onC := runGrid(withCheckpoint(crypto, core.CheckpointAuto), cryptoRows, 0, true)
+	offC := runGrid(withCheckpoint(crypto, core.CheckpointOff), cryptoRows, 0, true)
 	rc, sc := diffGrids(t, onC, offC)
 	resumes += rc
 	skipped += sc
@@ -152,8 +152,8 @@ func TestGridParallelMatchesSequential(t *testing.T) {
 		}
 		rows = append(rows, b)
 	}
-	seq := runGrid(fast, rows, 1)
-	par := runGrid(fast, rows, 3)
+	seq := runGrid(fast, rows, 1, true)
+	par := runGrid(fast, rows, 3, true)
 	if len(seq.Tools) != len(par.Tools) || len(seq.Rows) != len(par.Rows) {
 		t.Fatalf("grid shapes differ: %d/%d tools, %d/%d rows",
 			len(seq.Tools), len(par.Tools), len(seq.Rows), len(par.Rows))

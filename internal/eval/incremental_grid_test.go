@@ -99,12 +99,12 @@ func TestGridIncrementalDifferential(t *testing.T) {
 		rows = append(rows, b)
 	}
 
-	inc := runGrid(withSolverMode(fast, core.SolverIncremental), rows, 0)
-	fresh := runGrid(withSolverMode(fast, core.SolverFresh), rows, 0)
+	inc := runGrid(withSolverMode(fast, core.SolverIncremental), rows, 0, true)
+	fresh := runGrid(withSolverMode(fast, core.SolverFresh), rows, 0, true)
 	checks := diffLabels(t, inc, fresh, false)
 
-	incC := runGrid(withSolverMode(crypto, core.SolverIncremental), cryptoRows, 0)
-	freshC := runGrid(withSolverMode(crypto, core.SolverFresh), cryptoRows, 0)
+	incC := runGrid(withSolverMode(crypto, core.SolverIncremental), cryptoRows, 0, true)
+	freshC := runGrid(withSolverMode(crypto, core.SolverFresh), cryptoRows, 0, true)
 	checks += diffLabels(t, incC, freshC, true)
 
 	// The equivalence above would hold trivially if sessions never

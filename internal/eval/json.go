@@ -28,10 +28,15 @@ type CellJSON struct {
 
 // RowJSON is one bomb row of the grid.
 type RowJSON struct {
-	Bomb        string              `json:"bomb"`
-	Challenge   string              `json:"challenge"`
-	Description string              `json:"description"`
-	Cells       map[string]CellJSON `json:"cells"` // tool -> cell
+	Bomb        string `json:"bomb"`
+	Challenge   string `json:"challenge"`
+	Description string `json:"description"`
+	// Category is the corpus the bomb belongs to (accuracy, scalability,
+	// extended, ...); Taxonomy is the TIFS-2018 taxonomy slug carried by
+	// extended bombs only.
+	Category string              `json:"category"`
+	Taxonomy string              `json:"taxonomy,omitempty"`
+	Cells    map[string]CellJSON `json:"cells"` // tool -> cell
 }
 
 // AggStatsJSON sums the engine work profile over every cell.
@@ -78,19 +83,25 @@ type AggStatsJSON struct {
 
 // GridJSON is the full machine-readable Table II report.
 type GridJSON struct {
-	Tools  []string       `json:"tools"`
-	Rows   []RowJSON      `json:"rows"`
-	Solved map[string]int `json:"solved"` // tool -> solved cells
-	Match  int            `json:"match"`
-	Total  int            `json:"total"`
-	Stats  AggStatsJSON   `json:"stats"`
+	Title string `json:"title,omitempty"`
+	// HasPaper mirrors Grid.HasPaper: when false (the extended corpus)
+	// the cells carry no paper column and Match counts nothing.
+	HasPaper bool           `json:"has_paper"`
+	Tools    []string       `json:"tools"`
+	Rows     []RowJSON      `json:"rows"`
+	Solved   map[string]int `json:"solved"` // tool -> solved cells
+	Match    int            `json:"match"`
+	Total    int            `json:"total"`
+	Stats    AggStatsJSON   `json:"stats"`
 }
 
 // ToJSON converts a completed grid into its JSON report form.
 func ToJSON(g *Grid) *GridJSON {
 	out := &GridJSON{
-		Tools:  append([]string(nil), g.Tools...),
-		Solved: make(map[string]int),
+		Title:    g.Title,
+		HasPaper: g.HasPaper,
+		Tools:    append([]string(nil), g.Tools...),
+		Solved:   make(map[string]int),
 	}
 	for _, t := range g.Tools {
 		out.Solved[t] = 0
@@ -100,6 +111,8 @@ func ToJSON(g *Grid) *GridJSON {
 			Bomb:        bomb.Name,
 			Challenge:   bomb.Challenge,
 			Description: bomb.Description,
+			Category:    string(bomb.Category),
+			Taxonomy:    bomb.Taxonomy,
 			Cells:       make(map[string]CellJSON, len(g.Tools)),
 		}
 		for _, tool := range g.Tools {
@@ -107,10 +120,14 @@ func ToJSON(g *Grid) *GridJSON {
 			if c == nil {
 				continue
 			}
+			paper := ""
+			if g.HasPaper {
+				paper = label(c.Paper)
+			}
 			row.Cells[tool] = CellJSON{
 				Outcome:    label(c.Got),
 				Mechanical: label(c.Mechanical),
-				Paper:      label(c.Paper),
+				Paper:      paper,
 				Match:      c.Match,
 				Overridden: c.Overridden,
 				Note:       c.Note,

@@ -24,7 +24,7 @@ func TestGridJSONShape(t *testing.T) {
 		}
 		rows = append(rows, b)
 	}
-	g := runGrid(profiles, rows, 2)
+	g := runGrid(profiles, rows, 2, true)
 
 	doc := ToJSON(g)
 	if len(doc.Tools) != 2 || len(doc.Rows) != 2 {

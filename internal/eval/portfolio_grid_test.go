@@ -89,14 +89,14 @@ func TestGridPortfolioDifferential(t *testing.T) {
 		rows = append(rows, b)
 	}
 
-	fresh := runGrid(withSolverMode(fast, core.SolverFresh), rows, 0)
+	fresh := runGrid(withSolverMode(fast, core.SolverFresh), rows, 0, true)
 
 	dir := t.TempDir()
 	w1, err := warmstore.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pf := runGrid(withWarm(withSolverMode(fast, core.SolverPortfolio), w1), rows, 0)
+	pf := runGrid(withWarm(withSolverMode(fast, core.SolverPortfolio), w1), rows, 0, true)
 	if err := w1.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestGridPortfolioDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w2.Close()
-	warm := runGrid(withWarm(withSolverMode(fast, core.SolverPortfolio), w2), rows, 0)
+	warm := runGrid(withWarm(withSolverMode(fast, core.SolverPortfolio), w2), rows, 0, true)
 	races += diffPortfolioLabels(t, warm, fresh, false)
 
 	warmHits := 0
@@ -121,8 +121,8 @@ func TestGridPortfolioDifferential(t *testing.T) {
 		t.Errorf("warm-started grid never answered a query from the store")
 	}
 
-	pfC := runGrid(withSolverMode(crypto, core.SolverPortfolio), cryptoRows, 0)
-	freshC := runGrid(withSolverMode(crypto, core.SolverFresh), cryptoRows, 0)
+	pfC := runGrid(withSolverMode(crypto, core.SolverPortfolio), cryptoRows, 0, true)
+	freshC := runGrid(withSolverMode(crypto, core.SolverFresh), cryptoRows, 0, true)
 	races += diffPortfolioLabels(t, pfC, freshC, true)
 
 	// The equivalence above would hold trivially if no query ever raced;

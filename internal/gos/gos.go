@@ -36,6 +36,9 @@ type Config struct {
 	WebContent map[string]string
 	// Files pre-populates the in-memory filesystem.
 	Files map[string][]byte
+	// Env maps environment variable names to values served by the getenv
+	// system call — a contextual input surface like time and pid.
+	Env map[string]string
 	// MaxSteps bounds total executed instructions (0 = default).
 	MaxSteps int
 	// Quantum is the scheduler time slice in instructions (0 = default).

@@ -116,6 +116,12 @@ func (m *Machine) syscall(t *thread, e *trace.Entry) bool {
 	case trace.SysKvGet:
 		ret = m.sysKvGet(t, ev)
 
+	case trace.SysStat:
+		ret = m.sysStat(t, ev)
+
+	case trace.SysGetenv:
+		ret = m.sysGetenv(t, ev)
+
 	default:
 		// Unknown syscall: return -1, like ENOSYS.
 		ret = errRet
@@ -376,6 +382,40 @@ func (m *Machine) sysKvGet(t *thread, ev *trace.SysEvent) uint64 {
 	ev.Addr = buf
 	ev.Data = append([]byte(nil), data...)
 	return uint64(len(data))
+}
+
+// sysStat reports the size of a file, or -1 when it does not exist — a
+// contextual environment value (the file's size is an input surface the
+// way its contents are).
+func (m *Machine) sysStat(t *thread, ev *trace.SysEvent) uint64 {
+	path := t.proc.mem.ReadCString(ev.Args[0], 256)
+	ev.Path = path
+	data, ok := m.fs.Contents(path)
+	if !ok {
+		return errRet
+	}
+	return uint64(len(data))
+}
+
+// sysGetenv copies the value of an environment variable into a guest
+// buffer and returns its length, or -1 when the variable is unset.
+func (m *Machine) sysGetenv(t *thread, ev *trace.SysEvent) uint64 {
+	name := t.proc.mem.ReadCString(ev.Args[0], 128)
+	buf, n := ev.Args[1], clampLen(ev.Args[2])
+	ev.Path = name
+	ev.Obj = "env:" + name
+	val, ok := m.cfg.Env[name]
+	if !ok {
+		return errRet
+	}
+	data := []byte(val)
+	if len(data) > n {
+		data = data[:n]
+	}
+	t.proc.mem.Write(buf, data)
+	ev.Addr = buf
+	ev.Data = append([]byte(nil), data...)
+	return uint64(len(val))
 }
 
 func (m *Machine) wakePipeReaders(p *pipe) {

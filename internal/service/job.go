@@ -137,12 +137,15 @@ type RunStats struct {
 	SharedCacheServed uint64 `json:"sharedcache_served,omitempty"`
 }
 
-// SolvedInput is the detonating input of a solved job.
+// SolvedInput is the detonating input of a solved job. Files values are
+// base64 on the wire (encoding/json []byte convention).
 type SolvedInput struct {
 	Argv1   string            `json:"argv1"`
 	TimeNow uint64            `json:"time,omitempty"`
 	Pid     uint64            `json:"pid,omitempty"`
 	Web     map[string]string `json:"web,omitempty"`
+	Files   map[string][]byte `json:"files,omitempty"`
+	Env     map[string]string `json:"env,omitempty"`
 }
 
 // Result is a finished job's outcome. Label is exactly the Table II
@@ -192,6 +195,8 @@ func resultFrom(out *core.Outcome) *Result {
 			TimeNow: out.Input.TimeNow,
 			Pid:     out.Input.Pid,
 			Web:     out.Input.Web,
+			Files:   out.Input.Files,
+			Env:     out.Input.Env,
 		}
 	}
 	return res

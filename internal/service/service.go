@@ -21,11 +21,13 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bombs"
 	"repro/internal/jobstore"
 	"repro/internal/solver"
 	"repro/internal/tools"
@@ -78,6 +80,12 @@ type Config struct {
 	RatePerSec      float64
 	RateBurst       int
 	TenantMaxActive int
+	// Categories restricts which bomb corpora this replica accepts
+	// (concolicd -categories): submissions whose bomb belongs to a
+	// category outside the list are rejected as malformed requests.
+	// Empty means every category is served. Useful for dedicating
+	// replicas to a corpus, e.g. the extended taxonomy grid.
+	Categories []string
 }
 
 // Defaults for the work-stealing loop.
@@ -98,6 +106,7 @@ type Server struct {
 	limiter    *limiter
 	tenantMax  int
 	stealLease time.Duration
+	categories map[bombs.Category]bool // nil: every category served
 	draining   atomic.Bool
 }
 
@@ -128,6 +137,12 @@ func New(cfg Config) *Server {
 		limiter:    newLimiter(cfg.RatePerSec, cfg.RateBurst),
 		tenantMax:  cfg.TenantMaxActive,
 		stealLease: cfg.StealLease,
+	}
+	if len(cfg.Categories) > 0 {
+		s.categories = make(map[bombs.Category]bool, len(cfg.Categories))
+		for _, c := range cfg.Categories {
+			s.categories[bombs.Category(c)] = true
+		}
 	}
 	requeue := s.store.Recover(cfg.Jobs)
 	s.pool = newPool(s.store, s.metrics, cfg)
@@ -169,6 +184,14 @@ func (s *Server) SubmitAs(req Request, tenant string) (View, error) {
 	}
 	if err := req.Validate(); err != nil {
 		return View{}, &RequestError{err}
+	}
+	if s.categories != nil {
+		b, _ := bombs.ByName(req.Bomb) // Validate guarantees existence
+		if !s.categories[b.Category] {
+			return View{}, &RequestError{fmt.Errorf(
+				"bomb %q is in category %q, which this replica does not serve",
+				req.Bomb, b.Category)}
+		}
 	}
 	j := s.store.Add(req, tenant)
 	if err := s.pool.enqueue(j); err != nil {

@@ -512,8 +512,18 @@ func (x *exec) windowLoad(addrExpr sym.Expr, e *trace.Entry, size uint8) sym.Exp
 
 func (x *exec) doStore(t ir.Store, e *trace.Entry) {
 	rs := x.regState(e.TID)
-	if rs[t.M.Base] != nil {
-		x.incident(StageEs3, e, "symbolic store address concretized")
+	if base := rs[t.M.Base]; base != nil {
+		x.tainted = true
+		switch {
+		case !x.opts.MemWrites:
+			x.incident(StageEs3, e, "symbolic store address concretized")
+		case x.winWrites >= x.opts.MaxWindowWrites:
+			x.incident(StageEs3, e, "symbolic memory model overflow: store address concretized")
+		default:
+			addrExpr := sym.NewBin(sym.OpAdd, base, sym.NewConst(uint64(t.M.Off), 64))
+			x.windowStore(addrExpr, x.evalExpr(t.E, e), t.M.Size, e)
+			return
+		}
 	}
 	v := x.evalExpr(t.E, e)
 	sm := x.symMem(e.PID)
@@ -527,6 +537,54 @@ func (x *exec) doStore(t ir.Store, e *trace.Entry) {
 	for i := uint64(0); i < uint64(t.M.Size); i++ {
 		sm[e.Addr+i] = sym.NewExtract(v, int(i)*8+7, int(i)*8)
 	}
+}
+
+// windowStore models a store through a symbolic address as a weak update:
+// every byte in the enumeration window becomes ITE(addr==a, new, old),
+// mirroring windowLoad's ITE chain on the read side. The assume
+// constraints keep the solver inside the window.
+func (x *exec) windowStore(addrExpr, v sym.Expr, size uint8, e *trace.Entry) {
+	x.winWrites++
+	w := uint64(x.opts.MemWindow)
+	lo := e.Addr - w
+	hi := e.Addr + w
+	sm := x.symMem(e.PID)
+	readByte := func(a uint64) sym.Expr {
+		if b := sm[a]; b != nil {
+			return b
+		}
+		return sym.NewConst(uint64(x.concMem(e.PID).LoadByte(a)), 8)
+	}
+	for a, img := range mergeStoreBytes(addrExpr, lo, hi, v, size, readByte) {
+		sm[a] = img
+	}
+	x.addConstraint(sym.NewBin(sym.OpUle, sym.NewConst(lo, 64), addrExpr), e, KindAssume)
+	x.addConstraint(sym.NewBin(sym.OpUle, addrExpr, sym.NewConst(hi, 64)), e, KindAssume)
+}
+
+// mergeStoreBytes computes the post-store byte image for a symbolic-address
+// store of v (size bytes) whose base address ranges over [lo, hi]. readByte
+// supplies the pre-store image. Pure so the fuzz harness can check it
+// against a concrete reference memory.
+func mergeStoreBytes(addrExpr sym.Expr, lo, hi uint64, v sym.Expr, size uint8, readByte func(uint64) sym.Expr) map[uint64]sym.Expr {
+	vb := make([]sym.Expr, size)
+	for i := range vb {
+		vb[i] = sym.NewExtract(v, i*8+7, i*8)
+	}
+	out := make(map[uint64]sym.Expr)
+	cellAt := func(a uint64) sym.Expr {
+		if img, ok := out[a]; ok {
+			return img
+		}
+		return readByte(a)
+	}
+	for a := lo; a <= hi; a++ {
+		cond := sym.NewBin(sym.OpEq, addrExpr, sym.NewConst(a, 64))
+		for i := uint64(0); i < uint64(size); i++ {
+			out[a+i] = sym.NewITE(cond, vb[i], cellAt(a+i))
+		}
+	}
+	return out
 }
 
 // ── control flow ─────────────────────────────────────────────────────
@@ -699,6 +757,13 @@ func (x *exec) handleSyscall(e *trace.Entry) {
 		rs[isa.R0] = x.sourceVar("pid", x.opts.Spec.Pid, ev.Ret)
 		x.tainted = true
 
+	case trace.SysStat:
+		rs[isa.R0] = x.sourceVar("filesize:"+ev.Path, x.opts.Spec.Stat, ev.Ret)
+		x.tainted = true
+
+	case trace.SysGetenv:
+		x.handleGetenv(e, ev)
+
 	case trace.SysWebGet:
 		x.handleWebGet(e, ev)
 
@@ -713,6 +778,12 @@ func (x *exec) handleSyscall(e *trace.Entry) {
 
 	case trace.SysFork:
 		x.handleFork(e, ev)
+
+	case trace.SysExit:
+		x.handleExit(e, rs)
+
+	case trace.SysWait:
+		x.handleWait(e, ev)
 
 	case trace.SysUnlink:
 		// Path could be symbolic; the benchmark does not exercise it.
@@ -907,6 +978,75 @@ func (x *exec) handleOpen(e *trace.Entry, ev *trace.SysEvent) {
 	}
 	rs[isa.R0] = symOrNil(sym.NewITE(exists,
 		sym.NewConst(nominal, 64), sym.NewConst(^uint64(0), 64)))
+}
+
+// handleGetenv models the getenv contextual source: the returned length
+// and the delivered value bytes become variables in the plane selected by
+// Spec.Env, exactly like web content under Spec.Web.
+func (x *exec) handleGetenv(e *trace.Entry, ev *trace.SysEvent) {
+	x.tainted = true
+	rs := x.regState(e.TID)
+	prefix := "getenv:" + ev.Path
+	switch x.opts.Spec.Env {
+	case SourceDeclared:
+	case SourceSim:
+		x.res.SimulationUsed = true
+		prefix = fmt.Sprintf("%s%s#%d", simPrefix, prefix, x.simSeq)
+		x.simSeq++
+	default:
+		prefix = envPrefix + prefix
+	}
+	rs[isa.R0] = x.newVar(prefix+"!ret", 64, ev.Ret)
+	sm := x.symMem(e.PID)
+	for i := range ev.Data {
+		name := fmt.Sprintf("%s[%d]", prefix, i)
+		sm[ev.Addr+uint64(i)] = x.newVar(name, 8, uint64(ev.Data[i]))
+	}
+}
+
+// handleExit captures a tracked process's symbolic exit status and
+// delivers it to parents already blocked in wait — the kernel patches
+// their r0 at wake without a trace entry, so the symbolic side must do
+// the same here.
+func (x *exec) handleExit(e *trace.Entry, rs *[16]sym.Expr) {
+	status := rs[isa.R1]
+	if status == nil {
+		return
+	}
+	x.tainted = true
+	x.exitStatus[e.PID] = status
+	for _, tid := range x.pendingWait[e.PID] {
+		x.deliverWaitStatus(tid, status, e)
+	}
+	delete(x.pendingWait, e.PID)
+}
+
+// handleWait models the exit-status covert channel on the parent side.
+// When the child already exited the status is delivered immediately;
+// otherwise delivery is deferred to the child's exit entry (the parent
+// is blocked and executes nothing in between, so late patching of its
+// r0 is sound).
+func (x *exec) handleWait(e *trace.Entry, ev *trace.SysEvent) {
+	if !x.opts.Spec.TrackProcs {
+		return // the fork already reported the untraced child
+	}
+	child := int(int64(ev.Args[0]))
+	if status, ok := x.exitStatus[child]; ok {
+		x.tainted = true
+		x.deliverWaitStatus(e.TID, status, e)
+		return
+	}
+	x.pendingWait[child] = append(x.pendingWait[child], e.TID)
+}
+
+// deliverWaitStatus installs a symbolic exit status into a waiting
+// thread's r0 (ChanShadow), or reports the covert channel as lost.
+func (x *exec) deliverWaitStatus(tid int, status sym.Expr, e *trace.Entry) {
+	if x.opts.Spec.Wait == ChanShadow {
+		x.regState(tid)[isa.R0] = status
+		return
+	}
+	x.incident(StageEs2, e, "exit-status covert channel lost")
 }
 
 func (x *exec) handleFork(e *trace.Entry, ev *trace.SysEvent) {

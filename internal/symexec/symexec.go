@@ -145,6 +145,10 @@ type Spec struct {
 	// simulated unconstrained (Angr simprocedures, P outcomes).
 	Time SourceMode
 	Pid  SourceMode
+	// Stat and Env select how the stat (file size) and getenv contextual
+	// sources are modeled, with the same three-way split as Time/Pid.
+	Stat SourceMode
+	Env  SourceMode
 	// Web declares fetched content as symbolic; otherwise it is
 	// env-plane.
 	Web bool
@@ -153,6 +157,10 @@ type Spec struct {
 	Files ChanPolicy
 	Pipes ChanPolicy
 	Kv    ChanPolicy
+	// Wait selects whether a child's exit status propagates symbolically
+	// to the parent's wait return (the exit-status covert channel). Only
+	// ChanShadow propagates; any other value loses the data with Es2.
+	Wait ChanPolicy
 
 	// TrackThreads follows non-main threads of the root process.
 	TrackThreads bool
@@ -209,6 +217,15 @@ type Options struct {
 	// real constraint builders). 0 = default.
 	MaxWindowLoads int
 
+	// MemWrites models stores through symbolic addresses as guarded weak
+	// updates over the enumeration window instead of concretizing with
+	// Es3. Writes are far more expensive than loads (every cell in the
+	// window gains an ITE), so they get their own budget.
+	MemWrites bool
+	// MaxWindowWrites bounds modeled symbolic-address stores per pass;
+	// further ones concretize with Es3. 0 = default.
+	MaxWindowWrites int
+
 	Env EnvInfo
 }
 
@@ -217,6 +234,9 @@ const DefaultMemWindow = 64
 
 // DefaultMaxWindowLoads bounds modeled symbolic-address loads per pass.
 const DefaultMaxWindowLoads = 64
+
+// DefaultMaxWindowWrites bounds modeled symbolic-address stores per pass.
+const DefaultMaxWindowWrites = 16
 
 // ConstraintKind classifies path constraints.
 type ConstraintKind int
@@ -307,12 +327,19 @@ type exec struct {
 	// lazy state creation.
 	pendingFork map[int][16]sym.Expr
 
-	seen     map[string]bool // incident dedup
-	gapPID   map[int]bool    // reported untracked-process gaps
-	gapTID   map[int]bool    // reported untracked-thread gaps
-	simSeq   int
-	winLoads int
-	tainted  bool // current entry touched symbolic state
+	// exitStatus holds each tracked process's symbolic exit status;
+	// pendingWait maps a child pid to parent threads blocked in wait on
+	// it, whose r0 the kernel patches at wake without a trace entry.
+	exitStatus  map[int]sym.Expr
+	pendingWait map[int][]int
+
+	seen      map[string]bool // incident dedup
+	gapPID    map[int]bool    // reported untracked-process gaps
+	gapTID    map[int]bool    // reported untracked-thread gaps
+	simSeq    int
+	winLoads  int
+	winWrites int
+	tainted   bool // current entry touched symbolic state
 
 	extAddr map[uint64]string  // external function entry address -> name
 	skipExt map[int]*extReturn // per-tid pending external-call skip
@@ -334,6 +361,9 @@ func Run(img *bin.Image, tr *trace.Trace, argv []gos.Region, argvStr []string, o
 	if opts.MaxWindowLoads <= 0 {
 		opts.MaxWindowLoads = DefaultMaxWindowLoads
 	}
+	if opts.MaxWindowWrites <= 0 {
+		opts.MaxWindowWrites = DefaultMaxWindowWrites
+	}
 	if opts.ContextualStage == 0 {
 		opts.ContextualStage = StageEs2
 	}
@@ -349,6 +379,8 @@ func Run(img *bin.Image, tr *trace.Trace, argv []gos.Region, argvStr []string, o
 		shadow:      make(map[string]map[uint64]sym.Expr),
 		objTainted:  make(map[string]bool),
 		pendingFork: make(map[int][16]sym.Expr),
+		exitStatus:  make(map[int]sym.Expr),
+		pendingWait: make(map[int][]int),
 		seen:        make(map[string]bool),
 		extAddr:     make(map[uint64]string),
 		skipExt:     make(map[int]*extReturn),

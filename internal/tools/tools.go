@@ -140,6 +140,8 @@ func Angr() Profile {
 				Spec: symexec.Spec{
 					ArgvNUL: true, ArgvPad: 16,
 					Pid:   symexec.SourceSim, // simulated getpid: P
+					Stat:  symexec.SourceSim, // simulated stat: P
+					Env:   symexec.SourceSim, // simulated getenv: P
 					Files: symexec.ChanConcrete,
 					Pipes: symexec.ChanConcrete,
 					Kv:    symexec.ChanUnconstrained, // simulated kernel store: P
@@ -181,10 +183,13 @@ func AngrNoLib() Profile {
 				Spec: symexec.Spec{
 					ArgvNUL: true, ArgvPad: 16,
 					Pid:   symexec.SourceSim,
+					Stat:  symexec.SourceSim,
+					Env:   symexec.SourceSim,
 					Files: symexec.ChanConcrete,
 					Pipes: symexec.ChanShadow, // SimFile models pipes precisely
 					Kv:    symexec.ChanUnconstrained,
-					// Fork's simprocedure explores the child.
+					// Fork's simprocedure explores the child, but the exit
+					// status is not propagated back through waitpid.
 					TrackProcs: true,
 				},
 				Mem:             symexec.MemOneLevel,
@@ -231,9 +236,12 @@ func Reference() Profile {
 					ArgvNUL: true, ArgvPad: 16,
 					Time:  symexec.SourceDeclared,
 					Pid:   symexec.SourceDeclared,
+					Stat:  symexec.SourceDeclared,
+					Env:   symexec.SourceDeclared,
 					Web:   true,
 					Files: symexec.ChanShadow, Pipes: symexec.ChanShadow,
 					Kv:           symexec.ChanShadow,
+					Wait:         symexec.ChanShadow, // exit-status covert channel
 					TrackThreads: true, TrackProcs: true,
 				},
 				Mem:           symexec.MemFull,
@@ -242,6 +250,7 @@ func Reference() Profile {
 				ContextualFS:  true,
 				ContextualSys: true,
 				ModelDivFault: true,
+				MemWrites:     true, // weak-update symbolic stores
 			},
 			// Iterative input lengthening is a deep chain; DFS reaches the
 			// required length fast where breadth-first spreads the budget.
@@ -262,6 +271,14 @@ func Reference() Profile {
 // order.
 func TableII() []Profile {
 	return []Profile{BAP(), Triton(), Angr(), AngrNoLib()}
+}
+
+// TableIIExtended returns the five columns of Table II-extended: the four
+// paper profiles plus the reference engine, which is a first-class column
+// there (the extended corpus has no paper row to compare against, so the
+// reference serves as the capability ceiling).
+func TableIIExtended() []Profile {
+	return []Profile{BAP(), Triton(), Angr(), AngrNoLib(), Reference()}
 }
 
 // Names lists every selectable profile name, in Table II order plus the

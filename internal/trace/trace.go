@@ -78,6 +78,8 @@ const (
 	SysWait         Sysno = 16
 	SysKvPut        Sysno = 17
 	SysKvGet        Sysno = 18
+	SysStat         Sysno = 19
+	SysGetenv       Sysno = 20
 )
 
 var sysNames = map[Sysno]string{
@@ -87,6 +89,7 @@ var sysNames = map[Sysno]string{
 	SysWebGet: "web_get", SysSigHandler: "sighandler", SysUnlink: "unlink",
 	SysSleep: "sleep", SysWait: "wait",
 	SysKvPut: "kv_put", SysKvGet: "kv_get",
+	SysStat: "stat", SysGetenv: "getenv",
 }
 
 // String returns the syscall name.
