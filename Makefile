@@ -17,9 +17,11 @@ vet:
 
 build:
 	$(GO) build ./...
+	$(GO) build ./cmd/congolic ./examples/demo
 
 race:
 	$(GO) test -race -count=1 ./internal/sym/... ./internal/sat/... ./internal/bitblast/... ./internal/core/... ./internal/cover/... ./internal/mutate/... ./internal/solver/... ./internal/exchange/... ./internal/warmstore/... ./internal/service/... ./internal/mem/... ./internal/gos/... ./internal/lift/... ./internal/jobstore/... ./internal/sharedcache/... ./internal/bombs/... ./internal/symexec/...
+	$(GO) test -race -count=1 -short ./internal/gofront/ ./internal/cliopts/ ./internal/target/ ./internal/suggest/
 	$(GO) test -race -count=1 -run 'TestGridExtended' ./internal/eval/
 
 fuzz:

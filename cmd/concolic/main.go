@@ -5,47 +5,28 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/bombs"
+	"repro/internal/cliopts"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/tools"
-	"repro/internal/warmstore"
 )
 
 func main() {
 	tool := flag.String("tool", "reference",
 		"profile: "+strings.Join(tools.Names(), ", "))
 	verbose := flag.Bool("v", false, "print incidents and per-round progress")
-	workers := flag.Int("workers", 0, "concurrent exploration rounds (0 = all CPUs, 1 = sequential)")
 	stats := flag.Bool("stats", false, "print the engine work profile (rounds, queries, cache, wall time)")
 	timeout := flag.Duration("timeout", 0,
 		"wall-clock deadline for the whole analysis (0 = profile budget only); "+
 			"exercises the same context-cancellation path as concolicd")
-	checkpoint := flag.String("checkpoint", "auto",
-		"snapshot-replay policy: auto (resume rounds from checkpoints) or off "+
-			"(re-execute every round from _start; identical outcomes)")
-	solverMode := flag.String("solver", "fresh",
-		"negation-query solving: "+strings.Join(core.SolverModeNames(), ", ")+
-			" (portfolio races diversified workers sharing learned clauses; "+
-			"equivalent verdicts, possibly different inputs)")
-	warmDir := flag.String("warmstart", "",
-		"warm-start store directory (portfolio only): answered queries and "+
-			"exchanged clauses persist across runs")
-	strategy := flag.String("strategy", "",
-		"frontier search order: "+strings.Join(core.SearchStrategyNames(), ", ")+
-			" (coverage scores candidates by uncovered flip targets; "+
-			"empty keeps the profile default)")
-	fuzz := flag.Bool("fuzz", false,
-		"run mutation-fuzzing breed rounds between concolic generations "+
-			"(requires -strategy coverage; promotes new-coverage mutants as seeds)")
-	coverGoal := flag.Float64("cover-goal", 0,
-		"stop early once this fraction (0,1] of static basic blocks is covered "+
-			"(0 = explore to the profile budget)")
+	opts := cliopts.Register(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -75,57 +56,17 @@ func main() {
 		defer cancel()
 	}
 
-	p.Caps.Workers = *workers
-	switch *checkpoint {
-	case "auto":
-		p.Caps.Checkpoint = core.CheckpointAuto
-	case "off":
-		p.Caps.Checkpoint = core.CheckpointOff
-	default:
-		fmt.Fprintf(os.Stderr, "concolic: unknown -checkpoint %q (auto or off)\n", *checkpoint)
-		os.Exit(2)
-	}
-	mode, err := core.ParseSolverMode(*solverMode)
+	res, err := opts.Resolve(cliopts.FlagDialect)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "concolic: %v\n", err)
-		os.Exit(2)
-	}
-	p.Caps.SolverMode = mode
-	if *warmDir != "" {
-		if mode != core.SolverPortfolio {
-			fmt.Fprintln(os.Stderr, "concolic: -warmstart requires -solver=portfolio")
-			os.Exit(2)
-		}
-		w, err := warmstore.Open(*warmDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "concolic: open warm-start store: %v\n", err)
+		var se *cliopts.StoreError
+		if errors.As(err, &se) {
 			os.Exit(1)
 		}
-		defer w.Close()
-		p.Caps.Warm = w
+		os.Exit(2)
 	}
-	if *strategy != "" {
-		strat, err := core.ParseSearchStrategy(*strategy)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "concolic: %v\n", err)
-			os.Exit(2)
-		}
-		p.Caps.Search = strat
-	}
-	if *fuzz {
-		if p.Caps.Search != core.SearchCoverage {
-			fmt.Fprintln(os.Stderr, "concolic: -fuzz requires -strategy coverage")
-			os.Exit(2)
-		}
-		p.Caps.Fuzz = true
-	}
-	if *coverGoal != 0 {
-		if *coverGoal < 0 || *coverGoal > 1 {
-			fmt.Fprintln(os.Stderr, "concolic: -cover-goal must be in (0, 1]")
-			os.Exit(2)
-		}
-		p.Caps.CoverGoal = *coverGoal
-	}
+	defer res.Close()
+	res.Apply(&p.Caps)
 	en := core.New(b.Image(), b.BombAddr(), p.Caps)
 	out := en.ExploreContext(ctx, b.Benign)
 

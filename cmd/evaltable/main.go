@@ -5,14 +5,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/cliopts"
 	"repro/internal/eval"
-	"repro/internal/warmstore"
 )
 
 func main() {
@@ -25,73 +25,23 @@ func main() {
 		"render Table II-extended (the TIFS-2018 taxonomy corpus; composes with -json, -diag, -fleet and the grid knobs)")
 	extras := flag.Bool("extras", false, "render the extension-bomb study (loop, retjump, array3)")
 	diag := flag.Bool("diag", false, "with -table2: print per-cell root-cause diagnostics")
-	workers := flag.Int("workers", 0, "concurrent Table II cells (0 = all CPUs, 1 = sequential)")
 	jsonOut := flag.Bool("json", false, "emit the Table II grid plus aggregate engine stats as JSON and exit")
-	checkpoint := flag.String("checkpoint", "auto",
-		"snapshot-replay policy for the Table II grid: auto or off (identical outcomes, different work profile)")
-	solverMode := flag.String("solver", "fresh",
-		"negation-query solving for the Table II grid: "+strings.Join(core.SolverModeNames(), ", ")+
-			" (identical verdict labels)")
-	warmDir := flag.String("warmstart", "",
-		"warm-start store directory for the Table II grid (portfolio only)")
-	strategy := flag.String("strategy", "",
-		"frontier search order for the Table II grid: "+
-			strings.Join(core.SearchStrategyNames(), ", ")+
-			" (empty keeps each profile's default)")
-	fuzz := flag.Bool("fuzz", false,
-		"enable mutation-fuzzing breed rounds (requires -strategy coverage)")
-	coverGoal := flag.Float64("cover-goal", 0,
-		"per-engine early stop at this fraction (0,1] of static basic blocks")
 	fleet := flag.String("fleet", "",
 		"comma-separated concolicd base URLs; the Table II grid runs as fleet jobs instead of in-process engines")
 	all := flag.Bool("all", false, "render everything")
+	opts := cliopts.Register(flag.CommandLine)
 	flag.Parse()
 
-	var pol core.CheckpointPolicy
-	switch *checkpoint {
-	case "auto":
-		pol = core.CheckpointAuto
-	case "off":
-		pol = core.CheckpointOff
-	default:
-		fmt.Fprintf(os.Stderr, "evaltable: unknown -checkpoint %q (auto or off)\n", *checkpoint)
-		os.Exit(2)
-	}
-	mode, err := core.ParseSolverMode(*solverMode)
+	res, err := opts.Resolve(cliopts.FlagDialect)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "evaltable: %v\n", err)
-		os.Exit(2)
-	}
-	var warm *warmstore.Store
-	if *warmDir != "" {
-		if mode != core.SolverPortfolio {
-			fmt.Fprintln(os.Stderr, "evaltable: -warmstart requires -solver=portfolio")
-			os.Exit(2)
-		}
-		w, err := warmstore.Open(*warmDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "evaltable: open warm-start store: %v\n", err)
+		var se *cliopts.StoreError
+		if errors.As(err, &se) {
 			os.Exit(1)
 		}
-		defer w.Close()
-		warm = w
-	}
-	var strat core.SearchStrategy
-	if *strategy != "" {
-		strat, err = core.ParseSearchStrategy(*strategy)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "evaltable: %v\n", err)
-			os.Exit(2)
-		}
-	}
-	if *fuzz && strat != core.SearchCoverage {
-		fmt.Fprintln(os.Stderr, "evaltable: -fuzz requires -strategy coverage")
 		os.Exit(2)
 	}
-	if *coverGoal != 0 && (*coverGoal < 0 || *coverGoal > 1) {
-		fmt.Fprintln(os.Stderr, "evaltable: -cover-goal must be in (0, 1]")
-		os.Exit(2)
-	}
+	defer res.Close()
 	runTableII := func() *eval.Grid {
 		if *fleet != "" {
 			var endpoints []string
@@ -105,8 +55,8 @@ func main() {
 				run = eval.RunTableIIExtendedFleet
 			}
 			g, err := run(eval.FleetOptions{
-				EngineWorkers: 0, SolverMode: mode,
-				Strategy: strat, Fuzz: *fuzz, CoverGoal: *coverGoal,
+				EngineWorkers: 0, SolverMode: res.SolverMode,
+				Strategy: res.Strategy, Fuzz: res.Fuzz, CoverGoal: res.CoverGoal,
 			}, endpoints)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "evaltable: %v\n", err)
@@ -114,14 +64,15 @@ func main() {
 			}
 			return g
 		}
-		opts := eval.Options{
-			Workers: *workers, Checkpoint: pol, SolverMode: mode, Warm: warm,
-			Strategy: strat, Fuzz: *fuzz, CoverGoal: *coverGoal,
+		eopts := eval.Options{
+			Workers: res.Workers, Checkpoint: res.Checkpoint,
+			SolverMode: res.SolverMode, Warm: res.Warm,
+			Strategy: res.Strategy, Fuzz: res.Fuzz, CoverGoal: res.CoverGoal,
 		}
 		if *extended {
-			return eval.RunTableIIExtended(opts)
+			return eval.RunTableIIExtended(eopts)
 		}
-		return eval.RunTableII(opts)
+		return eval.RunTableII(eopts)
 	}
 
 	if *jsonOut {

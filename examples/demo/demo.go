@@ -1,0 +1,77 @@
+// Package demo is the in-repo fixture for the Go frontend: small, pure
+// functions whose panics are reachable only under specific argument
+// tuples. `congolic ./examples/demo <Func>` should find those tuples;
+// every function is benign at its zero arguments, so the engine's
+// all-zero seed never detonates on round one.
+//
+// The package deliberately stays inside the lowered subset: int/bool
+// params, arithmetic, comparisons, if/for, intra-package calls, and
+// slice indexing. Panics — explicit, out-of-range, divide-by-zero —
+// are the detonation sites.
+package demo
+
+// mix is the intra-package helper: a keyed diffusion step, called from
+// Unlock so the lowering's call path is exercised.
+func mix(x, y int) int {
+	return x*31 ^ y
+}
+
+// Unlock is the branch maze: two nested guards over a helper call.
+// Only Unlock(4, 42) reaches the panic.
+func Unlock(a, b int) {
+	if mix(a, 3) == 127 {
+		if b-a == 38 {
+			panic("vault unlocked")
+		}
+	}
+}
+
+// Guard is the arithmetic guard: the divisor n*n-9 is zero exactly at
+// n == ±3, and the positive gate narrows that to Guard(3).
+func Guard(n int) int {
+	d := n*n - 9
+	if n > 0 {
+		return 100 / d
+	}
+	return d
+}
+
+// Probe is the slice detonation: table has eight entries but the index
+// ranges over i%10, so i%10 in {8, 9} — or any negative remainder —
+// indexes out of range.
+func Probe(i int) int {
+	table := []int{2, 3, 5, 7, 11, 13, 17, 19}
+	return table[i%10]
+}
+
+// Loop sums 1..min(n, 100); the trigger fires on the 20th triangular
+// number, so the engine must steer the trip count to exactly twenty.
+// The cap bounds the concrete trip count so a solver model with a huge
+// n cannot run away with the step budget.
+func Loop(n int) int {
+	sum := 0
+	for i := 1; i <= n && i <= 100; i++ {
+		sum += i
+	}
+	if sum == 210 {
+		panic("triangular trigger")
+	}
+	return sum
+}
+
+// Flag mixes a boolean arm switch with an integer key: only
+// Flag(true, 5) panics.
+func Flag(armed bool, k int) {
+	if armed && k^21 == 16 {
+		panic("armed")
+	}
+}
+
+// Divide gates an unguarded division behind a comparison: any a > 10
+// with b == 3 divides by zero.
+func Divide(a, b int) int {
+	if a > 10 {
+		return a / (b - 3)
+	}
+	return 0
+}

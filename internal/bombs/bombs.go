@@ -15,6 +15,7 @@ import (
 	"repro/internal/bin"
 	"repro/internal/gos"
 	"repro/internal/libc"
+	"repro/internal/target"
 )
 
 // Category groups bombs the way the paper's Table II does.
@@ -51,8 +52,8 @@ const (
 	ChExternalCall  = "External Function Call"
 	ChCrypto        = "Crypto Function"
 	ChNegative      = "Negative Predicate"
-	ChLoop          = "Loop" // extension: the challenge the paper defers
-	ChHardSolve     = "Hard Constraint" // stress: solver-bound factoring guards
+	ChLoop          = "Loop"                  // extension: the challenge the paper defers
+	ChHardSolve     = "Hard Constraint"       // stress: solver-bound factoring guards
 	ChSymbolicWrite = "Symbolic Memory Write" // extended: symbolic store addresses
 )
 
@@ -73,40 +74,15 @@ const (
 // Input fully specifies one concrete run: the argument string plus every
 // environment facet a bomb can depend on. The benign input is the seed a
 // tool starts from; the trigger input is the ground truth that detonates
-// the bomb.
-type Input struct {
-	Argv1   string
-	TimeNow uint64
-	Pid     uint64
-	Web     map[string]string
-	Files   map[string][]byte
-	Env     map[string]string
-}
+// the bomb. It is an alias for the target-neutral target.Input so the
+// engine and other frontends share one representation.
+type Input = target.Input
 
-// Default environment values for benign runs.
+// Default environment values for benign runs, re-exported from target.
 const (
-	DefaultTime = 1111111111
-	DefaultPid  = 4242
+	DefaultTime = target.DefaultTime
+	DefaultPid  = target.DefaultPid
 )
-
-// Config converts the input into a machine configuration.
-func (in Input) Config() gos.Config {
-	cfg := gos.Config{
-		Argv:       []string{"bomb", in.Argv1},
-		TimeNow:    in.TimeNow,
-		Pid:        in.Pid,
-		WebContent: in.Web,
-		Files:      in.Files,
-		Env:        in.Env,
-	}
-	if cfg.TimeNow == 0 {
-		cfg.TimeNow = DefaultTime
-	}
-	if cfg.Pid == 0 {
-		cfg.Pid = DefaultPid
-	}
-	return cfg
-}
 
 // Bomb is one benchmark program.
 type Bomb struct {

@@ -1,5 +1,7 @@
 package bombs
 
+import "repro/internal/suggest"
+
 // Names returns every registered bomb name, in registry order.
 func Names() []string {
 	out := make([]string, 0, len(registry))
@@ -11,55 +13,8 @@ func Names() []string {
 
 // Closest returns the registered bomb name nearest to name by edit
 // distance, or "" when nothing is close enough to be a plausible typo
-// (distance bounded by half the query length, minimum 2). A ByName miss
-// should surface this as a "did you mean" suggestion.
+// (see suggest.Closest). A ByName miss should surface this as a
+// "did you mean" suggestion.
 func Closest(name string) string {
-	if name == "" {
-		return ""
-	}
-	limit := len(name)/2 + 1
-	if limit < 2 {
-		limit = 2
-	}
-	best, bestDist := "", limit+1
-	for _, b := range registry {
-		if d := editDistance(name, b.Name); d < bestDist {
-			best, bestDist = b.Name, d
-		}
-	}
-	if bestDist > limit {
-		return ""
-	}
-	return best
-}
-
-// editDistance is the Levenshtein distance, two-row dynamic program.
-func editDistance(a, b string) int {
-	if a == b {
-		return 0
-	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			m := prev[j-1] + cost        // substitute
-			if d := prev[j] + 1; d < m { // delete
-				m = d
-			}
-			if d := cur[j-1] + 1; d < m { // insert
-				m = d
-			}
-			cur[j] = m
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
+	return suggest.Closest(name, Names())
 }

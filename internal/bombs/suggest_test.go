@@ -2,25 +2,6 @@ package bombs
 
 import "testing"
 
-func TestEditDistance(t *testing.T) {
-	cases := []struct {
-		a, b string
-		want int
-	}{
-		{"", "", 0},
-		{"abc", "abc", 0},
-		{"abc", "", 3},
-		{"kitten", "sitting", 3},
-		{"sha1", "sha", 1},
-		{"jump", "jumptab", 3},
-	}
-	for _, c := range cases {
-		if got := editDistance(c.a, c.b); got != c.want {
-			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
-		}
-	}
-}
-
 func TestClosestSuggestsTypos(t *testing.T) {
 	cases := []struct {
 		query, want string
@@ -32,14 +13,14 @@ func TestClosestSuggestsTypos(t *testing.T) {
 		{"zzzzzzzzzz", ""},    // nothing plausible
 		{"", ""},              // empty query never suggests
 		// Extended-corpus names must suggest like the original ones.
-		{"stwrit", "stwrite"},        // symbolic-write bombs
-		{"stwrite2x", "stwrite2"},    // trailing noise on a variant name
-		{"envlne", "envlen"},         // contextual bombs
-		{"filesiz", "filesize"},      // dropped final letter
-		{"waitstat", "waitstatus"},   // covert-propagation bombs
-		{"powlaundr", "powlaunder"},  // dropped letter
-		{"ping-pong", "pingpong"},    // punctuation slip
-		{"kvthred", "kvthread"},      // parallel bombs
+		{"stwrit", "stwrite"},       // symbolic-write bombs
+		{"stwrite2x", "stwrite2"},   // trailing noise on a variant name
+		{"envlne", "envlen"},        // contextual bombs
+		{"filesiz", "filesize"},     // dropped final letter
+		{"waitstat", "waitstatus"},  // covert-propagation bombs
+		{"powlaundr", "powlaunder"}, // dropped letter
+		{"ping-pong", "pingpong"},   // punctuation slip
+		{"kvthred", "kvthread"},     // parallel bombs
 	}
 	for _, c := range cases {
 		if got := Closest(c.query); got != c.want {

@@ -1,0 +1,179 @@
+// Package cliopts centralizes the engine-tuning option cluster that
+// every frontend exposes — cmd/concolic, cmd/evaltable, cmd/congolic,
+// and concolicd's job API. One Register call defines the flags with one
+// set of help texts, one Check enforces the cross-field rules (warmstart
+// needs portfolio, fuzz needs the coverage strategy, cover-goal range),
+// and one Resolve turns the raw values into engine-ready capabilities.
+// Before this package each frontend re-implemented the cluster by hand
+// and the error dialects had started to drift.
+package cliopts
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/suggest"
+	"repro/internal/warmstore"
+)
+
+// Options is the raw option cluster as read from flags or a job request.
+// String fields keep their wire form; Resolve validates and converts.
+type Options struct {
+	Workers    int
+	Checkpoint string // "auto" | "off" ("" = auto)
+	Solver     string // core.SolverModeNames ("" = fresh)
+	WarmDir    string // warm-start store directory ("" = off); CLI form
+	Warmstart  bool   // use an already-open store; job-API form
+	Strategy   string // core.SearchStrategyNames ("" = profile default)
+	Fuzz       bool
+	CoverGoal  float64
+}
+
+// Register defines the shared flag cluster on fs and returns the
+// Options the flags write into. Callers add their command-specific
+// flags (e.g. -tool, -timeout, -json) beside it.
+func Register(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.IntVar(&o.Workers, "workers", 0,
+		"concurrent exploration rounds (0 = all CPUs, 1 = sequential)")
+	fs.StringVar(&o.Checkpoint, "checkpoint", "auto",
+		"snapshot-replay policy: auto (resume rounds from checkpoints) or off "+
+			"(re-execute every round from _start; identical outcomes)")
+	fs.StringVar(&o.Solver, "solver", "fresh",
+		"negation-query solving: "+strings.Join(core.SolverModeNames(), ", ")+
+			" (portfolio races diversified workers sharing learned clauses; "+
+			"equivalent verdicts, possibly different inputs)")
+	fs.StringVar(&o.WarmDir, "warmstart", "",
+		"warm-start store directory (portfolio only): answered queries and "+
+			"exchanged clauses persist across runs")
+	fs.StringVar(&o.Strategy, "strategy", "",
+		"frontier search order: "+strings.Join(core.SearchStrategyNames(), ", ")+
+			" (coverage scores candidates by uncovered flip targets; "+
+			"empty keeps the profile default)")
+	fs.BoolVar(&o.Fuzz, "fuzz", false,
+		"run mutation-fuzzing breed rounds between concolic generations "+
+			"(requires -strategy coverage; promotes new-coverage mutants as seeds)")
+	fs.Float64Var(&o.CoverGoal, "cover-goal", 0,
+		"stop early once this fraction (0,1] of static basic blocks is covered "+
+			"(0 = explore to the profile budget)")
+	return o
+}
+
+// Dialect renders a canonical option name ("warmstart", "cover-goal",
+// "solver=portfolio") into a consumer's spelling. Errors built through a
+// dialect read naturally both on a terminal and in an HTTP 400 body.
+type Dialect func(canonical string) string
+
+// FlagDialect prefixes "-" — the CLI spelling.
+func FlagDialect(n string) string { return "-" + n }
+
+// WireDialect uses the job API's JSON field names.
+func WireDialect(n string) string { return strings.ReplaceAll(n, "-", "_") }
+
+// Check enforces the cross-field rules shared by every frontend. Name
+// parses are checked first so an unknown solver mode surfaces as the
+// uniform suggestion error rather than a confusing combination error.
+func Check(o Options, d Dialect) error {
+	if o.Workers < 0 {
+		return fmt.Errorf("%s must be non-negative", d("workers"))
+	}
+	switch o.Checkpoint {
+	case "", "auto", "off":
+	default:
+		return suggest.Unknown("checkpoint policy", o.Checkpoint, []string{"auto", "off"})
+	}
+	mode, err := core.ParseSolverMode(o.Solver)
+	if err != nil {
+		return err
+	}
+	if (o.WarmDir != "" || o.Warmstart) && mode != core.SolverPortfolio {
+		return fmt.Errorf("%s requires %s", d("warmstart"), d("solver=portfolio"))
+	}
+	strat, err := core.ParseSearchStrategy(o.Strategy)
+	if err != nil {
+		return err
+	}
+	if o.Fuzz && (o.Strategy == "" || strat != core.SearchCoverage) {
+		return fmt.Errorf("%s requires %s", d("fuzz"), d("strategy=coverage"))
+	}
+	if o.CoverGoal < 0 || o.CoverGoal > 1 {
+		return fmt.Errorf("%s must be in (0, 1] (0 disables the goal)", d("cover-goal"))
+	}
+	return nil
+}
+
+// Resolved is the validated, engine-ready form of the cluster.
+type Resolved struct {
+	Workers     int
+	Checkpoint  core.CheckpointPolicy
+	SolverMode  core.SolverMode
+	Strategy    core.SearchStrategy
+	StrategySet bool // explicit -strategy; false keeps the profile default
+	Fuzz        bool
+	CoverGoal   float64
+	Warm        *warmstore.Store // open when WarmDir was set; Close it
+}
+
+// StoreError wraps a warm-start store open failure so CLIs can map it to
+// an I/O exit status instead of a usage one.
+type StoreError struct{ Err error }
+
+func (e *StoreError) Error() string { return "open warm-start store: " + e.Err.Error() }
+func (e *StoreError) Unwrap() error { return e.Err }
+
+// Resolve checks the cluster and converts it, opening the warm-start
+// store when a directory was given. The caller owns Close on success.
+func (o Options) Resolve(d Dialect) (*Resolved, error) {
+	if err := Check(o, d); err != nil {
+		return nil, err
+	}
+	r := &Resolved{Workers: o.Workers, Fuzz: o.Fuzz, CoverGoal: o.CoverGoal}
+	if o.Checkpoint == "off" {
+		r.Checkpoint = core.CheckpointOff
+	} else {
+		r.Checkpoint = core.CheckpointAuto
+	}
+	r.SolverMode, _ = core.ParseSolverMode(o.Solver) // Check vetted it
+	if o.Strategy != "" {
+		r.Strategy, _ = core.ParseSearchStrategy(o.Strategy)
+		r.StrategySet = true
+	}
+	if o.WarmDir != "" {
+		w, err := warmstore.Open(o.WarmDir)
+		if err != nil {
+			return nil, &StoreError{Err: err}
+		}
+		r.Warm = w
+	}
+	return r, nil
+}
+
+// Apply overlays the resolved cluster onto a tool profile's
+// capabilities. Unset fields (no explicit strategy, zero cover goal, no
+// store) leave the profile's defaults intact.
+func (r *Resolved) Apply(caps *core.Capabilities) {
+	caps.Workers = r.Workers
+	caps.Checkpoint = r.Checkpoint
+	caps.SolverMode = r.SolverMode
+	if r.StrategySet {
+		caps.Search = r.Strategy
+	}
+	if r.Fuzz {
+		caps.Fuzz = true
+	}
+	if r.CoverGoal != 0 {
+		caps.CoverGoal = r.CoverGoal
+	}
+	if r.Warm != nil {
+		caps.Warm = r.Warm
+	}
+}
+
+// Close releases the warm-start store, if one was opened. Safe on nil.
+func (r *Resolved) Close() {
+	if r != nil && r.Warm != nil {
+		r.Warm.Close()
+	}
+}

@@ -1,0 +1,126 @@
+package cliopts
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tools"
+)
+
+func parse(t *testing.T, argv ...string) *Options {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := Register(fs)
+	if err := fs.Parse(argv); err != nil {
+		t.Fatalf("parse %v: %v", argv, err)
+	}
+	return o
+}
+
+func TestResolveDefaults(t *testing.T) {
+	res, err := parse(t).Resolve(FlagDialect)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	defer res.Close()
+	if res.Checkpoint != core.CheckpointAuto || res.SolverMode != core.SolverFresh ||
+		res.StrategySet || res.Fuzz || res.CoverGoal != 0 || res.Warm != nil {
+		t.Errorf("unexpected defaults: %+v", res)
+	}
+}
+
+// TestApplyKeepsProfileDefaults pins the overlay contract: unset cluster
+// fields must not clobber what a tool profile chose.
+func TestApplyKeepsProfileDefaults(t *testing.T) {
+	p, ok := tools.ByName("reference")
+	if !ok {
+		t.Fatal("no reference profile")
+	}
+	wantSearch := p.Caps.Search
+	res, err := parse(t, "-workers", "2", "-solver", "incremental").Resolve(FlagDialect)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	defer res.Close()
+	res.Apply(&p.Caps)
+	if p.Caps.Workers != 2 || p.Caps.SolverMode != core.SolverIncremental {
+		t.Errorf("explicit fields not applied: %+v", p.Caps)
+	}
+	if p.Caps.Search != wantSearch {
+		t.Errorf("profile search default clobbered: %v -> %v", wantSearch, p.Caps.Search)
+	}
+
+	res2, err := parse(t, "-strategy", "dfs").Resolve(FlagDialect)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	defer res2.Close()
+	res2.Apply(&p.Caps)
+	if p.Caps.Search != core.SearchDFS {
+		t.Errorf("explicit strategy not applied: %v", p.Caps.Search)
+	}
+}
+
+func TestCheckCrossFieldRules(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want string // substring of the error under FlagDialect; "" = valid
+	}{
+		{"defaults", Options{}, ""},
+		{"negative workers", Options{Workers: -1}, "-workers must be non-negative"},
+		{"bad checkpoint", Options{Checkpoint: "of"}, `unknown checkpoint policy "of"`},
+		{"bad solver", Options{Solver: "fersh"}, `unknown solver mode "fersh"`},
+		{"warm without portfolio", Options{WarmDir: "/tmp/w"}, "-warmstart requires -solver=portfolio"},
+		{"warm flag form", Options{Warmstart: true}, "-warmstart requires -solver=portfolio"},
+		{"warm ok", Options{WarmDir: "/tmp/w", Solver: "portfolio"}, ""},
+		{"bad strategy", Options{Strategy: "coverge"}, `unknown search strategy "coverge"`},
+		{"fuzz without coverage", Options{Fuzz: true}, "-fuzz requires -strategy=coverage"},
+		{"fuzz ok", Options{Fuzz: true, Strategy: "coverage"}, ""},
+		{"goal too big", Options{CoverGoal: 1.5}, "-cover-goal must be in (0, 1]"},
+		{"goal negative", Options{CoverGoal: -0.1}, "-cover-goal must be in (0, 1]"},
+		{"goal ok", Options{CoverGoal: 0.5}, ""},
+	}
+	for _, c := range cases {
+		err := Check(c.o, FlagDialect)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestWireDialect pins the job-API rendering of the same rules.
+func TestWireDialect(t *testing.T) {
+	err := Check(Options{Warmstart: true}, WireDialect)
+	if err == nil || err.Error() != "warmstart requires solver=portfolio" {
+		t.Errorf("warmstart error = %v", err)
+	}
+	err = Check(Options{Fuzz: true}, WireDialect)
+	if err == nil || err.Error() != "fuzz requires strategy=coverage" {
+		t.Errorf("fuzz error = %v", err)
+	}
+	err = Check(Options{CoverGoal: 2}, WireDialect)
+	if err == nil || !strings.HasPrefix(err.Error(), "cover_goal must be in (0, 1]") {
+		t.Errorf("cover_goal error = %v", err)
+	}
+}
+
+func TestResolveOpensWarmStore(t *testing.T) {
+	dir := t.TempDir()
+	res, err := parse(t, "-solver", "portfolio", "-warmstart", dir).Resolve(FlagDialect)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if res.Warm == nil {
+		t.Fatal("warm store not opened")
+	}
+	res.Close()
+}

@@ -3,9 +3,9 @@ package core
 import (
 	"sort"
 
-	"repro/internal/bombs"
 	"repro/internal/cover"
 	"repro/internal/gos"
+	"repro/internal/target"
 	"repro/internal/trace"
 )
 
@@ -71,7 +71,7 @@ func snapshotCadence(stepBudget int) int {
 // the candidate's model was built to flip — the coverage scorer's
 // signal (zero: no targeted flip, e.g. the seed or a fuzz mutant).
 type candidate struct {
-	in       bombs.Input
+	in       target.Input
 	plan     *replayPlan
 	flipEdge cover.Edge
 }
@@ -80,7 +80,7 @@ type candidate struct {
 // it; validity checks are always relative to that base input.
 type checkpoint struct {
 	snap *gos.Snapshot
-	base bombs.Input
+	base target.Input
 	// validUpTo is the divergence bound of this checkpoint against the
 	// *current* plan's run: the plan's trace prefix [0, validUpTo) is
 	// identical to the base run's. Re-derived at each generation.
@@ -94,7 +94,7 @@ type checkpoint struct {
 // which is layout-determined and identical across runs (argv0 is the
 // constant program name).
 type replayPlan struct {
-	parent    bombs.Input
+	parent    target.Input
 	trace     *trace.Trace
 	argv1Addr uint64
 	ckpts     []checkpoint // ascending TraceLen
@@ -102,7 +102,7 @@ type replayPlan struct {
 
 // best returns the deepest checkpoint valid for replaying input next,
 // or nil when every snapshot lies at or past the divergence point.
-func (p *replayPlan) best(next bombs.Input) *checkpoint {
+func (p *replayPlan) best(next target.Input) *checkpoint {
 	if p == nil || len(p.ckpts) == 0 {
 		return nil
 	}
@@ -133,7 +133,7 @@ func (d inputDiff) empty() bool {
 // input and a candidate input. argvAddr is the guest address of argv1.
 // The argv range covers every differing byte including the NUL
 // terminators, so length changes are part of the range.
-func diffInputs(base, next bombs.Input, argvAddr uint64) inputDiff {
+func diffInputs(base, next target.Input, argvAddr uint64) inputDiff {
 	var d inputDiff
 	if base.Argv1 != next.Argv1 {
 		a, b := base.Argv1, next.Argv1
@@ -273,7 +273,7 @@ func entryTouches(e *trace.Entry, d inputDiff) bool {
 // children: the round's own snapshots (base = this round's input, valid
 // over the whole trace) plus inherited checkpoints still valid against
 // this round's trace, deepest-capped.
-func makePlan(cur bombs.Input, res *gos.Result, snaps []*gos.Snapshot, inherited *replayPlan) *replayPlan {
+func makePlan(cur target.Input, res *gos.Result, snaps []*gos.Snapshot, inherited *replayPlan) *replayPlan {
 	if res.Trace == nil || res.Trace.Len() > maxPlanTraceLen {
 		return nil
 	}

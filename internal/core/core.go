@@ -21,12 +21,13 @@ import (
 	"time"
 
 	"repro/internal/bin"
-	"repro/internal/bombs"
 	"repro/internal/cover"
 	"repro/internal/exchange"
 	"repro/internal/solver"
+	"repro/internal/suggest"
 	"repro/internal/sym"
 	"repro/internal/symexec"
+	"repro/internal/target"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/warmstore"
@@ -206,7 +207,8 @@ func SolverModeNames() []string {
 	return []string{"fresh", "incremental", "portfolio"}
 }
 
-// ParseSolverMode maps a -solver flag value to its mode.
+// ParseSolverMode maps a -solver flag value to its mode. Unknown names
+// get the uniform suggestion error (valid names plus closest match).
 func ParseSolverMode(name string) (SolverMode, error) {
 	switch name {
 	case "", "fresh":
@@ -216,8 +218,7 @@ func ParseSolverMode(name string) (SolverMode, error) {
 	case "portfolio":
 		return SolverPortfolio, nil
 	}
-	return 0, fmt.Errorf("unknown solver mode %q (known modes: %s)",
-		name, strings.Join(SolverModeNames(), ", "))
+	return 0, suggest.Unknown("solver mode", name, SolverModeNames())
 }
 
 // ResolvedWorkers returns the worker count Explore will actually use:
@@ -267,6 +268,8 @@ func SearchStrategyNames() []string {
 }
 
 // ParseSearchStrategy maps a -strategy flag value to its strategy.
+// Unknown names get the uniform suggestion error (valid names plus
+// closest match).
 func ParseSearchStrategy(name string) (SearchStrategy, error) {
 	switch name {
 	case "", "generational":
@@ -276,8 +279,7 @@ func ParseSearchStrategy(name string) (SearchStrategy, error) {
 	case "coverage":
 		return SearchCoverage, nil
 	}
-	return 0, fmt.Errorf("unknown search strategy %q (known strategies: %s)",
-		name, strings.Join(SearchStrategyNames(), ", "))
+	return 0, suggest.Unknown("search strategy", name, SearchStrategyNames())
 }
 
 // Defaults.
@@ -347,7 +349,7 @@ func ParseVerdict(name string) (Verdict, error) {
 type Claim struct {
 	PC      uint64
 	Syscall bool // bound syscall-simulation variables (paper outcome P)
-	Input   bombs.Input
+	Input   target.Input
 }
 
 // Stats reports the engine's work profile for one Explore call. Verdict
@@ -468,7 +470,7 @@ func (s Stats) InternHitRate() float64 {
 // Outcome is the engine's result for one directed-search task.
 type Outcome struct {
 	Verdict     Verdict
-	Input       bombs.Input // the solving input when Verdict == VerdictSolved
+	Input       target.Input // the solving input when Verdict == VerdictSolved
 	Incidents   []symexec.Incident
 	Claims      []Claim
 	CrashDetail string
@@ -476,7 +478,7 @@ type Outcome struct {
 	// FaultInputs lists generated inputs whose concrete runs ended in an
 	// unhandled fault — discovered bugs, in the paper's bug-detection
 	// application scenario.
-	FaultInputs []bombs.Input
+	FaultInputs []target.Input
 
 	Rounds          int
 	CandidatesTried int
@@ -617,7 +619,7 @@ func newEngineCache(caps Capabilities) *solver.Cache {
 }
 
 // Explore runs the concolic loop from the seed input.
-func (en *Engine) Explore(seed bombs.Input) *Outcome {
+func (en *Engine) Explore(seed target.Input) *Outcome {
 	return en.ExploreContext(context.Background(), seed)
 }
 
@@ -631,7 +633,7 @@ func (en *Engine) Explore(seed bombs.Input) *Outcome {
 // step-bounded concrete run of an already-dispatched round is not
 // interruptible. With a background context the behaviour — including
 // every determinism guarantee — is identical to Explore.
-func (en *Engine) ExploreContext(ctx context.Context, seed bombs.Input) *Outcome {
+func (en *Engine) ExploreContext(ctx context.Context, seed target.Input) *Outcome {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -778,7 +780,7 @@ func (en *Engine) push(c candidate) {
 // inputKey is an injective encoding of an input's facets, used to dedup
 // frontier candidates. It runs once per push on the hot path, so it
 // builds the key directly instead of going through fmt.
-func inputKey(in bombs.Input) string {
+func inputKey(in target.Input) string {
 	var b strings.Builder
 	b.Grow(len(in.Argv1) + 24)
 	b.WriteString(in.Argv1)

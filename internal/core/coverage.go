@@ -5,12 +5,12 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/bombs"
 	"repro/internal/cover"
 	"repro/internal/gos"
 	"repro/internal/isa"
 	"repro/internal/mutate"
 	"repro/internal/symexec"
+	"repro/internal/target"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -55,7 +55,7 @@ const (
 // corpusEntry is one breeding-stock input plus the replay plan that
 // lets its mutants resume from the run's checkpoints.
 type corpusEntry struct {
-	in   bombs.Input
+	in   target.Input
 	plan *replayPlan
 }
 
@@ -123,7 +123,7 @@ func (en *Engine) scoreCandidate(c candidate) int {
 }
 
 // corpusAdd rotates an input into the breeding stock.
-func (en *Engine) corpusAdd(in bombs.Input, plan *replayPlan) {
+func (en *Engine) corpusAdd(in target.Input, plan *replayPlan) {
 	e := corpusEntry{in: in, plan: plan}
 	if len(en.corpus) < maxCorpus {
 		en.corpus = append(en.corpus, e)

@@ -5,15 +5,15 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/bombs"
 	"repro/internal/symexec"
+	"repro/internal/target"
 )
 
 // reconstruct turns a solver model into a concrete input, starting from
 // the input that produced the constraints. It reports whether the result
 // differs from cur (realized) and whether the model demanded an input the
 // tool cannot build (truncated — the Es2 wrong-test-case situation).
-func reconstruct(model, seed map[string]uint64, cur bombs.Input, caps Capabilities) (next bombs.Input, realized, truncated bool) {
+func reconstruct(model, seed map[string]uint64, cur target.Input, caps Capabilities) (next target.Input, realized, truncated bool) {
 	next = cur
 	next.Web = cloneStrMap(cur.Web)
 	next.Files = cloneBytesMap(cur.Files)
@@ -64,7 +64,7 @@ func reconstruct(model, seed map[string]uint64, cur bombs.Input, caps Capabiliti
 
 // reconstructWeb rebuilds requested web content from "web:<url>!ret" and
 // "web:<url>[i]" variables.
-func reconstructWeb(model, seed map[string]uint64, next *bombs.Input) {
+func reconstructWeb(model, seed map[string]uint64, next *target.Input) {
 	const maxBody = 64
 	urls := make(map[string]bool)
 	for name := range model {
@@ -116,7 +116,7 @@ func reconstructWeb(model, seed map[string]uint64, next *bombs.Input) {
 // reconstructFiles resizes files to satisfy "filesize:<path>" model
 // variables: the size is the input facet, the content bytes only need to
 // exist, so the current content is truncated or padded.
-func reconstructFiles(model map[string]uint64, next *bombs.Input) {
+func reconstructFiles(model map[string]uint64, next *target.Input) {
 	const maxFileSize = 4096
 	paths := make([]string, 0, 1)
 	for name := range model {
@@ -149,7 +149,7 @@ func reconstructFiles(model map[string]uint64, next *bombs.Input) {
 // reconstructEnv rebuilds requested environment variables from
 // "getenv:<NAME>!ret" and "getenv:<NAME>[i]" model variables, mirroring
 // reconstructWeb.
-func reconstructEnv(model, seed map[string]uint64, next *bombs.Input) {
+func reconstructEnv(model, seed map[string]uint64, next *target.Input) {
 	const maxValue = 64
 	names := make(map[string]bool)
 	for name := range model {

@@ -5,12 +5,12 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/bombs"
 	"repro/internal/cover"
 	"repro/internal/gos"
 	"repro/internal/solver"
 	"repro/internal/sym"
 	"repro/internal/symexec"
+	"repro/internal/target"
 	"repro/internal/trace"
 )
 
@@ -59,9 +59,9 @@ type event struct {
 	flip     string
 	incident symexec.Incident
 	claim    Claim
-	input    bombs.Input // push payload, fault input, or solving input
-	plan     *replayPlan // replay plan attached to a push
-	flipEdge cover.Edge  // coverage-scoring signal attached to a push
+	input    target.Input // push payload, fault input, or solving input
+	plan     *replayPlan  // replay plan attached to a push
+	flipEdge cover.Edge   // coverage-scoring signal attached to a push
 	tainted  int
 	verdict  Verdict
 	detail   string
@@ -77,7 +77,7 @@ type roundRec struct {
 	// and child plan, so the scheduler can merge coverage in dispatch
 	// order and feed the fuzz corpus deterministically.
 	cov   *cover.Set
-	input bombs.Input
+	input target.Input
 	plan  *replayPlan
 
 	// Checkpoint work profile of this round (stats; deterministic for a
@@ -411,7 +411,7 @@ func (en *Engine) runRound(c candidate, idx int) *roundRec {
 // copy of the shared trace prefix. Any resume failure falls back to a
 // from-scratch run — the result is identical either way. Shared by
 // concolic rounds and fuzz breed executions.
-func (en *Engine) runConcrete(in bombs.Input, plan *replayPlan) (m *gos.Machine, res *gos.Result, prefixLen int, resumed bool, skipped int64, err error) {
+func (en *Engine) runConcrete(in target.Input, plan *replayPlan) (m *gos.Machine, res *gos.Result, prefixLen int, resumed bool, skipped int64, err error) {
 	ckptOn := en.caps.Checkpoint == CheckpointAuto
 	cfg := in.Config()
 	cfg.Record = true
@@ -458,7 +458,7 @@ func (en *Engine) runConcrete(in bombs.Input, plan *replayPlan) (m *gos.Machine,
 // discipline, but every query races the session against diversified
 // fresh workers sharing learned clauses through the engine's exchange
 // and, when configured, warm-starting from the persistent store.
-func (en *Engine) negate(rec *roundRec, cur bombs.Input, sr *symexec.Result, tr *trace.Trace, childPlan *replayPlan) {
+func (en *Engine) negate(rec *roundRec, cur target.Input, sr *symexec.Result, tr *trace.Trace, childPlan *replayPlan) {
 	// Forward occurrence numbering keeps flip keys stable across rounds
 	// (the n-th execution of a loop branch keeps its identity as traces
 	// lengthen).

@@ -1,0 +1,185 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Kind is a supported parameter/result type.
+type Kind uint8
+
+// Supported kinds: 64-bit signed integers and booleans.
+const (
+	KindInt Kind = iota
+	KindBool
+)
+
+func (k Kind) String() string {
+	if k == KindBool {
+		return "bool"
+	}
+	return "int"
+}
+
+// width is the payload footprint in bytes: 16 nibble characters per
+// int, 1 character per bool.
+func (k Kind) width() int {
+	if k == KindBool {
+		return 1
+	}
+	return 16
+}
+
+// Sig is a lowered function signature.
+type Sig struct {
+	Name   string
+	Params []Kind
+	Names  []string // parameter names, for rendering
+	Result *Kind    // nil for no result
+}
+
+// String renders the signature in Go syntax.
+func (s *Sig) String() string {
+	out := s.Name + "("
+	for i, p := range s.Params {
+		if i > 0 {
+			out += ", "
+		}
+		out += s.Names[i] + " " + p.String()
+	}
+	out += ")"
+	if s.Result != nil {
+		out += " " + s.Result.String()
+	}
+	return out
+}
+
+// PayloadLen is the total argv byte budget for the signature.
+func (s *Sig) PayloadLen() int {
+	n := 0
+	for _, p := range s.Params {
+		n += p.width()
+	}
+	return n
+}
+
+// maxParams is the register budget: the LB64 calling convention passes
+// arguments in r1..r5.
+const maxParams = 5
+
+// checkSig validates that fn's signature is inside the supported
+// subset and converts it.
+func (p *Package) checkSig(fn *ast.FuncDecl) (*Sig, error) {
+	obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil, p.errAt(fn.Pos(), "no type information for %s", fn.Name.Name)
+	}
+	t := obj.Type().(*types.Signature)
+	sig := &Sig{Name: fn.Name.Name}
+	if t.Params().Len() > maxParams {
+		return nil, p.errAt(fn.Pos(), "%s has %d parameters; the LB64 calling convention passes at most %d in registers",
+			fn.Name.Name, t.Params().Len(), maxParams)
+	}
+	for i := 0; i < t.Params().Len(); i++ {
+		v := t.Params().At(i)
+		k, err := kindOf(v.Type())
+		if err != nil {
+			return nil, p.errAt(fn.Pos(), "parameter %s of %s: %v", v.Name(), fn.Name.Name, err)
+		}
+		sig.Params = append(sig.Params, k)
+		sig.Names = append(sig.Names, v.Name())
+	}
+	switch t.Results().Len() {
+	case 0:
+	case 1:
+		k, err := kindOf(t.Results().At(0).Type())
+		if err != nil {
+			return nil, p.errAt(fn.Pos(), "result of %s: %v", fn.Name.Name, err)
+		}
+		sig.Result = &k
+	default:
+		return nil, p.errAt(fn.Pos(), "%s returns %d values; at most one fits the return register",
+			fn.Name.Name, t.Results().Len())
+	}
+	return sig, nil
+}
+
+// kindOf maps a Go type onto a supported kind.
+func kindOf(t types.Type) (Kind, error) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0, fmt.Errorf("type %s is outside the supported subset (int and bool only)", t)
+	}
+	switch b.Kind() {
+	case types.Int, types.Int64:
+		return KindInt, nil
+	case types.Bool, types.UntypedBool:
+		return KindBool, nil
+	}
+	return 0, fmt.Errorf("type %s is outside the supported subset (int and bool only)", t)
+}
+
+// The payload codec maps Go argument tuples onto argv bytes and back.
+//
+// The engine's input reconstruction truncates a solved argument string
+// at its first NUL byte, and the guest reads zeros past the end of the
+// argv block — so the codec must give every byte value a meaning and
+// give the byte 0 the same meaning as a missing byte. Nibble characters
+// 'a'..'p' encode 4 bits per byte; decoding is total and branchless:
+// (b-'a')&15, under which both 0 and a truncated-away byte decode to
+// nibble 15, matching the zeros the machine reads past the string end.
+// Booleans use one byte, decoded (b-'a')&1.
+
+// EncodeArgs renders an argument tuple as a payload string. Bools are
+// 0/1 in vals.
+func EncodeArgs(sig *Sig, vals []int64) (string, error) {
+	if len(vals) != len(sig.Params) {
+		return "", fmt.Errorf("gofront: %s takes %d arguments, got %d", sig.Name, len(sig.Params), len(vals))
+	}
+	buf := make([]byte, 0, sig.PayloadLen())
+	for i, k := range sig.Params {
+		switch k {
+		case KindBool:
+			buf = append(buf, byte('a'+(vals[i]&1)))
+		default:
+			v := uint64(vals[i])
+			for sh := 60; sh >= 0; sh -= 4 {
+				buf = append(buf, byte('a'+(v>>uint(sh))&15))
+			}
+		}
+	}
+	return string(buf), nil
+}
+
+// DecodeArgs recovers the argument tuple from a payload string. Bytes
+// past len(payload) read as 0, mirroring the machine's view of memory
+// beyond the argv string.
+func DecodeArgs(sig *Sig, payload string) []int64 {
+	at := func(i int) byte {
+		if i < len(payload) {
+			return payload[i]
+		}
+		return 0
+	}
+	vals := make([]int64, len(sig.Params))
+	pos := 0
+	for i, k := range sig.Params {
+		switch k {
+		case KindBool:
+			vals[i] = int64((at(pos) - 'a') & 1)
+			pos++
+		default:
+			var v uint64
+			for j := 0; j < 16; j++ {
+				v = v<<4 | uint64((at(pos)-'a')&15)
+				pos++
+			}
+			vals[i] = int64(v)
+		}
+	}
+	return vals
+}
+
+// ZeroArgs is the benign seed: every argument at its zero value.
+func ZeroArgs(sig *Sig) []int64 { return make([]int64, len(sig.Params)) }

@@ -1,0 +1,90 @@
+package gofront
+
+import (
+	"math"
+	"testing"
+)
+
+func intSig(n int) *Sig {
+	s := &Sig{Name: "f"}
+	for i := 0; i < n; i++ {
+		s.Params = append(s.Params, KindInt)
+		s.Names = append(s.Names, "x")
+	}
+	return s
+}
+
+// TestCodecRoundTrip pins that every encodable tuple decodes to itself,
+// across the integer edge cases the solver actually produces.
+func TestCodecRoundTrip(t *testing.T) {
+	edges := []int64{0, 1, -1, 42, -42, math.MaxInt64, math.MinInt64, 1 << 62, -(1 << 62)}
+	sig := intSig(2)
+	for _, a := range edges {
+		for _, b := range edges {
+			payload, err := EncodeArgs(sig, []int64{a, b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(payload) != sig.PayloadLen() {
+				t.Fatalf("payload len %d, want %d", len(payload), sig.PayloadLen())
+			}
+			got := DecodeArgs(sig, payload)
+			if got[0] != a || got[1] != b {
+				t.Errorf("round trip (%d, %d) -> %v", a, b, got)
+			}
+		}
+	}
+
+	bsig := &Sig{Name: "g", Params: []Kind{KindBool, KindInt}, Names: []string{"on", "k"}}
+	for _, on := range []int64{0, 1} {
+		payload, err := EncodeArgs(bsig, []int64{on, -7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := DecodeArgs(bsig, payload)
+		if got[0] != on || got[1] != -7 {
+			t.Errorf("bool round trip (%d, -7) -> %v", on, got)
+		}
+	}
+}
+
+// TestCodecTotality pins the contract the engine's reconstruction
+// forces on the codec: decoding must give every byte a meaning, and a
+// byte 0 must mean the same thing as a byte that is missing entirely —
+// the machine reads zeros past the end of the argv string, so a solved
+// payload truncated at a NUL still decodes to what the machine ran.
+func TestCodecTotality(t *testing.T) {
+	sig := intSig(1)
+	full, _ := EncodeArgs(sig, []int64{0x0123456789abcdef})
+	for cut := 0; cut <= len(full); cut++ {
+		trunc := DecodeArgs(sig, full[:cut])[0]
+		padded := DecodeArgs(sig, full[:cut]+string(make([]byte, len(full)-cut)))[0]
+		if trunc != padded {
+			t.Errorf("cut %d: truncated %x != NUL-padded %x", cut, trunc, padded)
+		}
+	}
+	// Every byte value decodes without branching on validity.
+	for b := 0; b < 256; b++ {
+		payload := string(make([]byte, 15)) + string([]byte{byte(b)})
+		v := DecodeArgs(sig, payload)[0] & 15
+		if want := int64((byte(b) - 'a') & 15); v != want {
+			t.Errorf("byte %#x decoded low nibble %d, want %d", b, v, want)
+		}
+	}
+}
+
+// TestZeroArgsEncodesBenign pins the seed: zero arguments encode to a
+// payload that decodes back to zeros.
+func TestZeroArgsEncodesBenign(t *testing.T) {
+	sig := &Sig{Name: "h", Params: []Kind{KindInt, KindBool, KindInt},
+		Names: []string{"a", "b", "c"}}
+	payload, err := EncodeArgs(sig, ZeroArgs(sig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range DecodeArgs(sig, payload) {
+		if v != 0 {
+			t.Errorf("zero seed decodes arg %d as %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package gofront
+
+import (
+	"math"
+	"testing"
+
+	"repro/examples/demo"
+	"repro/internal/asm"
+	"repro/internal/libc"
+	"repro/internal/target"
+)
+
+// goResult mirrors EvalResult for the real Go implementations.
+type goResult struct {
+	ret      int64
+	hasRet   bool
+	panicked bool
+}
+
+// call runs fn with recover, so real Go panics become data.
+func call(fn func() (int64, bool)) (res goResult) {
+	defer func() {
+		if recover() != nil {
+			res = goResult{panicked: true}
+		}
+	}()
+	ret, hasRet := fn()
+	return goResult{ret: ret, hasRet: hasRet}
+}
+
+// goFns dispatches each demo function as real compiled Go — the ground
+// truth both the reference evaluator and the lowered machine must match.
+var goFns = map[string]func(args []int64) goResult{
+	"Unlock": func(a []int64) goResult {
+		return call(func() (int64, bool) { demo.Unlock(int(a[0]), int(a[1])); return 0, false })
+	},
+	"Guard": func(a []int64) goResult {
+		return call(func() (int64, bool) { return int64(demo.Guard(int(a[0]))), true })
+	},
+	"Probe": func(a []int64) goResult {
+		return call(func() (int64, bool) { return int64(demo.Probe(int(a[0]))), true })
+	},
+	"Loop": func(a []int64) goResult {
+		return call(func() (int64, bool) { return int64(demo.Loop(int(a[0]))), true })
+	},
+	"Flag": func(a []int64) goResult {
+		return call(func() (int64, bool) { demo.Flag(a[0] != 0, int(a[1])); return 0, false })
+	},
+	"Divide": func(a []int64) goResult {
+		return call(func() (int64, bool) { return int64(demo.Divide(int(a[0]), int(a[1]))), true })
+	},
+}
+
+// tuples enumerates the probe inputs for a signature: boundary values
+// in every position, plus the known solving tuples.
+func tuples(sig *Sig) [][]int64 {
+	edges := []int64{0, 1, -1, 3, -3, 5, 9, 11, 20, 42, 99, math.MaxInt64, math.MinInt64}
+	var out [][]int64
+	switch len(sig.Params) {
+	case 1:
+		for _, a := range edges {
+			out = append(out, []int64{a})
+		}
+	case 2:
+		for _, a := range edges {
+			for _, b := range edges {
+				out = append(out, []int64{a, b})
+			}
+		}
+	}
+	// The solving tuples, so every detonation path is exercised.
+	known := map[string][][]int64{
+		"Unlock": {{4, 42}},
+		"Flag":   {{1, 5}, {0, 5}, {1, 0}},
+		"Divide": {{11, 3}, {100, 3}},
+	}
+	out = append(out, known[sig.Name]...)
+	// Respect kinds: bools collapse to parity.
+	for _, tu := range out {
+		for i, k := range sig.Params {
+			if k == KindBool {
+				tu[i] &= 1
+			}
+		}
+	}
+	return out
+}
+
+// TestDifferentialDemo is the three-way lockstep: for every exported
+// demo function and probe tuple, real Go, the reference evaluator, and
+// the lowered machine must agree on whether the call panics, and (when
+// it returns an int) real Go and the evaluator must agree on the value.
+func TestDifferentialDemo(t *testing.T) {
+	pkg, err := Load("../../examples/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range pkg.Exported() {
+		fn := fn
+		t.Run(fn, func(t *testing.T) {
+			goFn, ok := goFns[fn]
+			if !ok {
+				t.Fatalf("no Go dispatch for %s — extend goFns", fn)
+			}
+			prog, err := Lower(pkg, fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := asm.Assemble(append(libc.All(),
+				asm.Source{Name: fn + ".s", Text: prog.Asm})...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tu := range tuples(prog.Sig) {
+				want := goFn(tu)
+				ev, err := pkg.Eval(fn, tu)
+				if err != nil {
+					t.Fatalf("%s(%v): evaluator error: %v", fn, tu, err)
+				}
+				if ev.Panicked != want.panicked {
+					t.Errorf("%s(%v): evaluator panicked=%v, Go %v", fn, tu, ev.Panicked, want.panicked)
+				}
+				if !want.panicked && want.hasRet && ev.Ret != want.ret {
+					t.Errorf("%s(%v): evaluator returned %d, Go %d", fn, tu, ev.Ret, want.ret)
+				}
+				payload, err := EncodeArgs(prog.Sig, tu)
+				if err != nil {
+					t.Fatal(err)
+				}
+				boom, _ := replayMachine(img, prog, target.Input{Argv1: payload})
+				if boom != want.panicked {
+					t.Errorf("%s(%v): machine detonated=%v, Go panicked=%v", fn, tu, boom, want.panicked)
+				}
+			}
+		})
+	}
+}
+
+// TestNeverPanicsAtZero pins the benign-seed property the engine's
+// exploration relies on: every exported demo function runs cleanly at
+// the all-zero argument tuple, on all three semantics.
+func TestNeverPanicsAtZero(t *testing.T) {
+	pkg, err := Load("../../examples/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range pkg.Exported() {
+		prog, err := Lower(pkg, fn)
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		zero := ZeroArgs(prog.Sig)
+		if res := goFns[fn](zero); res.panicked {
+			t.Errorf("%s(zero): real Go panicked", fn)
+		}
+		ev, err := pkg.Eval(fn, zero)
+		if err != nil {
+			t.Fatalf("%s(zero): %v", fn, err)
+		}
+		if ev.Panicked {
+			t.Errorf("%s(zero): evaluator panicked: %s", fn, ev.PanicMsg)
+		}
+		img, err := asm.Assemble(append(libc.All(),
+			asm.Source{Name: fn + ".s", Text: prog.Asm})...)
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		payload, err := EncodeArgs(prog.Sig, zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if boom, site := replayMachine(img, prog, target.Input{Argv1: payload}); boom {
+			t.Errorf("%s(zero): machine detonated at %q", fn, site)
+		}
+	}
+}

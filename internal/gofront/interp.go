@@ -1,0 +1,549 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The interpreter is the frontend's concrete reference semantics: a
+// direct evaluator over the type-checked AST, covering exactly the
+// lowered subset. Solved inputs replay through it to check that the
+// machine-level exploration and the source-level meaning agree — the
+// differential oracle for the lowering.
+
+// EvalResult is the outcome of one concrete evaluation.
+type EvalResult struct {
+	Ret      int64 // meaningful when HasRet
+	HasRet   bool
+	Panicked bool
+	PanicMsg string
+	Steps    int
+}
+
+// goPanic carries a Go-semantics panic through the evaluator.
+type goPanic struct{ msg string }
+
+// evalBudget bounds total evaluation steps so non-terminating loops
+// surface as errors rather than hangs.
+const evalBudget = 5_000_000
+
+// Eval runs fn concretely on args (bools as 0/1).
+func (p *Package) Eval(fn string, args []int64) (res EvalResult, err error) {
+	decl, err := p.Target(fn)
+	if err != nil {
+		return res, err
+	}
+	sig, err := p.checkSig(decl)
+	if err != nil {
+		return res, err
+	}
+	if len(args) != len(sig.Params) {
+		return res, fmt.Errorf("gofront: %s takes %d arguments, got %d", fn, len(sig.Params), len(args))
+	}
+	ev := &evaluator{pkg: p, budget: evalBudget}
+	defer func() {
+		if r := recover(); r != nil {
+			gp, ok := r.(goPanic)
+			if !ok {
+				panic(r)
+			}
+			res = EvalResult{Panicked: true, PanicMsg: gp.msg, Steps: evalBudget - ev.budget}
+		}
+	}()
+	ret, hasRet, err := ev.callFunc(decl, args)
+	if err != nil {
+		return res, err
+	}
+	return EvalResult{Ret: ret, HasRet: hasRet, Steps: evalBudget - ev.budget}, nil
+}
+
+type evaluator struct {
+	pkg    *Package
+	budget int
+}
+
+// frame is one function activation: scalars and arrays by object.
+type frame struct {
+	vars   map[types.Object]int64
+	arrays map[types.Object][]int64
+}
+
+// control-flow signals, propagated as error values so the evaluator's
+// plumbing stays explicit.
+type ctlSignal uint8
+
+const (
+	ctlNone ctlSignal = iota
+	ctlReturn
+	ctlBreak
+	ctlContinue
+)
+
+func (e *evaluator) step(pos token.Pos) error {
+	e.budget--
+	if e.budget <= 0 {
+		return fmt.Errorf("gofront: evaluation budget exhausted at %s", e.pkg.Fset.Position(pos))
+	}
+	return nil
+}
+
+func (e *evaluator) callFunc(decl *ast.FuncDecl, args []int64) (int64, bool, error) {
+	if err := e.step(decl.Pos()); err != nil {
+		return 0, false, err
+	}
+	fr := &frame{vars: map[types.Object]int64{}, arrays: map[types.Object][]int64{}}
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		for _, id := range field.Names {
+			fr.vars[e.pkg.Info.Defs[id]] = args[i]
+			i++
+		}
+	}
+	ctl, ret, err := e.stmts(fr, decl.Body.List)
+	if err != nil {
+		return 0, false, err
+	}
+	hasRet := ctl == ctlReturn && decl.Type.Results != nil && len(decl.Type.Results.List) > 0
+	return ret, hasRet, nil
+}
+
+func (e *evaluator) stmts(fr *frame, list []ast.Stmt) (ctlSignal, int64, error) {
+	for _, s := range list {
+		ctl, ret, err := e.stmt(fr, s)
+		if err != nil || ctl != ctlNone {
+			return ctl, ret, err
+		}
+	}
+	return ctlNone, 0, nil
+}
+
+func (e *evaluator) stmt(fr *frame, s ast.Stmt) (ctlSignal, int64, error) {
+	if err := e.step(s.Pos()); err != nil {
+		return ctlNone, 0, err
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return e.stmts(fr, s.List)
+
+	case *ast.DeclStmt:
+		gd := s.Decl.(*ast.GenDecl)
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, id := range vs.Names {
+				var init ast.Expr
+				if i < len(vs.Values) {
+					init = vs.Values[i]
+				}
+				if err := e.declare(fr, id, init); err != nil {
+					return ctlNone, 0, err
+				}
+			}
+		}
+		return ctlNone, 0, nil
+
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			if err := e.declare(fr, s.Lhs[0].(*ast.Ident), s.Rhs[0]); err != nil {
+				return ctlNone, 0, err
+			}
+			return ctlNone, 0, nil
+		}
+		var err error
+		if s.Tok == token.ASSIGN {
+			err = e.store(fr, s.Lhs[0], func() (int64, error) { return e.expr(fr, s.Rhs[0]) })
+		} else {
+			op := compoundOps[s.Tok]
+			err = e.store(fr, s.Lhs[0], func() (int64, error) {
+				l, lerr := e.expr(fr, s.Lhs[0])
+				if lerr != nil {
+					return 0, lerr
+				}
+				r, rerr := e.expr(fr, s.Rhs[0])
+				if rerr != nil {
+					return 0, rerr
+				}
+				return e.binop(op, l, r, s.Pos())
+			})
+		}
+		return ctlNone, 0, err
+
+	case *ast.IncDecStmt:
+		delta := int64(1)
+		if s.Tok == token.DEC {
+			delta = -1
+		}
+		err := e.store(fr, s.X, func() (int64, error) {
+			v, verr := e.expr(fr, s.X)
+			return v + delta, verr
+		})
+		return ctlNone, 0, err
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if ctl, ret, err := e.stmt(fr, s.Init); err != nil || ctl != ctlNone {
+				return ctl, ret, err
+			}
+		}
+		c, err := e.expr(fr, s.Cond)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		if c != 0 {
+			return e.stmts(fr, s.Body.List)
+		}
+		if s.Else != nil {
+			return e.stmt(fr, s.Else)
+		}
+		return ctlNone, 0, nil
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if ctl, ret, err := e.stmt(fr, s.Init); err != nil || ctl != ctlNone {
+				return ctl, ret, err
+			}
+		}
+		for {
+			if err := e.step(s.Pos()); err != nil {
+				return ctlNone, 0, err
+			}
+			if s.Cond != nil {
+				c, err := e.expr(fr, s.Cond)
+				if err != nil {
+					return ctlNone, 0, err
+				}
+				if c == 0 {
+					break
+				}
+			}
+			ctl, ret, err := e.stmts(fr, s.Body.List)
+			if err != nil {
+				return ctlNone, 0, err
+			}
+			if ctl == ctlReturn {
+				return ctl, ret, nil
+			}
+			if ctl == ctlBreak {
+				break
+			}
+			if s.Post != nil {
+				if ctl, ret, err := e.stmt(fr, s.Post); err != nil || ctl != ctlNone {
+					return ctl, ret, err
+				}
+			}
+		}
+		return ctlNone, 0, nil
+
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK {
+			return ctlBreak, 0, nil
+		}
+		return ctlContinue, 0, nil
+
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			v, err := e.expr(fr, s.Results[0])
+			return ctlReturn, v, err
+		}
+		return ctlReturn, 0, nil
+
+	case *ast.ExprStmt:
+		call := s.X.(*ast.CallExpr)
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			if _, isFunc := e.pkg.Info.Uses[id].(*types.Func); !isFunc {
+				panic(goPanic{msg: strings.TrimPrefix(panicDesc(call, e.pkg.Fset), "panic: ")})
+			}
+		}
+		_, err := e.expr(fr, call)
+		return ctlNone, 0, err
+
+	default:
+		return ctlNone, 0, e.pkg.errAt(s.Pos(), "unsupported statement %T", s)
+	}
+}
+
+func (e *evaluator) declare(fr *frame, id *ast.Ident, init ast.Expr) error {
+	obj := e.pkg.Info.Defs[id]
+	if obj == nil && id.Name == "_" {
+		if init != nil {
+			_, err := e.expr(fr, init)
+			return err
+		}
+		return nil
+	}
+	if arr, ok := obj.Type().Underlying().(*types.Array); ok {
+		return e.declareArray(fr, obj, int(arr.Len()), init)
+	}
+	if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+		lit, ok := init.(*ast.CompositeLit)
+		if !ok {
+			return e.pkg.errAt(id.Pos(), "slice %s: only composite-literal slices are supported", id.Name)
+		}
+		return e.declareArray(fr, obj, len(lit.Elts), init)
+	}
+	var v int64
+	if init != nil {
+		var err error
+		if v, err = e.expr(fr, init); err != nil {
+			return err
+		}
+	}
+	fr.vars[obj] = v
+	return nil
+}
+
+func (e *evaluator) declareArray(fr *frame, obj types.Object, n int, init ast.Expr) error {
+	vals := make([]int64, n)
+	if init != nil {
+		lit := init.(*ast.CompositeLit)
+		for i, el := range lit.Elts {
+			v, err := e.expr(fr, el)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+	}
+	fr.arrays[obj] = vals
+	return nil
+}
+
+// store writes rhs() into an lvalue, indexing with Go bounds semantics.
+func (e *evaluator) store(fr *frame, lhs ast.Expr, rhs func() (int64, error)) error {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		v, err := rhs()
+		if err != nil {
+			return err
+		}
+		if lhs.Name == "_" {
+			return nil
+		}
+		obj := e.pkg.Info.Uses[lhs]
+		if obj == nil {
+			obj = e.pkg.Info.Defs[lhs]
+		}
+		fr.vars[obj] = v
+		return nil
+	case *ast.IndexExpr:
+		v, err := rhs()
+		if err != nil {
+			return err
+		}
+		arr, idx, err := e.index(fr, lhs)
+		if err != nil {
+			return err
+		}
+		arr[idx] = v
+		return nil
+	}
+	return e.pkg.errAt(lhs.Pos(), "unsupported assignment target %T", lhs)
+}
+
+// index resolves arr[i] with the bounds panic.
+func (e *evaluator) index(fr *frame, ix *ast.IndexExpr) ([]int64, int64, error) {
+	id := ix.X.(*ast.Ident)
+	obj := e.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = e.pkg.Info.Defs[id]
+	}
+	arr, ok := fr.arrays[obj]
+	if !ok {
+		return nil, 0, e.pkg.errAt(id.Pos(), "%s is not a local array", id.Name)
+	}
+	i, err := e.expr(fr, ix.Index)
+	if err != nil {
+		return nil, 0, err
+	}
+	if i < 0 || i >= int64(len(arr)) {
+		panic(goPanic{msg: fmt.Sprintf("runtime error: index out of range (len %d)", len(arr))})
+	}
+	return arr, i, nil
+}
+
+func (e *evaluator) expr(fr *frame, x ast.Expr) (int64, error) {
+	if err := e.step(x.Pos()); err != nil {
+		return 0, err
+	}
+	if tv, ok := e.pkg.Info.Types[x]; ok && tv.Value != nil {
+		return constInt(tv.Value, e.pkg, x.Pos())
+	}
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		return e.expr(fr, x.X)
+
+	case *ast.Ident:
+		obj := e.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = e.pkg.Info.Defs[x]
+		}
+		v, ok := fr.vars[obj]
+		if !ok {
+			if _, isArr := fr.arrays[obj]; isArr {
+				return 0, e.pkg.errAt(x.Pos(), "arrays are only indexed or measured, not passed")
+			}
+			return 0, e.pkg.errAt(x.Pos(), "%s is not a local of this function", x.Name)
+		}
+		return v, nil
+
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			l, err := e.expr(fr, x.X)
+			if err != nil || l == 0 {
+				return 0, err
+			}
+			return e.expr(fr, x.Y)
+		case token.LOR:
+			l, err := e.expr(fr, x.X)
+			if err != nil || l != 0 {
+				return boolInt(l != 0), err
+			}
+			return e.expr(fr, x.Y)
+		}
+		l, err := e.expr(fr, x.X)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.expr(fr, x.Y)
+		if err != nil {
+			return 0, err
+		}
+		return e.binop(x.Op, l, r, x.OpPos)
+
+	case *ast.UnaryExpr:
+		v, err := e.expr(fr, x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.SUB:
+			return -v, nil
+		case token.XOR:
+			return ^v, nil
+		case token.NOT:
+			return v ^ 1, nil
+		case token.ADD:
+			return v, nil
+		}
+		return 0, e.pkg.errAt(x.Pos(), "unsupported unary operator %s", x.Op)
+
+	case *ast.IndexExpr:
+		arr, i, err := e.index(fr, x)
+		if err != nil {
+			return 0, err
+		}
+		return arr[i], nil
+
+	case *ast.BasicLit:
+		// Synthetic nodes only; real literals fold above.
+		v := constant.MakeFromLiteral(x.Value, x.Kind, 0)
+		return constInt(v, e.pkg, x.Pos())
+
+	case *ast.CallExpr:
+		id, ok := x.Fun.(*ast.Ident)
+		if !ok {
+			return 0, e.pkg.errAt(x.Fun.Pos(), "unsupported call target %T", x.Fun)
+		}
+		if _, isBuiltin := e.pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "len" {
+			aid, ok := x.Args[0].(*ast.Ident)
+			if !ok {
+				return 0, e.pkg.errAt(x.Args[0].Pos(), "len of %T is outside the supported subset", x.Args[0])
+			}
+			obj := e.pkg.Info.Uses[aid]
+			arr, ok := fr.arrays[obj]
+			if !ok {
+				return 0, e.pkg.errAt(aid.Pos(), "len of %s: not a local array or slice literal", aid.Name)
+			}
+			return int64(len(arr)), nil
+		}
+		decl, ok := e.pkg.Funcs[id.Name]
+		if !ok {
+			return 0, e.pkg.errAt(x.Pos(), "call to %s is outside the supported subset", id.Name)
+		}
+		args := make([]int64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := e.expr(fr, a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		ret, _, err := e.callFunc(decl, args)
+		return ret, err
+
+	default:
+		return 0, e.pkg.errAt(x.Pos(), "unsupported expression %T", x)
+	}
+}
+
+// binop applies a binary operator with Go's runtime semantics — the
+// single place those semantics live for the interpreter, mirrored
+// instruction-for-instruction by the lowering in binary().
+func (e *evaluator) binop(op token.Token, l, r int64, pos token.Pos) (int64, error) {
+	switch op {
+	case token.ADD:
+		return l + r, nil
+	case token.SUB:
+		return l - r, nil
+	case token.MUL:
+		return l * r, nil
+	case token.QUO:
+		if r == 0 {
+			panic(goPanic{msg: "runtime error: integer divide by zero (integer division)"})
+		}
+		return l / r, nil
+	case token.REM:
+		if r == 0 {
+			panic(goPanic{msg: "runtime error: integer divide by zero (integer remainder)"})
+		}
+		return l % r, nil
+	case token.AND:
+		return l & r, nil
+	case token.OR:
+		return l | r, nil
+	case token.XOR:
+		return l ^ r, nil
+	case token.AND_NOT:
+		return l &^ r, nil
+	case token.SHL:
+		if r < 0 {
+			panic(goPanic{msg: "runtime error: negative shift amount"})
+		}
+		if r >= 64 {
+			return 0, nil
+		}
+		return l << uint(r), nil
+	case token.SHR:
+		if r < 0 {
+			panic(goPanic{msg: "runtime error: negative shift amount"})
+		}
+		if r >= 64 {
+			return l >> 63, nil
+		}
+		return l >> uint(r), nil
+	case token.EQL:
+		return boolInt(l == r), nil
+	case token.NEQ:
+		return boolInt(l != r), nil
+	case token.LSS:
+		return boolInt(l < r), nil
+	case token.LEQ:
+		return boolInt(l <= r), nil
+	case token.GTR:
+		return boolInt(l > r), nil
+	case token.GEQ:
+		return boolInt(l >= r), nil
+	}
+	return 0, e.pkg.errAt(pos, "unsupported binary operator %s", op)
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

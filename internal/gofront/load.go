@@ -1,0 +1,140 @@
+// Package gofront is the Go frontend: it loads a Go package with the
+// standard library's parser and type checker, lowers a supported subset
+// of it to LB64 assembly, and drives the unmodified concolic engine to
+// generate test inputs — argument tuples that make a chosen function
+// panic. Panics (explicit panic calls, out-of-range indexing, division
+// by zero, negative shift counts) become detonation sites: each lowers
+// to a call of the engine's canonical `bomb` symbol.
+//
+// The container this suite builds in has no module cache, so the
+// golang.org/x/tools go/ssa package is unavailable; the frontend
+// instead lowers the type-checked AST directly. The lowered subset is
+// exactly the SSA subset documented in DESIGN.md §18 — if/jump and phi
+// nodes appear here as structured control flow whose join points carry
+// the phi values in stack slots. Every construct outside the subset is
+// rejected loudly with its source position.
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/suggest"
+)
+
+// Package is a loaded, type-checked Go package.
+type Package struct {
+	Name  string
+	Fset  *token.FileSet
+	Info  *types.Info
+	Funcs map[string]*ast.FuncDecl
+	Order []string // function names in source order
+}
+
+// Load parses and type-checks every non-test .go file in dir. Imports
+// are rejected: the lowered subset is self-contained by construction
+// (the guest has its own libc, not Go's runtime).
+func Load(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("gofront: %w", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("gofront: %w", err)
+		}
+		files = append(files, f)
+		names = append(names, n)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("gofront: no Go files in %s", dir)
+	}
+	for _, f := range files {
+		if len(f.Imports) > 0 {
+			p := fset.Position(f.Imports[0].Pos())
+			return nil, fmt.Errorf("gofront: %s: imports are outside the supported subset "+
+				"(the lowered program runs against the guest libc, not the Go runtime)", p)
+		}
+	}
+	pkg := &Package{
+		Fset:  fset,
+		Info:  &types.Info{Types: map[ast.Expr]types.TypeAndValue{}, Defs: map[*ast.Ident]types.Object{}, Uses: map[*ast.Ident]types.Object{}},
+		Funcs: map[string]*ast.FuncDecl{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	tpkg, err := conf.Check(dir, fset, files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("gofront: %w", err)
+	}
+	pkg.Name = tpkg.Name()
+	for _, f := range files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil {
+					p := fset.Position(d.Pos())
+					return nil, fmt.Errorf("gofront: %s: methods are outside the supported subset", p)
+				}
+				pkg.Funcs[d.Name.Name] = d
+				pkg.Order = append(pkg.Order, d.Name.Name)
+			case *ast.GenDecl:
+				switch d.Tok {
+				case token.CONST:
+					// Constants fold into expressions via the type
+					// checker; nothing to lower.
+				case token.IMPORT:
+					// Unreachable: rejected above.
+				default:
+					p := fset.Position(d.Pos())
+					return nil, fmt.Errorf("gofront: %s: package-level %s declarations are outside "+
+						"the supported subset (globals would need a data segment the lowering does not emit)",
+						p, d.Tok)
+				}
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// Target resolves a function by name, with the uniform suggestion error
+// on a miss.
+func (p *Package) Target(name string) (*ast.FuncDecl, error) {
+	if fn, ok := p.Funcs[name]; ok {
+		return fn, nil
+	}
+	valid := append([]string(nil), p.Order...)
+	sort.Strings(valid)
+	return nil, suggest.Unknown("function", name, valid)
+}
+
+// Exported returns the exported function names, in source order.
+func (p *Package) Exported() []string {
+	var out []string
+	for _, n := range p.Order {
+		if ast.IsExported(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// errAt builds a subset-violation error carrying the source position.
+func (p *Package) errAt(pos token.Pos, format string, args ...any) error {
+	return fmt.Errorf("gofront: %s: %s", p.Fset.Position(pos), fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,115 @@
+package gofront
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePkg materializes a one-file package and loads it.
+func writePkg(t *testing.T, src string) (*Package, error) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return Load(dir)
+}
+
+// TestUnsupportedConstructsFailLoudly pins the frontend's contract:
+// everything outside the lowered subset is rejected with an error that
+// names the construct and its position — never silently mis-lowered.
+func TestUnsupportedConstructsFailLoudly(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"imports", "package p\nimport \"fmt\"\nfunc F() { fmt.Println() }\n",
+			"imports are outside the supported subset"},
+		{"methods", "package p\nfunc (t T) M() {}\ntype T int\n",
+			"methods are outside the supported subset"},
+		{"package-level var", "package p\nvar g int\nfunc F() int { return g }\n",
+			"package-level var declarations are outside"},
+		{"string param", "package p\nfunc F(s string) {}\n",
+			"outside the supported subset (int and bool only)"},
+		{"float param", "package p\nfunc F(x float64) {}\n",
+			"outside the supported subset (int and bool only)"},
+		{"too many params", "package p\nfunc F(a, b, c, d, e, f int) {}\n",
+			"at most 5 in registers"},
+		{"multi result", "package p\nfunc F() (int, int) { return 1, 2 }\n",
+			"at most one fits the return register"},
+		{"goroutine", "package p\nfunc F() { go F() }\n",
+			"unsupported statement"},
+		{"select", "package p\nfunc F() { select {} }\n",
+			"unsupported statement"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pkg, err := writePkg(t, c.src)
+			if err == nil {
+				// Signature and body violations surface at Lower time.
+				_, err = Lower(pkg, "F")
+			}
+			if err == nil {
+				t.Fatalf("%s: accepted, want rejection", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("%s: error %q, want substring %q", c.name, err, c.want)
+			}
+		})
+	}
+}
+
+// TestUnknownFunctionSuggests pins the uniform suggestion error shared
+// with the solver-mode and bomb-name parsers.
+func TestUnknownFunctionSuggests(t *testing.T) {
+	pkg, err := writePkg(t, "package p\nfunc Unlock(a int) {}\nfunc Guard(n int) {}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pkg.Target("Unlok")
+	if err == nil {
+		t.Fatal("Target(Unlok) succeeded")
+	}
+	want := `unknown function "Unlok" (valid: Guard, Unlock) — did you mean "Unlock"?`
+	if err.Error() != want {
+		t.Errorf("error %q, want %q", err, want)
+	}
+}
+
+// TestConstantsAndHelpersLoad pins the accepted end of the subset:
+// package-level consts fold, unexported helpers lower transitively.
+func TestConstantsAndHelpersLoad(t *testing.T) {
+	pkg, err := writePkg(t, `package p
+
+const key = 41
+
+func double(x int) int { return 2 * x }
+
+func F(n int) {
+	if double(n) == key+1 {
+		panic("hit")
+	}
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Lower(pkg, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Asm, "go_double:") {
+		t.Error("helper double was not lowered")
+	}
+	if len(prog.PanicSites) != 1 {
+		t.Errorf("panic sites %v, want exactly the explicit panic", prog.PanicSites)
+	}
+	res, err := pkg.Eval("F", []int64{21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Panicked {
+		t.Error("F(21) did not panic in the reference evaluator")
+	}
+}

@@ -1,0 +1,179 @@
+package gofront
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/bin"
+	"repro/internal/core"
+	"repro/internal/gos"
+	"repro/internal/libc"
+	"repro/internal/target"
+)
+
+// Result is the outcome of exploring one Go function: the engine's
+// verdict, the decoded argument tuple when solved, and both replays —
+// the lowered machine run and the source-level reference evaluation —
+// which must agree for the result to be trusted.
+type Result struct {
+	Prog    *Program
+	Outcome *core.Outcome
+
+	// Args is the decoded solving argument tuple (bools as 0/1),
+	// non-nil exactly when the verdict is Solved.
+	Args []int64
+
+	// MachineBoom reports whether replaying the solved input on the
+	// lowered image detonated (exit 42 + BOOM).
+	MachineBoom bool
+	// MachineSite names the detonation site the machine replay hit
+	// (from the bomb return address), empty if it cannot be attributed.
+	MachineSite string
+
+	// Replay is the concrete source-level evaluation of Args.
+	Replay EvalResult
+	// ReplayErr is non-nil when the reference evaluation itself failed
+	// (subset violation or budget), as opposed to panicking.
+	ReplayErr error
+}
+
+// Agreed reports whether machine and reference semantics agree on the
+// solved input: both detonate, or neither does.
+func (r *Result) Agreed() bool {
+	if r.Args == nil {
+		return true // nothing to compare
+	}
+	if r.ReplayErr != nil {
+		return false
+	}
+	return r.MachineBoom == r.Replay.Panicked
+}
+
+// Caps derives engine capabilities for a lowered Go function from a
+// base profile. The payload codec is total — every byte decodes — so
+// the argv terminator and padding channels are disabled and the
+// argument length is pinned to the signature's exact footprint: the
+// solver explores argument values, never argument shapes.
+func Caps(base core.Capabilities, sig *Sig) core.Capabilities {
+	caps := base
+	caps.Sym.Spec.ArgvNUL = false
+	caps.Sym.Spec.ArgvPad = 0
+	caps.GrowArgv = false
+	caps.MaxArgvLen = sig.PayloadLen()
+	return caps
+}
+
+// Solve lowers fn from the package in dir and directs the engine at
+// its detonation sites, starting from the all-zero argument tuple.
+func Solve(ctx context.Context, dir, fn string, base core.Capabilities) (*Result, error) {
+	pkg, err := Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return SolvePackage(ctx, pkg, fn, base)
+}
+
+// SolvePackage is Solve for an already-loaded package.
+func SolvePackage(ctx context.Context, pkg *Package, fn string, base core.Capabilities) (*Result, error) {
+	prog, err := Lower(pkg, fn)
+	if err != nil {
+		return nil, err
+	}
+	img, err := asm.Assemble(append(libc.All(), asm.Source{Name: "go_" + fn + ".s", Text: prog.Asm})...)
+	if err != nil {
+		return nil, fmt.Errorf("gofront: assembling lowered %s: %w", fn, err)
+	}
+	bombAddr, ok := img.Symbol("bomb")
+	if !ok {
+		return nil, fmt.Errorf("gofront: lowered image has no bomb symbol")
+	}
+
+	seedPayload, err := EncodeArgs(prog.Sig, ZeroArgs(prog.Sig))
+	if err != nil {
+		return nil, err
+	}
+	en := core.New(img, bombAddr, Caps(base, prog.Sig))
+	out := en.ExploreContext(ctx, target.Input{Argv1: seedPayload})
+
+	res := &Result{Prog: prog, Outcome: out}
+	if out.Verdict == core.VerdictSolved {
+		res.Args = DecodeArgs(prog.Sig, out.Input.Argv1)
+		res.MachineBoom, res.MachineSite = replayMachine(img, prog, out.Input)
+		res.Replay, res.ReplayErr = pkg.Eval(fn, res.Args)
+	}
+	return res, nil
+}
+
+// replayMachine runs the solved input concretely on the lowered image
+// and attributes the detonation to a panic site: each site's global
+// label address is watched, and the one the run executed names the
+// source-level panic that fired.
+func replayMachine(img *bin.Image, prog *Program, in target.Input) (bool, string) {
+	cfg := in.Config()
+	cfg.MaxSteps = 5_000_000
+	sites := map[uint64]string{}
+	for label := range prog.PanicSites {
+		if addr, ok := img.Symbol(label); ok {
+			sites[addr] = label
+			cfg.WatchAddrs = append(cfg.WatchAddrs, addr)
+		}
+	}
+	m, err := gos.New(img, cfg)
+	if err != nil {
+		return false, ""
+	}
+	r := m.Run()
+	if !(r.ExitStatus == 42 && strings.Contains(r.Stdout, "BOOM")) {
+		return false, ""
+	}
+	for addr, hit := range r.Watched {
+		if hit {
+			if desc, ok := prog.PanicSites[sites[addr]]; ok {
+				return true, desc
+			}
+		}
+	}
+	return true, ""
+}
+
+// Render writes the human-readable solve report.
+func Render(w *strings.Builder, res *Result) {
+	prog, out := res.Prog, res.Outcome
+	fmt.Fprintf(w, "func %s\n", prog.Sig)
+	fmt.Fprintf(w, "detonation sites: %d\n", len(prog.PanicSites))
+	for _, line := range prog.SortedPanicSites() {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	fmt.Fprintf(w, "verdict=%s rounds=%d\n", out.Verdict, out.Rounds)
+	if res.Args == nil {
+		return
+	}
+	parts := make([]string, len(res.Args))
+	for i, v := range res.Args {
+		if prog.Sig.Params[i] == KindBool {
+			parts[i] = fmt.Sprintf("%s=%v", prog.Sig.Names[i], v != 0)
+		} else {
+			parts[i] = fmt.Sprintf("%s=%d", prog.Sig.Names[i], v)
+		}
+	}
+	fmt.Fprintf(w, "solved args: %s(%s)\n", prog.Sig.Name, strings.Join(parts, ", "))
+	if res.MachineSite != "" {
+		fmt.Fprintf(w, "machine replay: detonated at %s\n", res.MachineSite)
+	} else {
+		fmt.Fprintf(w, "machine replay: detonated=%v\n", res.MachineBoom)
+	}
+	switch {
+	case res.ReplayErr != nil:
+		fmt.Fprintf(w, "source replay: error: %v\n", res.ReplayErr)
+	case res.Replay.Panicked:
+		fmt.Fprintf(w, "source replay: panic: %s\n", res.Replay.PanicMsg)
+	case res.Replay.HasRet:
+		fmt.Fprintf(w, "source replay: returned %d (no panic)\n", res.Replay.Ret)
+	default:
+		fmt.Fprintf(w, "source replay: returned (no panic)\n")
+	}
+	fmt.Fprintf(w, "semantics agree: %v\n", res.Agreed())
+	fmt.Fprintf(w, "coverage: %d blocks, %d edges\n", out.Stats.CoveredBlocks, out.Stats.CoveredEdges)
+}

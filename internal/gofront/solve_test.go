@@ -1,0 +1,118 @@
+package gofront
+
+import (
+	"context"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tools"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden solve report")
+
+// solveCaps pins the engine configuration the golden report was
+// captured under: the reference profile, single-worker so rounds and
+// coverage are deterministic.
+func solveCaps(t *testing.T) core.Capabilities {
+	t.Helper()
+	caps := tools.Reference().Caps
+	caps.Workers = 1
+	return caps
+}
+
+// TestSolveDemoGolden drives the full congolic pipeline — load, lower,
+// assemble, explore, decode, both replays — over the three headline
+// demo functions (branch maze, arithmetic guard, slice detonation) and
+// compares the rendered report byte-for-byte against the golden file.
+// Regenerate with `go test ./internal/gofront -run SolveDemoGolden -update`.
+func TestSolveDemoGolden(t *testing.T) {
+	pkg, err := Load("../../examples/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, fn := range []string{"Unlock", "Guard", "Probe"} {
+		res, err := SolvePackage(context.Background(), pkg, fn, solveCaps(t))
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		if res.Outcome.Verdict != core.VerdictSolved {
+			t.Fatalf("%s: verdict %s, want solved", fn, res.Outcome.Verdict)
+		}
+		if !res.Agreed() {
+			t.Errorf("%s: machine and source semantics disagree: machine=%v replay=%+v err=%v",
+				fn, res.MachineBoom, res.Replay, res.ReplayErr)
+		}
+		Render(&b, res)
+		b.WriteString("\n")
+	}
+	got := b.String()
+	const golden = "testdata/solve_demo.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestSolveReplaysAgree solves every remaining quickly-solvable demo
+// function and asserts the differential contract on the solved tuple:
+// the machine detonation and the source-level panic must coincide.
+func TestSolveReplaysAgree(t *testing.T) {
+	pkg, err := Load("../../examples/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"Flag", "Divide"} {
+		res, err := SolvePackage(context.Background(), pkg, fn, solveCaps(t))
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		if res.Outcome.Verdict != core.VerdictSolved {
+			t.Fatalf("%s: verdict %s, want solved", fn, res.Outcome.Verdict)
+		}
+		if !res.MachineBoom {
+			t.Errorf("%s: solved input does not detonate the machine", fn)
+		}
+		if res.ReplayErr != nil || !res.Replay.Panicked {
+			t.Errorf("%s: solved input does not panic the source: %+v err=%v",
+				fn, res.Replay, res.ReplayErr)
+		}
+	}
+}
+
+// TestSolveLoop steers the trip-count search: twenty concolic loop
+// extensions from the zero seed. Skipped in -short runs.
+func TestSolveLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loop extension search is slow")
+	}
+	pkg, err := Load("../../examples/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolvePackage(context.Background(), pkg, "Loop", solveCaps(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Verdict != core.VerdictSolved {
+		t.Fatalf("verdict %s, want solved", res.Outcome.Verdict)
+	}
+	if res.Args[0] != 20 {
+		t.Errorf("solved n=%d, want 20 (the only trip count summing to 210)", res.Args[0])
+	}
+	if !res.Agreed() {
+		t.Error("machine and source semantics disagree on Loop(20)")
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"repro/internal/bombs"
+	"repro/internal/cliopts"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/suggest"
 	"repro/internal/tools"
 )
 
@@ -40,12 +42,20 @@ func (s State) Terminal() bool {
 // and an optional per-job wall-clock budget that becomes the
 // exploration context's deadline.
 type Request struct {
-	Bomb      string `json:"bomb"`
-	Tool      string `json:"tool"`
-	Workers   int    `json:"workers,omitempty"`
-	Solver    string `json:"solver,omitempty"`
-	Warmstart bool   `json:"warmstart,omitempty"`
-	BudgetMS  int64  `json:"budget_ms,omitempty"`
+	// Bomb is the legacy target field: the name of a registered logic
+	// bomb. New clients should submit Target instead; Validate folds a
+	// kind=bomb target into this field so the rest of the service (and
+	// the persisted job journal) sees one canonical form either way.
+	Bomb string `json:"bomb,omitempty"`
+	// Target is the versioned target object. Today the only served kind
+	// is "bomb"; "gofunc" (a Go function lowered by the congolic
+	// frontend) is reserved and rejected with a self-explaining error.
+	Target    *TargetSpec `json:"target,omitempty"`
+	Tool      string      `json:"tool"`
+	Workers   int         `json:"workers,omitempty"`
+	Solver    string      `json:"solver,omitempty"`
+	Warmstart bool        `json:"warmstart,omitempty"`
+	BudgetMS  int64       `json:"budget_ms,omitempty"`
 	// Strategy selects the frontier search order ("" or "generational",
 	// "dfs", "coverage"); Fuzz enables the hybrid mutation stage
 	// (coverage strategy only); CoverGoal, in (0, 1], stops the engine
@@ -55,12 +65,59 @@ type Request struct {
 	CoverGoal float64 `json:"cover_goal,omitempty"`
 }
 
+// TargetSpec is the versioned job target. Kind "bomb" names a
+// registered logic bomb and is the only kind this server executes;
+// kind "gofunc" is reserved for a future concolicd that hosts the
+// congolic Go-function frontend (Pkg and Func name the function).
+// Unknown kinds are rejected with the uniform suggestion error so an
+// old server gives a new client an actionable 400 rather than a silent
+// misroute.
+type TargetSpec struct {
+	Kind string `json:"kind"`
+	Name string `json:"name,omitempty"` // bomb name (kind=bomb)
+	Pkg  string `json:"pkg,omitempty"`  // package path (kind=gofunc)
+	Func string `json:"func,omitempty"` // function name (kind=gofunc)
+}
+
+// TargetKinds are the schema's known target kinds, served or reserved.
+func TargetKinds() []string { return []string{"bomb", "gofunc"} }
+
+// normalizeTarget folds the versioned Target object into the legacy
+// Bomb field, so validation and execution see one canonical request.
+func (r *Request) normalizeTarget() error {
+	if r.Target == nil {
+		return nil
+	}
+	switch r.Target.Kind {
+	case "bomb":
+		if r.Target.Name == "" {
+			return errors.New("target.name is required for target.kind=bomb")
+		}
+		if r.Bomb != "" && r.Bomb != r.Target.Name {
+			return fmt.Errorf("bomb %q and target.name %q disagree; set one",
+				r.Bomb, r.Target.Name)
+		}
+		r.Bomb = r.Target.Name
+		return nil
+	case "gofunc":
+		return errors.New(`target.kind "gofunc" is reserved and not served by this replica: ` +
+			`concolicd executes registered bombs only; run cmd/congolic locally to explore Go functions`)
+	case "":
+		return errors.New("target.kind is required when target is set")
+	default:
+		return suggest.Unknown("target kind", r.Target.Kind, TargetKinds())
+	}
+}
+
 // Validate checks the request against the bomb registry and the tool
 // table, filling the tool default. A miss on the bomb name carries a
 // closest-name suggestion, mirroring the concolic CLI.
 func (r *Request) Validate() error {
+	if err := r.normalizeTarget(); err != nil {
+		return err
+	}
 	if r.Bomb == "" {
-		return errors.New("missing required field: bomb")
+		return errors.New("missing required field: bomb (or a target object)")
 	}
 	if _, ok := bombs.ByName(r.Bomb); !ok {
 		msg := fmt.Sprintf("unknown bomb %q", r.Bomb)
@@ -76,25 +133,15 @@ func (r *Request) Validate() error {
 		return fmt.Errorf("unknown tool %q (choose from %s)",
 			r.Tool, strings.Join(tools.Names(), ", "))
 	}
-	if r.Workers < 0 {
-		return errors.New("workers must be non-negative")
-	}
-	mode, err := core.ParseSolverMode(r.Solver)
-	if err != nil {
+	if err := cliopts.Check(cliopts.Options{
+		Workers:   r.Workers,
+		Solver:    r.Solver,
+		Warmstart: r.Warmstart,
+		Strategy:  r.Strategy,
+		Fuzz:      r.Fuzz,
+		CoverGoal: r.CoverGoal,
+	}, cliopts.WireDialect); err != nil {
 		return err
-	}
-	if r.Warmstart && mode != core.SolverPortfolio {
-		return errors.New("warmstart requires solver=portfolio")
-	}
-	strat, err := core.ParseSearchStrategy(r.Strategy)
-	if err != nil {
-		return err
-	}
-	if r.Fuzz && strat != core.SearchCoverage {
-		return errors.New("fuzz requires strategy=coverage")
-	}
-	if r.CoverGoal < 0 || r.CoverGoal > 1 {
-		return errors.New("cover_goal must be in [0, 1]")
 	}
 	if r.BudgetMS < 0 {
 		return errors.New("budget_ms must be non-negative")

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postRaw submits a raw JSON body, the way a client of any schema
+// vintage would, and decodes the error body on non-2xx.
+func postRaw(t *testing.T, url, body string) (int, string, View) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e.Error, View{}
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, "", v
+}
+
+// TestTargetSchemaVersions drives the versioned job schema over HTTP:
+// a legacy bomb-field client and a new target-object client must be
+// served identically, and the reserved/unknown kinds must come back as
+// self-explaining 400s rather than misrouted jobs.
+func TestTargetSchemaVersions(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	// Old client: bare bomb field, no target object.
+	st, _, legacy := postRaw(t, ts.URL, `{"bomb":"jump","tool":"reference","workers":1}`)
+	if st != http.StatusAccepted {
+		t.Fatalf("legacy submit: status %d", st)
+	}
+	// New client: versioned target object, no bomb field.
+	st, _, versioned := postRaw(t, ts.URL,
+		`{"target":{"kind":"bomb","name":"jump"},"tool":"reference","workers":1}`)
+	if st != http.StatusAccepted {
+		t.Fatalf("versioned submit: status %d", st)
+	}
+	if versioned.Bomb != legacy.Bomb || versioned.Tool != legacy.Tool {
+		t.Errorf("views disagree: legacy %+v vs versioned %+v", legacy, versioned)
+	}
+	for _, id := range []string{legacy.ID, versioned.ID} {
+		v := waitState(t, ts, id, StateDone, 30*time.Second)
+		if v.Result == nil || v.Result.Verdict != "solved" {
+			t.Errorf("job %s: result %+v, want solved", id, v.Result)
+		}
+	}
+
+	cases := []struct {
+		name, body, want string
+	}{
+		{"reserved gofunc", `{"target":{"kind":"gofunc","pkg":"./examples/demo","func":"Unlock"}}`,
+			"reserved"},
+		{"unknown kind", `{"target":{"kind":"bombb","name":"jump"}}`,
+			`unknown target kind "bombb" (valid: bomb, gofunc) — did you mean "bomb"?`},
+		{"missing kind", `{"target":{"name":"jump"}}`, "target.kind is required"},
+		{"missing name", `{"target":{"kind":"bomb"}}`, "target.name is required"},
+		{"disagreeing fields", `{"bomb":"sha1","target":{"kind":"bomb","name":"jump"}}`,
+			"disagree"},
+		{"neither field", `{"tool":"reference"}`, "missing required field: bomb"},
+	}
+	for _, c := range cases {
+		st, msg, _ := postRaw(t, ts.URL, c.body)
+		if st != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, st)
+			continue
+		}
+		if !strings.Contains(msg, c.want) {
+			t.Errorf("%s: error %q, want substring %q", c.name, msg, c.want)
+		}
+	}
+
+	// Agreeing redundant fields are fine (a client upgrading defensively).
+	st, _, both := postRaw(t, ts.URL, `{"bomb":"jump","target":{"kind":"bomb","name":"jump"},"workers":1}`)
+	if st != http.StatusAccepted || both.Bomb != "jump" {
+		t.Errorf("redundant-but-agreeing submit: status %d view %+v", st, both)
+	}
+}

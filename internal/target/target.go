@@ -1,0 +1,49 @@
+// Package target defines the target-neutral input representation shared
+// by every exploration frontend. The engine explores over Input values
+// without knowing what they mean to the guest: the bomb corpus lowers
+// its argv string and environment facets into one, and the Go frontend
+// lowers encoded function arguments into the same Argv1 seam. Keeping
+// the type here (rather than in the bombs package) lets core stay
+// frontend-agnostic while bombs re-exports it as an alias, so existing
+// callers are unchanged.
+package target
+
+import "repro/internal/gos"
+
+// Input fully specifies one concrete run: the argument string plus every
+// environment facet a target can depend on. The benign input is the seed
+// a tool starts from; for bombs the trigger input is the ground truth
+// that detonates the bomb.
+type Input struct {
+	Argv1   string
+	TimeNow uint64
+	Pid     uint64
+	Web     map[string]string
+	Files   map[string][]byte
+	Env     map[string]string
+}
+
+// Default environment values for benign runs.
+const (
+	DefaultTime = 1111111111
+	DefaultPid  = 4242
+)
+
+// Config converts the input into a machine configuration.
+func (in Input) Config() gos.Config {
+	cfg := gos.Config{
+		Argv:       []string{"bomb", in.Argv1},
+		TimeNow:    in.TimeNow,
+		Pid:        in.Pid,
+		WebContent: in.Web,
+		Files:      in.Files,
+		Env:        in.Env,
+	}
+	if cfg.TimeNow == 0 {
+		cfg.TimeNow = DefaultTime
+	}
+	if cfg.Pid == 0 {
+		cfg.Pid = DefaultPid
+	}
+	return cfg
+}
